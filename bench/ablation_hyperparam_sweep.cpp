@@ -1,0 +1,66 @@
+// Ablation: hyper-parameter sensitivity (Section IV-D). Sweeps tau for
+// both priors and prints the CV-estimated error against the true held-out
+// error — validating that N-fold cross-validation picks a near-optimal
+// sigma_0 / eta without access to the test set.
+#include <iostream>
+
+#include "bmf/fusion.hpp"
+#include "experiment.hpp"
+#include "io/table.hpp"
+#include "stats/descriptive.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bmf;
+  io::Args args(argc, argv);
+  const bench::BenchScale scale =
+      bench::parse_scale(args, 800, circuit::kRoDefaultVars, 1);
+  const std::size_t k = static_cast<std::size_t>(args.get_int("k", 100));
+
+  std::cout << "[Ablation] CV hyper-parameter selection vs oracle "
+            << "(RO power, variables=" << scale.vars << ", K=" << k << ")\n\n";
+  circuit::Testcase tc = circuit::ring_oscillator_testcase(
+      circuit::RoMetric::kPower, scale.vars, scale.seed);
+  stats::Rng rng(scale.seed + 3);
+  circuit::Dataset train = tc.silicon.sample_late(k, rng);
+  circuit::Dataset test = tc.silicon.sample_late(500, rng);
+
+  core::BmfFitter fitter(tc.silicon.late_basis(), tc.early_coeffs,
+                         tc.informative, {});
+  fitter.set_data(train.points, train.f);
+  const core::CvCurve& zm = fitter.zero_mean_curve();
+  const core::CvCurve& nzm = fitter.nonzero_mean_curve();
+
+  io::Table table({"tau", "ZM cv (%)", "ZM test (%)", "NZM cv (%)",
+                   "NZM test (%)"});
+  std::size_t best_zm_test = 0, best_nzm_test = 0;
+  std::vector<double> zm_test, nzm_test;
+  for (std::size_t i = 0; i < zm.taus.size(); ++i) {
+    auto mz = fitter.fit_at(core::PriorKind::kZeroMean, zm.taus[i]);
+    auto mn = fitter.fit_at(core::PriorKind::kNonzeroMean, zm.taus[i]);
+    zm_test.push_back(
+        stats::relative_error(mz.predict(test.points), test.f));
+    nzm_test.push_back(
+        stats::relative_error(mn.predict(test.points), test.f));
+    if (zm_test[i] < zm_test[best_zm_test]) best_zm_test = i;
+    if (nzm_test[i] < nzm_test[best_nzm_test]) best_nzm_test = i;
+    table.add_row({io::Table::sci(zm.taus[i]),
+                   io::Table::num(100 * zm.errors[i], 3),
+                   io::Table::num(100 * zm_test[i], 3),
+                   io::Table::num(100 * nzm.errors[i], 3),
+                   io::Table::num(100 * nzm_test[i], 3)});
+  }
+  std::cout << table << "\n";
+  std::cout << "ZM : CV picks tau index " << zm.best_index()
+            << ", oracle test-best index " << best_zm_test
+            << " (test err at CV pick "
+            << io::Table::num(100 * zm_test[zm.best_index()], 3)
+            << "% vs oracle "
+            << io::Table::num(100 * zm_test[best_zm_test], 3) << "%)\n";
+  std::cout << "NZM: CV picks tau index " << nzm.best_index()
+            << ", oracle test-best index " << best_nzm_test
+            << " (test err at CV pick "
+            << io::Table::num(100 * nzm_test[nzm.best_index()], 3)
+            << "% vs oracle "
+            << io::Table::num(100 * nzm_test[best_nzm_test], 3) << "%)\n";
+  return 0;
+}

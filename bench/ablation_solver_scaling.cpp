@@ -1,0 +1,76 @@
+// Ablation: fast-solver scaling (Section IV-C), via google-benchmark.
+// Times the conventional dense Cholesky MAP solve (O(M^3)) against the
+// Sherman-Morrison-Woodbury low-rank solve (O(K^2 M + K^3)) at fixed
+// K = 100 and growing basis count M — the regime of the paper's reported
+// "up to 600x" solver speedup (Fig. 5's solver gap).
+#include <benchmark/benchmark.h>
+
+#include "bmf/map_solver.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using namespace bmf;
+
+struct Problem {
+  linalg::Matrix g;
+  linalg::Vector f;
+  core::CoefficientPrior prior;
+};
+
+Problem make_problem(std::size_t k, std::size_t m) {
+  stats::Rng rng(m * 7 + k);
+  Problem p{linalg::Matrix(k, m), linalg::Vector(k),
+            core::CoefficientPrior::zero_mean(linalg::Vector(m, 1.0))};
+  linalg::Vector early(m);
+  for (double& e : early) e = rng.normal();
+  for (std::size_t i = 0; i < k; ++i) {
+    double v = 0.0;
+    for (std::size_t j = 0; j < m; ++j) {
+      p.g(i, j) = rng.normal();
+      v += early[j] * p.g(i, j);
+    }
+    p.f[i] = v + rng.normal(0.0, 0.1);
+  }
+  p.prior = core::CoefficientPrior::zero_mean(early);
+  return p;
+}
+
+void BM_MapSolveDirect(benchmark::State& state) {
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  Problem p = make_problem(100, m);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::map_solve_direct(p.g, p.f, p.prior, 1.0));
+  }
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(m));
+}
+
+void BM_MapSolveFast(benchmark::State& state) {
+  const std::size_t m = static_cast<std::size_t>(state.range(0));
+  Problem p = make_problem(100, m);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::map_solve_fast(p.g, p.f, p.prior, 1.0));
+  }
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(m));
+}
+
+BENCHMARK(BM_MapSolveDirect)
+    ->Arg(250)
+    ->Arg(500)
+    ->Arg(1000)
+    ->Arg(2000)
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity();
+BENCHMARK(BM_MapSolveFast)
+    ->Arg(250)
+    ->Arg(500)
+    ->Arg(1000)
+    ->Arg(2000)
+    ->Arg(4000)
+    ->Arg(8000)
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,14 @@
+// Reproduces Table I: relative modeling error (%) of power for the ring
+// oscillator, as a function of the number of post-layout training samples,
+// for OMP / BMF-ZM / BMF-NZM / BMF-PS.
+#include "table_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bmf;
+  return bench::run_error_table_bench(
+      argc, argv, "[Table I] RO power", circuit::kRoDefaultVars,
+      circuit::kRoFullVars, [](std::size_t vars, std::uint64_t seed) {
+        return circuit::ring_oscillator_testcase(circuit::RoMetric::kPower,
+                                                 vars, seed);
+      });
+}

@@ -1,0 +1,13 @@
+// Reproduces Table II: relative modeling error (%) of phase noise for the
+// ring oscillator vs the number of post-layout training samples.
+#include "table_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bmf;
+  return bench::run_error_table_bench(
+      argc, argv, "[Table II] RO phase noise", circuit::kRoDefaultVars,
+      circuit::kRoFullVars, [](std::size_t vars, std::uint64_t seed) {
+        return circuit::ring_oscillator_testcase(
+            circuit::RoMetric::kPhaseNoise, vars, seed);
+      });
+}

@@ -1,0 +1,15 @@
+// Reproduces Table III: relative modeling error (%) of frequency for the
+// ring oscillator vs the number of post-layout training samples. The
+// qualitative signature to match: BMF-ZM beats BMF-NZM on this metric
+// (sign flips in the early model poison the nonzero-mean prior).
+#include "table_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bmf;
+  return bench::run_error_table_bench(
+      argc, argv, "[Table III] RO frequency", circuit::kRoDefaultVars,
+      circuit::kRoFullVars, [](std::size_t vars, std::uint64_t seed) {
+        return circuit::ring_oscillator_testcase(
+            circuit::RoMetric::kFrequency, vars, seed);
+      });
+}

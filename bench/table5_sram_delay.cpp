@@ -1,0 +1,13 @@
+// Reproduces Table V: relative modeling error (%) of read delay for the
+// SRAM read path vs the number of post-layout training samples. Signature
+// to match: BMF-NZM loses to BMF-ZM at 100 samples but wins at larger K.
+#include "table_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bmf;
+  return bench::run_error_table_bench(
+      argc, argv, "[Table V] SRAM read delay", circuit::kSramDefaultVars,
+      circuit::kSramFullVars, [](std::size_t vars, std::uint64_t seed) {
+        return circuit::sram_read_path_testcase(vars, seed);
+      });
+}

@@ -1,0 +1,47 @@
+// Reproduces Table VI: modeling error and cost comparison for the SRAM
+// read path — OMP with 400 post-layout training samples vs BMF-PS (fast
+// solver) with 100. The headline number to match is the ~4x total-cost
+// speedup without surrendering accuracy.
+#include <iostream>
+
+#include "experiment.hpp"
+#include "io/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bmf;
+  io::Args args(argc, argv);
+  const bench::BenchScale scale = bench::parse_scale(
+      args, circuit::kSramDefaultVars, circuit::kSramFullVars,
+      /*default_repeats=*/3);
+  const std::size_t k_omp = 400, k_bmf = 100;
+
+  std::cout << "[Table VI] SRAM read-path error and modeling cost: OMP@"
+            << k_omp << " vs BMF-PS(fast)@" << k_bmf << "\n";
+  std::cout << "variables=" << scale.vars << " repeats=" << scale.repeats
+            << " seed=" << scale.seed << "\n\n";
+
+  circuit::Testcase tc =
+      circuit::sram_read_path_testcase(scale.vars, scale.seed);
+  bench::CostComparison cmp = bench::run_cost_comparison(
+      tc, k_omp, k_bmf, scale.repeats, scale.seed);
+
+  io::Table table({"Quantity", "OMP", "BMF-PS (fast solver)"});
+  table.add_row({"# of post-layout training samples", std::to_string(k_omp),
+                 std::to_string(k_bmf)});
+  table.add_row({"Modeling error for read delay",
+                 io::Table::num(100.0 * cmp.omp_error) + "%",
+                 io::Table::num(100.0 * cmp.bmf_error) + "%"});
+  table.add_row({"Simulation cost (Hour, extrapolated)",
+                 io::Table::num(cmp.omp_sim_hours, 2),
+                 io::Table::num(cmp.bmf_sim_hours, 2)});
+  table.add_row({"Fitting cost (Second, measured)",
+                 io::Table::num(cmp.omp_fit_seconds, 2),
+                 io::Table::num(cmp.bmf_fit_seconds, 2)});
+  table.add_row({"Total modeling cost (Hour)",
+                 io::Table::num(cmp.omp_total_hours(), 2),
+                 io::Table::num(cmp.bmf_total_hours(), 2)});
+  std::cout << table;
+  std::cout << "\nTotal-cost speedup of BMF-PS over OMP: "
+            << io::Table::num(cmp.speedup(), 2) << "x (paper: 4x)\n";
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Shared main() body for the error-table benches (Tables I, II, III, V).
+#pragma once
+
+#include <functional>
+#include <iostream>
+#include <string>
+
+#include "experiment.hpp"
+
+namespace bmf::bench {
+
+/// Run one error-table reproduction. `make_testcase` receives (vars, seed).
+inline int run_error_table_bench(
+    int argc, char** argv, const std::string& title,
+    std::size_t default_vars, std::size_t full_vars,
+    const std::function<circuit::Testcase(std::size_t, std::uint64_t)>&
+        make_testcase) {
+  io::Args args(argc, argv);
+  const BenchScale scale = parse_scale(args, default_vars, full_vars,
+                                       /*default_repeats=*/3);
+
+  std::cout << title << "\n";
+  std::cout << "variables=" << scale.vars << " repeats=" << scale.repeats
+            << " seed=" << scale.seed
+            << (args.flag("full") ? " (paper scale)" : " (reduced scale)")
+            << "\n\n";
+
+  circuit::Testcase tc = make_testcase(scale.vars, scale.seed);
+  SweepConfig config;
+  config.repeats = scale.repeats;
+  config.seed = scale.seed;
+  if (args.has("test"))
+    config.test_size = static_cast<std::size_t>(args.get_int("test", 300));
+
+  SweepResult result = run_error_sweep(tc, config);
+  std::cout << "Relative modeling error (%) of " << tc.metric << " for "
+            << tc.circuit << "\n";
+  std::cout << format_error_table(result) << std::flush;
+  return 0;
+}
+
+}  // namespace bmf::bench

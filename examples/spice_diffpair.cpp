@@ -1,0 +1,168 @@
+// End-to-end BMF on a *real* simulator: the differential-pair offset
+// example of the paper's Section IV-A (Eq. 36/37), run entirely through
+// the built-in MNA engine.
+//
+//   schematic stage: two input devices, Vth mismatch variables x1, x2
+//       -> fit the early offset model from schematic DC sweeps
+//   post-layout stage: each input device becomes TWO fingers (prior
+//       mapping, beta = alpha/sqrt(2)), and the extracted netlist gains
+//       load-resistor mismatch variables with NO early-stage counterpart
+//       (missing prior)
+//   -> BMF fuses the mapped prior with a few post-layout simulations.
+//
+//   $ ./examples/spice_diffpair --train 25 --seed 3
+#include <cmath>
+#include <iostream>
+
+#include "bmf/fusion.hpp"
+#include "io/args.hpp"
+#include "io/table.hpp"
+#include "regress/least_squares.hpp"
+#include "regress/omp.hpp"
+#include "spice/circuits.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using namespace bmf;
+
+constexpr double kVthNominal = 0.4;
+constexpr double kSigmaVthDevice = 5e-3;  // 5 mV device-level mismatch
+constexpr double kSigmaRes = 0.01;        // 1% load-resistor mismatch
+
+// Schematic-level "SPICE run": single device per side.
+double simulate_schematic(const linalg::Vector& x) {
+  spice::DiffPairParams p;
+  p.vth1 = kVthNominal + kSigmaVthDevice * x[0];
+  p.vth2 = kVthNominal + kSigmaVthDevice * x[1];
+  return spice::diff_pair_input_offset(p);
+}
+
+// Post-layout "SPICE run": two fingers per device (each with half the
+// transconductance and sqrt(2) larger mismatch, the standard area
+// scaling), plus load-resistor mismatch from layout extraction.
+// x = [x11 x12 x21 x22 xr1 xr2].
+double simulate_postlayout(const linalg::Vector& x) {
+  const double sf = kSigmaVthDevice * std::sqrt(2.0);
+  spice::DiffPairParams p;
+  spice::DiffPairCircuit c;
+  {
+    spice::DiffPairParams base;
+    c.netlist = spice::Netlist();
+    c.vdd = c.netlist.add_node("vdd");
+    c.in_p = c.netlist.add_node("in_p");
+    c.in_n = c.netlist.add_node("in_n");
+    c.out_p = c.netlist.add_node("out_p");
+    c.out_n = c.netlist.add_node("out_n");
+    c.tail = c.netlist.add_node("tail");
+    auto& nl = c.netlist;
+    nl.add(spice::VoltageSource{c.vdd, spice::kGround, base.vdd});
+    nl.add(spice::VoltageSource{c.in_p, spice::kGround, base.vbias});
+    nl.add(spice::VoltageSource{c.in_n, spice::kGround, base.vbias});
+    nl.add(spice::Resistor{c.vdd, c.out_p,
+                           base.rload * (1.0 + kSigmaRes * x[4])});
+    nl.add(spice::Resistor{c.vdd, c.out_n,
+                           base.rload * (1.0 + kSigmaRes * x[5])});
+    // Two fingers per input device.
+    for (int f = 0; f < 2; ++f) {
+      nl.add(spice::Mosfet{spice::MosType::kNmos, c.out_p, c.in_p, c.tail,
+                           kVthNominal + sf * x[f], base.k1 / 2.0,
+                           base.lambda});
+      nl.add(spice::Mosfet{spice::MosType::kNmos, c.out_n, c.in_n, c.tail,
+                           kVthNominal + sf * x[2 + f], base.k2 / 2.0,
+                           base.lambda});
+    }
+    nl.add(spice::CurrentSource{c.tail, spice::kGround, base.itail});
+  }
+  // Offset = differential output / differential gain (finite difference).
+  auto vod_at = [&](double dvin) {
+    c.netlist.voltage_sources()[1].volts = 0.7 + dvin;
+    spice::Solution s = spice::solve_dc(c.netlist);
+    return s.node_voltages[c.out_p] - s.node_voltages[c.out_n];
+  };
+  const double vod = vod_at(0.0);
+  const double gain = (vod_at(1e-4) - vod_at(-1e-4)) / 2e-4;
+  return vod / gain;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  io::Args args(argc, argv);
+  const std::size_t k_train =
+      static_cast<std::size_t>(args.get_int("train", 25));
+  stats::Rng rng(args.get_seed("seed", 3));
+
+  // --- Early stage: fit the schematic offset model (Eq. 36) -------------
+  std::cout << "Fitting schematic offset model from 200 schematic-level DC "
+               "simulations...\n";
+  const std::size_t n_early = 200;
+  linalg::Matrix xe(n_early, 2);
+  linalg::Vector fe(n_early);
+  for (std::size_t i = 0; i < n_early; ++i) {
+    linalg::Vector x = rng.normal_vector(2);
+    xe.set_row(i, x);
+    fe[i] = simulate_schematic(x);
+  }
+  auto early =
+      regress::least_squares_fit(basis::BasisSet::linear(2), xe, fe);
+  std::cout << "  V_os ~ " << early.coefficients()[1] << " * x1 + "
+            << early.coefficients()[2] << " * x2 + "
+            << early.coefficients()[0] << "\n";
+
+  // --- Prior mapping (Eq. 49): 2 fingers each + 2 parasitic variables ----
+  core::MultifingerMap map({2, 2}, 2);
+  core::MappedPrior mapped = map.map_linear_model(early);
+  std::cout << "Mapped prior over " << map.num_late_vars()
+            << " post-layout variables (beta = alpha/sqrt(2); resistor "
+               "mismatch terms have missing prior)\n\n";
+
+  // --- Late stage: a few post-layout simulations -------------------------
+  linalg::Matrix xl(k_train, 6);
+  linalg::Vector fl(k_train);
+  for (std::size_t i = 0; i < k_train; ++i) {
+    linalg::Vector x = rng.normal_vector(6);
+    xl.set_row(i, x);
+    fl[i] = simulate_postlayout(x);
+  }
+  core::BmfFitter fitter(mapped);
+  fitter.set_data(xl, fl);
+  core::FusionResult fused = fitter.fit();
+
+  // --- Evaluate on fresh post-layout simulations -------------------------
+  const std::size_t n_test = 100;
+  linalg::Matrix xt(n_test, 6);
+  linalg::Vector ft(n_test);
+  for (std::size_t i = 0; i < n_test; ++i) {
+    linalg::Vector x = rng.normal_vector(6);
+    xt.set_row(i, x);
+    ft[i] = simulate_postlayout(x);
+  }
+  auto err = [&](const basis::PerformanceModel& m) {
+    return 100.0 * stats::relative_error(m.predict(xt), ft);
+  };
+
+  basis::PerformanceModel prior_only(mapped.late_basis, mapped.early_coeffs);
+  regress::OmpOptions oopt;
+  auto omp_model = regress::omp_fit(mapped.late_basis, xl, fl, oopt);
+
+  io::Table table({"Method", "rel. error (%)"});
+  table.add_row({"mapped schematic prior, no late data",
+                 io::Table::num(err(prior_only))});
+  table.add_row({std::string("OMP on ") + std::to_string(k_train) +
+                     " post-layout runs",
+                 io::Table::num(err(omp_model))});
+  table.add_row({std::string("BMF (") + to_string(fused.report.chosen_kind) +
+                     ", " + std::to_string(k_train) + " post-layout runs)",
+                 io::Table::num(err(fused.model))});
+  std::cout << table;
+
+  std::cout << "\nFused post-layout coefficients (finger terms + parasitic "
+               "resistor terms):\n";
+  for (std::size_t m = 0; m < fused.model.num_terms(); ++m)
+    std::cout << "  " << mapped.late_basis.term(m).to_string() << " : "
+              << fused.model.coefficients()[m]
+              << (mapped.informative[m] ? "" : "   [no prior]") << "\n";
+  return 0;
+}

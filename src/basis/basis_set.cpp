@@ -1,0 +1,153 @@
+#include "basis/basis_set.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "stats/rng.hpp"
+
+namespace bmf::basis {
+
+unsigned BasisTerm::total_degree() const {
+  unsigned d = 0;
+  for (const auto& f : factors) d += f.degree;
+  return d;
+}
+
+double BasisTerm::evaluate(const linalg::Vector& x) const {
+  double v = 1.0;
+  for (const auto& f : factors) {
+    v *= hermite_orthonormal(f.degree, x[f.var]);
+  }
+  return v;
+}
+
+std::string BasisTerm::to_string() const {
+  if (factors.empty()) return "1";
+  std::ostringstream os;
+  for (std::size_t i = 0; i < factors.size(); ++i) {
+    if (i) os << "*";
+    os << "H" << factors[i].degree << "(x" << factors[i].var << ")";
+  }
+  return os.str();
+}
+
+BasisSet::BasisSet(std::size_t dimension, std::vector<BasisTerm> terms)
+    : dimension_(dimension), terms_(std::move(terms)) {
+  for (const auto& t : terms_)
+    for (const auto& f : t.factors)
+      if (f.var >= dimension_ || f.degree == 0)
+        throw std::invalid_argument(
+            "BasisSet: factor variable out of range or zero degree");
+}
+
+BasisSet BasisSet::linear(std::size_t dimension) {
+  std::vector<BasisTerm> terms;
+  terms.reserve(dimension + 1);
+  terms.push_back(BasisTerm{});  // constant
+  for (std::size_t r = 0; r < dimension; ++r)
+    terms.push_back(BasisTerm{{{r, 1u}}});
+  return BasisSet(dimension, std::move(terms));
+}
+
+namespace {
+void enumerate_terms(std::size_t dimension, unsigned budget, std::size_t var,
+                     std::vector<VarDegree>& current,
+                     std::vector<BasisTerm>& out, std::size_t limit) {
+  if (out.size() > limit)
+    throw std::invalid_argument(
+        "BasisSet::total_degree: term count exceeds safety limit");
+  out.push_back(BasisTerm{current});
+  if (budget == 0) return;
+  for (std::size_t v = var; v < dimension; ++v) {
+    for (unsigned d = 1; d <= budget; ++d) {
+      current.push_back({v, d});
+      enumerate_terms(dimension, budget - d, v + 1, current, out, limit);
+      current.pop_back();
+    }
+  }
+}
+}  // namespace
+
+BasisSet BasisSet::total_degree(std::size_t dimension, unsigned max_degree) {
+  std::vector<BasisTerm> terms;
+  std::vector<VarDegree> current;
+  constexpr std::size_t kLimit = 2'000'000;
+  enumerate_terms(dimension, max_degree, 0, current, terms, kLimit);
+  return BasisSet(dimension, std::move(terms));
+}
+
+BasisSet BasisSet::linear_plus_diagonal_quadratic(std::size_t dimension) {
+  std::vector<BasisTerm> terms;
+  terms.reserve(2 * dimension + 1);
+  terms.push_back(BasisTerm{});
+  for (std::size_t r = 0; r < dimension; ++r)
+    terms.push_back(BasisTerm{{{r, 1u}}});
+  for (std::size_t r = 0; r < dimension; ++r)
+    terms.push_back(BasisTerm{{{r, 2u}}});
+  return BasisSet(dimension, std::move(terms));
+}
+
+linalg::Vector BasisSet::evaluate(const linalg::Vector& x) const {
+  LINALG_REQUIRE(x.size() == dimension_, "BasisSet::evaluate dim mismatch");
+  linalg::Vector v(terms_.size());
+  for (std::size_t m = 0; m < terms_.size(); ++m)
+    v[m] = terms_[m].evaluate(x);
+  return v;
+}
+
+std::size_t BasisSet::constant_index() const {
+  for (std::size_t m = 0; m < terms_.size(); ++m)
+    if (terms_[m].factors.empty()) return m;
+  return terms_.size();
+}
+
+std::size_t BasisSet::add_term(BasisTerm term) {
+  for (const auto& f : term.factors)
+    if (f.var >= dimension_ || f.degree == 0)
+      throw std::invalid_argument("BasisSet::add_term: bad factor");
+  terms_.push_back(std::move(term));
+  return terms_.size() - 1;
+}
+
+linalg::Matrix design_matrix(const BasisSet& basis,
+                             const linalg::Matrix& points) {
+  LINALG_REQUIRE(points.cols() == basis.dimension(),
+                 "design_matrix: point dimension mismatch");
+  const std::size_t k = points.rows(), m = basis.size();
+  linalg::Matrix g(k, m);
+  for (std::size_t i = 0; i < k; ++i) {
+    const double* x = points.row_ptr(i);
+    double* gi = g.row_ptr(i);
+    for (std::size_t j = 0; j < m; ++j) {
+      double v = 1.0;
+      for (const auto& f : basis.term(j).factors)
+        v *= hermite_orthonormal(f.degree, x[f.var]);
+      gi[j] = v;
+    }
+  }
+  return g;
+}
+
+double orthonormality_defect(const BasisSet& basis, std::size_t num_samples,
+                             std::uint64_t seed) {
+  const std::size_t m = basis.size();
+  stats::Rng rng(seed);
+  linalg::Matrix moments(m, m, 0.0);
+  linalg::Vector x(basis.dimension());
+  for (std::size_t s = 0; s < num_samples; ++s) {
+    for (double& xi : x) xi = rng.normal();
+    const linalg::Vector g = basis.evaluate(x);
+    for (std::size_t i = 0; i < m; ++i)
+      for (std::size_t j = i; j < m; ++j) moments(i, j) += g[i] * g[j];
+  }
+  double defect = 0.0;
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = i; j < m; ++j) {
+      const double e = moments(i, j) / static_cast<double>(num_samples);
+      defect = std::max(defect, std::abs(e - (i == j ? 1.0 : 0.0)));
+    }
+  return defect;
+}
+
+}  // namespace bmf::basis

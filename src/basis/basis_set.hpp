@@ -1,0 +1,91 @@
+// Multi-index basis sets over the variation space.
+//
+// A basis term g_m(x) = Π_r Ĥ_{d_r}(x_r) is stored as a *sparse* multi-index
+// (only variables with nonzero degree), so sets over R ~ 10^4-10^5 variables
+// stay compact. Factory helpers build the linear set {1, x_1..x_R} the
+// paper's experiments use (Section V: "linear functions of these random
+// variables") and total-degree-bounded sets for the nonlinear extension.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "basis/hermite.hpp"
+#include "linalg/matrix.hpp"
+
+namespace bmf::basis {
+
+/// One (variable, degree) factor of a basis term; degree >= 1.
+struct VarDegree {
+  std::size_t var;
+  unsigned degree;
+
+  bool operator==(const VarDegree&) const = default;
+};
+
+/// A single orthonormal basis function as a sparse multi-index.
+/// An empty factor list is the constant term g(x) = 1.
+struct BasisTerm {
+  std::vector<VarDegree> factors;
+
+  /// Total polynomial degree (sum of factor degrees).
+  unsigned total_degree() const;
+
+  /// Evaluate at a point x of dimension >= max referenced variable + 1.
+  double evaluate(const linalg::Vector& x) const;
+
+  /// Human-readable form, e.g. "H1(x3)*H2(x7)" or "1".
+  std::string to_string() const;
+
+  bool operator==(const BasisTerm&) const = default;
+};
+
+/// Ordered collection of basis terms over `dimension()` variables.
+class BasisSet {
+ public:
+  BasisSet() = default;
+  BasisSet(std::size_t dimension, std::vector<BasisTerm> terms);
+
+  /// {1, x_1, ..., x_R}: the linear model of the paper's experiments.
+  static BasisSet linear(std::size_t dimension);
+
+  /// All terms with total degree <= max_degree over a *small* dimension
+  /// (term count grows combinatorially; guarded against overflow).
+  static BasisSet total_degree(std::size_t dimension, unsigned max_degree);
+
+  /// Linear terms plus pure quadratic terms Ĥ_2(x_r) for every variable —
+  /// the cheapest nonlinear extension, scales to large R.
+  static BasisSet linear_plus_diagonal_quadratic(std::size_t dimension);
+
+  std::size_t size() const { return terms_.size(); }
+  std::size_t dimension() const { return dimension_; }
+  const BasisTerm& term(std::size_t m) const { return terms_[m]; }
+  const std::vector<BasisTerm>& terms() const { return terms_; }
+
+  /// Evaluate all terms at x; result has size() entries.
+  linalg::Vector evaluate(const linalg::Vector& x) const;
+
+  /// Index of the constant term, or size() if absent.
+  std::size_t constant_index() const;
+
+  /// Append a term (used when late-stage bases extend the early set);
+  /// returns its index.
+  std::size_t add_term(BasisTerm term);
+
+ private:
+  std::size_t dimension_ = 0;
+  std::vector<BasisTerm> terms_;
+};
+
+/// Design matrix G (Eq. 9): G(k, m) = g_m(x^(k)).
+/// `points` is K x R (one sample per row); the result is K x size().
+linalg::Matrix design_matrix(const BasisSet& basis,
+                             const linalg::Matrix& points);
+
+/// Monte Carlo check of Eq. (3): returns the max |E[g_i g_j] - δ_ij| over
+/// all term pairs, estimated from `num_samples` N(0,I) draws. Test helper.
+double orthonormality_defect(const BasisSet& basis, std::size_t num_samples,
+                             std::uint64_t seed);
+
+}  // namespace bmf::basis

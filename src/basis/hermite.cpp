@@ -1,0 +1,55 @@
+#include "basis/hermite.hpp"
+
+#include <cmath>
+
+namespace bmf::basis {
+
+double hermite_orthonormal(unsigned degree, double x) {
+  double prev = 1.0;  // Ĥ_0
+  if (degree == 0) return prev;
+  double cur = x;  // Ĥ_1
+  for (unsigned n = 1; n < degree; ++n) {
+    const double next =
+        (x * cur - std::sqrt(static_cast<double>(n)) * prev) /
+        std::sqrt(static_cast<double>(n + 1));
+    prev = cur;
+    cur = next;
+  }
+  return cur;
+}
+
+std::vector<double> hermite_orthonormal_all(unsigned max_degree, double x) {
+  std::vector<double> vals(max_degree + 1);
+  vals[0] = 1.0;
+  if (max_degree == 0) return vals;
+  vals[1] = x;
+  for (unsigned n = 1; n < max_degree; ++n) {
+    vals[n + 1] = (x * vals[n] -
+                   std::sqrt(static_cast<double>(n)) * vals[n - 1]) /
+                  std::sqrt(static_cast<double>(n + 1));
+  }
+  return vals;
+}
+
+std::vector<double> hermite_orthonormal_coefficients(unsigned degree) {
+  // Build He_n coefficients by the unnormalized recurrence
+  // He_{n+1} = x He_n - n He_{n-1}, then divide by sqrt(n!).
+  std::vector<double> prev = {1.0};  // He_0
+  if (degree == 0) return prev;
+  std::vector<double> cur = {0.0, 1.0};  // He_1 = x
+  for (unsigned n = 1; n < degree; ++n) {
+    std::vector<double> next(n + 2, 0.0);
+    for (std::size_t i = 0; i < cur.size(); ++i) next[i + 1] += cur[i];
+    for (std::size_t i = 0; i < prev.size(); ++i)
+      next[i] -= static_cast<double>(n) * prev[i];
+    prev = std::move(cur);
+    cur = std::move(next);
+  }
+  double fact = 1.0;
+  for (unsigned n = 2; n <= degree; ++n) fact *= static_cast<double>(n);
+  const double scale = 1.0 / std::sqrt(fact);
+  for (double& c : cur) c *= scale;
+  return cur;
+}
+
+}  // namespace bmf::basis

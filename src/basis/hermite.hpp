@@ -1,0 +1,27 @@
+// Orthonormal (probabilists') Hermite polynomials.
+//
+// The paper (Section II-A, Eq. 3-5) uses orthonormal polynomials w.r.t. the
+// standard normal weight: g_1(x)=1, g_2(x)=x, g_3(x)=(x^2-1)/sqrt(2), ...
+// These are He_n(x)/sqrt(n!) where He_n are probabilists' Hermite
+// polynomials, satisfying E[Ĥ_i(X) Ĥ_j(X)] = δ_ij for X ~ N(0,1).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace bmf::basis {
+
+/// Value of the orthonormal Hermite polynomial of degree n at x.
+/// Uses the normalized three-term recurrence
+///   Ĥ_{n+1}(x) = (x Ĥ_n(x) - sqrt(n) Ĥ_{n-1}(x)) / sqrt(n+1).
+double hermite_orthonormal(unsigned degree, double x);
+
+/// Values of Ĥ_0..Ĥ_max_degree at x in one sweep (cheaper than repeated
+/// scalar calls when several degrees of the same variable are needed).
+std::vector<double> hermite_orthonormal_all(unsigned max_degree, double x);
+
+/// Monomial coefficients of Ĥ_n (index i = coefficient of x^i). Exact for
+/// small n; used by tests to cross-check the recurrence.
+std::vector<double> hermite_orthonormal_coefficients(unsigned degree);
+
+}  // namespace bmf::basis

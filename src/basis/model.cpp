@@ -1,0 +1,48 @@
+#include "basis/model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/blas.hpp"
+
+namespace bmf::basis {
+
+PerformanceModel::PerformanceModel(BasisSet basis,
+                                   linalg::Vector coefficients)
+    : basis_(std::move(basis)), coeffs_(std::move(coefficients)) {
+  if (basis_.size() != coeffs_.size())
+    throw std::invalid_argument(
+        "PerformanceModel: coefficient count must equal basis size");
+}
+
+double PerformanceModel::predict(const linalg::Vector& x) const {
+  double f = 0.0;
+  for (std::size_t m = 0; m < coeffs_.size(); ++m) {
+    if (coeffs_[m] == 0.0) continue;
+    f += coeffs_[m] * basis_.term(m).evaluate(x);
+  }
+  return f;
+}
+
+linalg::Vector PerformanceModel::predict(const linalg::Matrix& points) const {
+  LINALG_REQUIRE(points.cols() == basis_.dimension(),
+                 "PerformanceModel::predict dim mismatch");
+  linalg::Vector out(points.rows());
+  for (std::size_t i = 0; i < points.rows(); ++i)
+    out[i] = predict(points.row(i));
+  return out;
+}
+
+linalg::Vector PerformanceModel::predict_design(
+    const linalg::Matrix& g) const {
+  return linalg::gemv(g, coeffs_);
+}
+
+std::size_t PerformanceModel::num_significant(double threshold) const {
+  std::size_t n = 0;
+  for (double c : coeffs_)
+    if (std::abs(c) > threshold) ++n;
+  return n;
+}
+
+}  // namespace bmf::basis

@@ -1,0 +1,41 @@
+// A fitted performance model: coefficients over an orthonormal basis
+// (paper Eq. 2). Shared by every fitting method (LS, OMP, BMF).
+#pragma once
+
+#include <vector>
+
+#include "basis/basis_set.hpp"
+#include "linalg/matrix.hpp"
+
+namespace bmf::basis {
+
+class PerformanceModel {
+ public:
+  PerformanceModel() = default;
+
+  /// `coefficients` must have one entry per basis term.
+  PerformanceModel(BasisSet basis, linalg::Vector coefficients);
+
+  const BasisSet& basis() const { return basis_; }
+  const linalg::Vector& coefficients() const { return coeffs_; }
+  linalg::Vector& coefficients() { return coeffs_; }
+  std::size_t num_terms() const { return coeffs_.size(); }
+
+  /// f(x) = sum_m alpha_m g_m(x).
+  double predict(const linalg::Vector& x) const;
+
+  /// Predict every row of a K x R sample matrix.
+  linalg::Vector predict(const linalg::Matrix& points) const;
+
+  /// Predict given a precomputed design matrix G (K x M): G * alpha.
+  linalg::Vector predict_design(const linalg::Matrix& g) const;
+
+  /// Number of coefficients with |alpha_m| > threshold (sparsity probe).
+  std::size_t num_significant(double threshold) const;
+
+ private:
+  BasisSet basis_;
+  linalg::Vector coeffs_;
+};
+
+}  // namespace bmf::basis

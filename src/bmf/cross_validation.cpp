@@ -1,0 +1,179 @@
+#include "bmf/cross_validation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/blas.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/kfold.hpp"
+#include "stats/rng.hpp"
+
+namespace bmf::core {
+
+std::size_t CvCurve::best_index() const {
+  if (errors.empty()) throw std::logic_error("CvCurve: empty curve");
+  return static_cast<std::size_t>(
+      std::min_element(errors.begin(), errors.end()) - errors.begin());
+}
+
+linalg::Vector log_grid(double lo, double hi, std::size_t n) {
+  if (lo <= 0.0 || hi <= 0.0 || lo > hi || n == 0)
+    throw std::invalid_argument("log_grid: need 0 < lo <= hi and n > 0");
+  linalg::Vector g(n);
+  if (n == 1) {
+    g[0] = std::sqrt(lo * hi);
+    return g;
+  }
+  const double step = std::log(hi / lo) / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i)
+    g[i] = lo * std::exp(step * static_cast<double>(i));
+  return g;
+}
+
+double tau_grid_center(const linalg::Vector& f) {
+  const stats::Summary s =
+      stats::summarize(std::vector<double>(f.begin(), f.end()));
+  if (s.variance > 0.0) return s.variance;
+  if (s.mean != 0.0) return s.mean * s.mean;
+  return 1.0;
+}
+
+namespace {
+
+// y += w * G.row(row) over all M columns.
+void accumulate_row(const linalg::Matrix& g, std::size_t row, double w,
+                    linalg::Vector& y) {
+  const double* gr = g.row_ptr(row);
+  for (std::size_t p = 0; p < y.size(); ++p) y[p] += w * gr[p];
+}
+
+// <G.row(a), v>.
+double row_dot(const linalg::Matrix& g, std::size_t a,
+               const linalg::Vector& v) {
+  const double* ga = g.row_ptr(a);
+  double acc = 0.0;
+  for (std::size_t p = 0; p < v.size(); ++p) acc += ga[p] * v[p];
+  return acc;
+}
+
+}  // namespace
+
+CvEngine::CvEngine(const linalg::Matrix& g, const linalg::Vector& f,
+                   const CoefficientPrior& prior, const CvOptions& options)
+    : g_(&g), f_(&f) {
+  LINALG_REQUIRE(g.rows() == f.size(), "CvEngine: rhs size mismatch");
+  LINALG_REQUIRE(g.cols() == prior.size(), "CvEngine: prior size mismatch");
+  const std::size_t k = g.rows(), m = g.cols();
+  if (options.folds < 2 || k < options.folds)
+    throw std::invalid_argument("CvEngine: need folds >= 2 and K >= folds");
+
+  inv_q_.resize(m);
+  for (std::size_t p = 0; p < m; ++p)
+    inv_q_[p] = 1.0 / prior.precision_scale()[p];
+
+  const double center = tau_grid_center(f);
+  taus_ = log_grid(center * options.grid_lo_rel, center * options.grid_hi_rel,
+                   options.grid_size);
+
+  stats::Rng rng(options.seed);
+  stats::KFold kfold(k, options.folds, rng);
+  folds_.resize(options.folds);
+  for (std::size_t fi = 0; fi < options.folds; ++fi) {
+    Fold& fold = folds_[fi];
+    auto split = kfold.split(fi);
+    fold.train = std::move(split.train);
+    fold.test = std::move(split.test);
+    const std::size_t kt = fold.train.size(), ke = fold.test.size();
+
+    fold.f_test.resize(ke);
+    for (std::size_t i = 0; i < ke; ++i) fold.f_test[i] = f[fold.test[i]];
+
+    // g_t = G_tr^T f_tr.
+    fold.gt_f.assign(m, 0.0);
+    for (std::size_t i = 0; i < kt; ++i)
+      accumulate_row(g, fold.train[i], f[fold.train[i]], fold.gt_f);
+
+    // B = G_tr diag(1/q) G_tr^T, built one scaled row at a time.
+    linalg::Matrix b(kt, kt);
+    linalg::Vector scaled(m);
+    for (std::size_t i = 0; i < kt; ++i) {
+      const double* gi = g.row_ptr(fold.train[i]);
+      for (std::size_t p = 0; p < m; ++p) scaled[p] = gi[p] * inv_q_[p];
+      for (std::size_t j = i; j < kt; ++j) {
+        const double v = row_dot(g, fold.train[j], scaled);
+        b(i, j) = v;
+        b(j, i) = v;
+      }
+    }
+
+    // b2 = B f_tr, then rotate into the eigenbasis.
+    linalg::Vector f_tr(kt);
+    for (std::size_t i = 0; i < kt; ++i) f_tr[i] = f[fold.train[i]];
+    linalg::Vector b2 = linalg::gemv(b, f_tr);
+
+    fold.eig = linalg::eigen_symmetric(b);
+    for (double& w : fold.eig.values) w = std::max(w, 0.0);  // PSD clamp
+    fold.vb2 = linalg::gemv_t(fold.eig.vectors, b2);
+
+    // a2 = G_te diag(1/q) g_t and C = G_te diag(1/q) G_tr^T.
+    fold.a2.resize(ke);
+    linalg::Matrix c(ke, kt);
+    for (std::size_t i = 0; i < ke; ++i) {
+      const double* gi = g.row_ptr(fold.test[i]);
+      for (std::size_t p = 0; p < m; ++p) scaled[p] = gi[p] * inv_q_[p];
+      fold.a2[i] = linalg::dot(scaled, fold.gt_f);
+      for (std::size_t j = 0; j < kt; ++j)
+        c(i, j) = row_dot(g, fold.train[j], scaled);
+    }
+    fold.c_hat = linalg::gemm(c, fold.eig.vectors);
+  }
+}
+
+CvCurve CvEngine::evaluate(const linalg::Vector& mu) const {
+  LINALG_REQUIRE(mu.size() == g_->cols(), "CvEngine::evaluate: mu size");
+  bool mu_zero = true;
+  for (double v : mu)
+    if (v != 0.0) {
+      mu_zero = false;
+      break;
+    }
+
+  CvCurve curve;
+  curve.taus.assign(taus_.begin(), taus_.end());
+  curve.errors.assign(taus_.size(), 0.0);
+
+  for (const Fold& fold : folds_) {
+    const std::size_t kt = fold.train.size(), ke = fold.test.size();
+    // vb1 = V^T (G_tr mu), a1 = G_te mu.
+    linalg::Vector vb1(kt, 0.0), a1(ke, 0.0);
+    if (!mu_zero) {
+      linalg::Vector b1(kt);
+      for (std::size_t i = 0; i < kt; ++i)
+        b1[i] = row_dot(*g_, fold.train[i], mu);
+      vb1 = linalg::gemv_t(fold.eig.vectors, b1);
+      for (std::size_t i = 0; i < ke; ++i)
+        a1[i] = row_dot(*g_, fold.test[i], mu);
+    }
+
+    linalg::Vector s(kt), pred(ke);
+    for (std::size_t ti = 0; ti < taus_.size(); ++ti) {
+      const double inv_tau = 1.0 / taus_[ti];
+      for (std::size_t i = 0; i < kt; ++i)
+        s[i] = (vb1[i] + inv_tau * fold.vb2[i]) /
+               (1.0 + inv_tau * fold.eig.values[i]);
+      for (std::size_t i = 0; i < ke; ++i) {
+        const double* ci = fold.c_hat.row_ptr(i);
+        double cs = 0.0;
+        for (std::size_t j = 0; j < kt; ++j) cs += ci[j] * s[j];
+        pred[i] = a1[i] + inv_tau * (fold.a2[i] - cs);
+      }
+      curve.errors[ti] += stats::relative_error(pred, fold.f_test);
+    }
+  }
+  const double inv_folds = 1.0 / static_cast<double>(folds_.size());
+  for (double& e : curve.errors) e *= inv_folds;
+  return curve;
+}
+
+}  // namespace bmf::core

@@ -1,0 +1,162 @@
+#include "bmf/fusion.hpp"
+
+#include <stdexcept>
+
+namespace bmf::core {
+
+const char* to_string(PriorSelection sel) {
+  switch (sel) {
+    case PriorSelection::kZeroMean:
+      return "BMF-ZM";
+    case PriorSelection::kNonzeroMean:
+      return "BMF-NZM";
+    case PriorSelection::kAuto:
+      return "BMF-PS";
+  }
+  return "?";
+}
+
+namespace {
+
+// Reference scale for the prior width knobs: the largest informative
+// non-constant coefficient. Including the constant term would let the
+// nominal performance value (orders of magnitude above any sensitivity)
+// blow up the flat-prior width and the clamp floor.
+FusionOptions with_coefficient_scale(FusionOptions options,
+                                     const basis::BasisSet& late_basis,
+                                     const linalg::Vector& early,
+                                     const std::vector<char>& informative) {
+  if (options.prior.scale) return options;
+  const std::size_t constant = late_basis.constant_index();
+  double s = 0.0;
+  for (std::size_t m = 0; m < early.size(); ++m) {
+    if (m == constant) continue;
+    if (!informative.empty() && m < informative.size() && !informative[m])
+      continue;
+    s = std::max(s, std::abs(early[m]));
+  }
+  if (s > 0.0) options.prior.scale = s;
+  return options;
+}
+
+}  // namespace
+
+BmfFitter::BmfFitter(basis::BasisSet late_basis, linalg::Vector early_coeffs,
+                     std::vector<char> informative, FusionOptions options)
+    : late_basis_(std::move(late_basis)),
+      options_(with_coefficient_scale(options, late_basis_, early_coeffs,
+                                      informative)),
+      zm_prior_(CoefficientPrior::zero_mean(early_coeffs, informative,
+                                            options_.prior)),
+      nzm_prior_(CoefficientPrior::nonzero_mean(early_coeffs, informative,
+                                                options_.prior)) {
+  if (late_basis_.size() != early_coeffs.size())
+    throw std::invalid_argument(
+        "BmfFitter: early coefficient count must match late basis size");
+}
+
+BmfFitter::BmfFitter(const MappedPrior& mapped, FusionOptions options)
+    : BmfFitter(mapped.late_basis, mapped.early_coeffs, mapped.informative,
+                options) {}
+
+void BmfFitter::set_data(const linalg::Matrix& points,
+                         const linalg::Vector& f) {
+  set_design(basis::design_matrix(late_basis_, points), f);
+}
+
+void BmfFitter::set_design(linalg::Matrix g, linalg::Vector f) {
+  LINALG_REQUIRE(g.cols() == late_basis_.size(),
+                 "BmfFitter: design matrix column count mismatch");
+  LINALG_REQUIRE(g.rows() == f.size(), "BmfFitter: rhs size mismatch");
+  g_ = std::move(g);
+  f_ = std::move(f);
+  has_data_ = true;
+  engine_.reset();
+  zm_curve_.reset();
+  nzm_curve_.reset();
+}
+
+void BmfFitter::require_data() const {
+  if (!has_data_)
+    throw std::logic_error("BmfFitter: call set_data/set_design first");
+}
+
+CvEngine& BmfFitter::engine() {
+  require_data();
+  if (!engine_)
+    engine_ = std::make_unique<CvEngine>(g_, f_, zm_prior_, options_.cv);
+  return *engine_;
+}
+
+const CvCurve& BmfFitter::zero_mean_curve() {
+  if (!zm_curve_) zm_curve_ = engine().evaluate(zm_prior_.mean());
+  return *zm_curve_;
+}
+
+const CvCurve& BmfFitter::nonzero_mean_curve() {
+  if (!nzm_curve_) nzm_curve_ = engine().evaluate(nzm_prior_.mean());
+  return *nzm_curve_;
+}
+
+const CoefficientPrior& BmfFitter::prior_for(PriorKind kind) const {
+  return kind == PriorKind::kZeroMean ? zm_prior_ : nzm_prior_;
+}
+
+basis::PerformanceModel BmfFitter::fit_at(PriorKind kind, double tau) const {
+  require_data();
+  return basis::PerformanceModel(
+      late_basis_, map_solve(g_, f_, prior_for(kind), tau, options_.solver));
+}
+
+FusionResult BmfFitter::fit(PriorSelection selection) {
+  require_data();
+  FusionReport report;
+  switch (selection) {
+    case PriorSelection::kZeroMean: {
+      const CvCurve& c = zero_mean_curve();
+      report.chosen_kind = PriorKind::kZeroMean;
+      report.chosen_tau = c.best_tau();
+      report.cv_error = c.best_error();
+      report.zm_curve = c;
+      break;
+    }
+    case PriorSelection::kNonzeroMean: {
+      const CvCurve& c = nonzero_mean_curve();
+      report.chosen_kind = PriorKind::kNonzeroMean;
+      report.chosen_tau = c.best_tau();
+      report.cv_error = c.best_error();
+      report.nzm_curve = c;
+      break;
+    }
+    case PriorSelection::kAuto: {
+      const CvCurve& zm = zero_mean_curve();
+      const CvCurve& nzm = nonzero_mean_curve();
+      report.zm_curve = zm;
+      report.nzm_curve = nzm;
+      if (zm.best_error() <= nzm.best_error()) {
+        report.chosen_kind = PriorKind::kZeroMean;
+        report.chosen_tau = zm.best_tau();
+        report.cv_error = zm.best_error();
+      } else {
+        report.chosen_kind = PriorKind::kNonzeroMean;
+        report.chosen_tau = nzm.best_tau();
+        report.cv_error = nzm.best_error();
+      }
+      break;
+    }
+  }
+  return FusionResult{fit_at(report.chosen_kind, report.chosen_tau),
+                      std::move(report)};
+}
+
+FusionResult bmf_fit(const basis::BasisSet& late_basis,
+                     const linalg::Vector& early_coeffs,
+                     const std::vector<char>& informative,
+                     const linalg::Matrix& points, const linalg::Vector& f,
+                     PriorSelection selection, const FusionOptions& options) {
+  BmfFitter fitter(late_basis, early_coeffs, informative, options);
+  fitter.set_data(points, f);
+  return fitter.fit(selection);
+}
+
+}  // namespace bmf::core

@@ -1,0 +1,111 @@
+// The full BMF pipeline (paper Algorithm 1).
+//
+// Given the early-stage knowledge (coefficients over the late-stage basis,
+// possibly produced by prior mapping, with an informative mask for missing
+// entries) and K late-stage samples, BmfFitter:
+//
+//   1. defines the zero-mean and/or nonzero-mean prior (Section III-A),
+//   2. picks the hyper-parameter (sigma_0^2 resp. eta) by N-fold
+//      cross-validation over a log grid (Section IV-D),
+//   3. optionally picks the better of the two priors by the same CV error
+//      (the BMF-PS variant of Section V),
+//   4. solves the MAP estimate with the fast Woodbury solver (Section IV-C)
+//      or the direct Cholesky solver.
+//
+// The CV engine — the expensive part — is built lazily and shared between
+// the two priors.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "basis/model.hpp"
+#include "bmf/cross_validation.hpp"
+#include "bmf/map_solver.hpp"
+#include "bmf/prior.hpp"
+#include "bmf/prior_mapping.hpp"
+
+namespace bmf::core {
+
+/// Which prior(s) Algorithm 1 may use.
+enum class PriorSelection { kZeroMean, kNonzeroMean, kAuto };
+
+const char* to_string(PriorSelection sel);
+
+struct FusionOptions {
+  PriorOptions prior;
+  CvOptions cv;
+  SolverKind solver = SolverKind::kFast;
+};
+
+struct FusionReport {
+  PriorKind chosen_kind = PriorKind::kZeroMean;
+  double chosen_tau = 0.0;
+  /// CV error of the chosen configuration.
+  double cv_error = 0.0;
+  /// Full CV curves (present only for the priors that were evaluated).
+  std::optional<CvCurve> zm_curve;
+  std::optional<CvCurve> nzm_curve;
+};
+
+struct FusionResult {
+  basis::PerformanceModel model;
+  FusionReport report;
+};
+
+class BmfFitter {
+ public:
+  /// `early_coeffs` must have one entry per late-basis term; `informative`
+  /// marks entries carrying real prior knowledge (empty mask = all).
+  BmfFitter(basis::BasisSet late_basis, linalg::Vector early_coeffs,
+            std::vector<char> informative = {}, FusionOptions options = {});
+
+  /// Construct from a prior-mapping result (Section IV-A).
+  BmfFitter(const MappedPrior& mapped, FusionOptions options = {});
+
+  /// Bind the K late-stage samples; builds the design matrix G once.
+  void set_data(const linalg::Matrix& points, const linalg::Vector& f);
+
+  /// Bind a precomputed design matrix (K x M) directly.
+  void set_design(linalg::Matrix g, linalg::Vector f);
+
+  /// CV error curves (computed on demand; requires bound data).
+  const CvCurve& zero_mean_curve();
+  const CvCurve& nonzero_mean_curve();
+
+  /// Run Algorithm 1 end-to-end with the given prior policy.
+  FusionResult fit(PriorSelection selection = PriorSelection::kAuto);
+
+  /// MAP fit at an explicit (prior, tau) — for ablations and sweeps.
+  basis::PerformanceModel fit_at(PriorKind kind, double tau) const;
+
+  const basis::BasisSet& late_basis() const { return late_basis_; }
+  const linalg::Matrix& design() const { return g_; }
+  const FusionOptions& options() const { return options_; }
+
+ private:
+  const CoefficientPrior& prior_for(PriorKind kind) const;
+  void require_data() const;
+  CvEngine& engine();
+
+  basis::BasisSet late_basis_;
+  FusionOptions options_;
+  CoefficientPrior zm_prior_;
+  CoefficientPrior nzm_prior_;
+  linalg::Matrix g_;
+  linalg::Vector f_;
+  bool has_data_ = false;
+  std::unique_ptr<CvEngine> engine_;
+  std::optional<CvCurve> zm_curve_;
+  std::optional<CvCurve> nzm_curve_;
+};
+
+/// One-call convenience wrapper: construct, bind, fit.
+FusionResult bmf_fit(const basis::BasisSet& late_basis,
+                     const linalg::Vector& early_coeffs,
+                     const std::vector<char>& informative,
+                     const linalg::Matrix& points, const linalg::Vector& f,
+                     PriorSelection selection = PriorSelection::kAuto,
+                     const FusionOptions& options = {});
+
+}  // namespace bmf::core

@@ -1,0 +1,83 @@
+#include "bmf/map_solver.hpp"
+
+#include <stdexcept>
+
+#include "linalg/blas.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/smw.hpp"
+
+namespace bmf::core {
+
+const char* to_string(SolverKind kind) {
+  return kind == SolverKind::kDirect ? "direct-cholesky" : "fast-woodbury";
+}
+
+namespace {
+
+void validate(const linalg::Matrix& g, const linalg::Vector& f,
+              const CoefficientPrior& prior, double tau) {
+  LINALG_REQUIRE(g.rows() == f.size(), "map_solve: rhs size mismatch");
+  LINALG_REQUIRE(g.cols() == prior.size(),
+                 "map_solve: prior size must match basis count");
+  if (tau <= 0.0)
+    throw std::invalid_argument("map_solve: tau must be positive");
+}
+
+/// rhs = tau * D * mu + G^T f.
+linalg::Vector build_rhs(const linalg::Matrix& g, const linalg::Vector& f,
+                         const CoefficientPrior& prior, double tau) {
+  linalg::Vector rhs = linalg::gemv_t(g, f);
+  const linalg::Vector& mu = prior.mean();
+  const linalg::Vector& q = prior.precision_scale();
+  for (std::size_t m = 0; m < rhs.size(); ++m)
+    if (mu[m] != 0.0) rhs[m] += tau * q[m] * mu[m];
+  return rhs;
+}
+
+}  // namespace
+
+linalg::Vector map_solve_direct(const linalg::Matrix& g,
+                                const linalg::Vector& f,
+                                const CoefficientPrior& prior, double tau) {
+  validate(g, f, prior, tau);
+  linalg::Matrix a = linalg::gram(g);
+  const linalg::Vector& q = prior.precision_scale();
+  for (std::size_t m = 0; m < a.rows(); ++m) a(m, m) += tau * q[m];
+  return linalg::Cholesky(a).solve(build_rhs(g, f, prior, tau));
+}
+
+linalg::Vector map_solve_fast(const linalg::Matrix& g,
+                              const linalg::Vector& f,
+                              const CoefficientPrior& prior, double tau) {
+  validate(g, f, prior, tau);
+  linalg::Vector diag = prior.precision_scale();
+  for (double& d : diag) d *= tau;
+  return linalg::woodbury_solve(g, diag, 1.0, build_rhs(g, f, prior, tau));
+}
+
+linalg::Vector map_solve(const linalg::Matrix& g, const linalg::Vector& f,
+                         const CoefficientPrior& prior, double tau,
+                         SolverKind kind) {
+  return kind == SolverKind::kDirect ? map_solve_direct(g, f, prior, tau)
+                                     : map_solve_fast(g, f, prior, tau);
+}
+
+MapPosterior map_posterior(const linalg::Matrix& g, const linalg::Vector& f,
+                           const CoefficientPrior& prior, double tau,
+                           double sigma0_sq) {
+  validate(g, f, prior, tau);
+  if (sigma0_sq <= 0.0)
+    throw std::invalid_argument("map_posterior: sigma0_sq must be positive");
+  linalg::Matrix a = linalg::gram(g);
+  const linalg::Vector& q = prior.precision_scale();
+  for (std::size_t m = 0; m < a.rows(); ++m) a(m, m) += tau * q[m];
+  linalg::Cholesky chol(a);
+  MapPosterior post;
+  post.mean = chol.solve(build_rhs(g, f, prior, tau));
+  // Sigma_L = sigma_0^2 (G^T G + tau D)^{-1}  (Eq. 28 rescaled by tau).
+  post.covariance = chol.solve(linalg::Matrix::identity(a.rows()));
+  post.covariance *= sigma0_sq;
+  return post;
+}
+
+}  // namespace bmf::core

@@ -1,0 +1,55 @@
+// Maximum-a-posteriori estimation of the late-stage model coefficients
+// (paper Section III-B), with the two solver implementations benchmarked
+// in Section V:
+//
+//  * map_solve_direct — forms the M x M posterior precision and Cholesky-
+//    factorizes it (the "conventional solver" of Fig. 5);
+//  * map_solve_fast   — the Sherman-Morrison-Woodbury low-rank update of
+//    Section IV-C (Eq. 53-58), which only ever factorizes a K x K matrix.
+//
+// Both solve the same normal equations
+//   (tau * D + G^T G) alpha = tau * D * mu + G^T f
+// exactly (no approximation), so their results agree to solver tolerance.
+#pragma once
+
+#include "bmf/prior.hpp"
+#include "linalg/matrix.hpp"
+
+namespace bmf::core {
+
+enum class SolverKind { kDirect, kFast };
+
+const char* to_string(SolverKind kind);
+
+/// MAP coefficients via the dense M x M route (Eq. 28-35).
+/// tau is sigma_0^2 for the zero-mean prior and eta for the nonzero-mean
+/// prior; it must be positive.
+linalg::Vector map_solve_direct(const linalg::Matrix& g,
+                                const linalg::Vector& f,
+                                const CoefficientPrior& prior, double tau);
+
+/// MAP coefficients via the Woodbury low-rank route (Eq. 55/58).
+linalg::Vector map_solve_fast(const linalg::Matrix& g,
+                              const linalg::Vector& f,
+                              const CoefficientPrior& prior, double tau);
+
+/// Dispatch on `kind`.
+linalg::Vector map_solve(const linalg::Matrix& g, const linalg::Vector& f,
+                         const CoefficientPrior& prior, double tau,
+                         SolverKind kind);
+
+/// Full Gaussian posterior (mean and covariance, Eq. 28/29 resp. 31/32),
+/// for diagnostics and small-M analysis. `sigma0_sq` sets the absolute
+/// noise scale of the covariance: for the zero-mean prior pass tau itself;
+/// for the nonzero-mean prior tau = eta only fixes the mean, so the
+/// covariance is reported in units of sigma_0^2 = 1 unless provided.
+struct MapPosterior {
+  linalg::Vector mean;
+  linalg::Matrix covariance;
+};
+
+MapPosterior map_posterior(const linalg::Matrix& g, const linalg::Vector& f,
+                           const CoefficientPrior& prior, double tau,
+                           double sigma0_sq);
+
+}  // namespace bmf::core

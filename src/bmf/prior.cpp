@@ -1,0 +1,107 @@
+#include "bmf/prior.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace bmf::core {
+
+const char* to_string(PriorKind kind) {
+  return kind == PriorKind::kZeroMean ? "BMF-ZM" : "BMF-NZM";
+}
+
+namespace {
+
+void validate_mask(const linalg::Vector& early,
+                   const std::vector<char>& informative) {
+  if (!informative.empty() && informative.size() != early.size())
+    throw std::invalid_argument(
+        "CoefficientPrior: informative mask size must match coefficients");
+}
+
+double coefficient_scale(const linalg::Vector& early,
+                         const std::vector<char>& informative,
+                         const PriorOptions& options) {
+  if (options.scale) {
+    if (*options.scale <= 0.0)
+      throw std::invalid_argument(
+          "CoefficientPrior: explicit scale must be positive");
+    return *options.scale;
+  }
+  double s = 0.0;
+  for (std::size_t m = 0; m < early.size(); ++m) {
+    if (!informative.empty() && !informative[m]) continue;
+    s = std::max(s, std::abs(early[m]));
+  }
+  return s > 0.0 ? s : 1.0;  // all-zero / all-missing prior: unit scale
+}
+
+}  // namespace
+
+linalg::Vector CoefficientPrior::build_precisions(
+    const linalg::Vector& early, const std::vector<char>& informative,
+    const PriorOptions& options) {
+  if (options.clamp_rel <= 0.0 || options.flat_sigma_rel <= 0.0)
+    throw std::invalid_argument(
+        "CoefficientPrior: clamp_rel and flat_sigma_rel must be positive");
+  const double scale = coefficient_scale(early, informative, options);
+  const double sigma_floor = options.clamp_rel * scale;
+  const double sigma_flat = options.flat_sigma_rel * scale;
+  linalg::Vector q(early.size());
+  for (std::size_t m = 0; m < early.size(); ++m) {
+    const bool has_prior = informative.empty() || informative[m];
+    const double sigma =
+        has_prior ? std::max(std::abs(early[m]), sigma_floor) : sigma_flat;
+    q[m] = 1.0 / (sigma * sigma);
+  }
+  return q;
+}
+
+CoefficientPrior CoefficientPrior::zero_mean(
+    const linalg::Vector& early_coeffs, const std::vector<char>& informative,
+    const PriorOptions& options) {
+  validate_mask(early_coeffs, informative);
+  std::vector<char> mask =
+      informative.empty() ? std::vector<char>(early_coeffs.size(), 1)
+                          : informative;
+  return CoefficientPrior(
+      PriorKind::kZeroMean, linalg::Vector(early_coeffs.size(), 0.0),
+      build_precisions(early_coeffs, informative, options), std::move(mask));
+}
+
+CoefficientPrior CoefficientPrior::nonzero_mean(
+    const linalg::Vector& early_coeffs, const std::vector<char>& informative,
+    const PriorOptions& options) {
+  validate_mask(early_coeffs, informative);
+  std::vector<char> mask =
+      informative.empty() ? std::vector<char>(early_coeffs.size(), 1)
+                          : informative;
+  linalg::Vector mean = early_coeffs;
+  // Missing-prior coefficients carry no mean information (Eq. 51/52: only
+  // alpha_E^{-1} = 0 enters the solve, i.e. a zero pull).
+  for (std::size_t m = 0; m < mean.size(); ++m)
+    if (!mask[m]) mean[m] = 0.0;
+  return CoefficientPrior(
+      PriorKind::kNonzeroMean, std::move(mean),
+      build_precisions(early_coeffs, informative, options), std::move(mask));
+}
+
+std::size_t CoefficientPrior::num_informative() const {
+  std::size_t n = 0;
+  for (char c : informative_)
+    if (c) ++n;
+  return n;
+}
+
+double CoefficientPrior::sigma(std::size_t m) const {
+  return 1.0 / std::sqrt(precision_[m]);
+}
+
+double CoefficientPrior::density(std::size_t m, double a) const {
+  const double s = sigma(m);
+  const double z = (a - mean_[m]) / s;
+  return std::exp(-0.5 * z * z) /
+         (s * std::sqrt(2.0 * std::numbers::pi));
+}
+
+}  // namespace bmf::core

@@ -1,0 +1,93 @@
+#include "bmf/prior_mapping.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace bmf::core {
+
+MultifingerMap::MultifingerMap(std::vector<unsigned> fingers,
+                               std::size_t num_parasitic)
+    : fingers_(std::move(fingers)), num_parasitic_(num_parasitic) {
+  offsets_.reserve(fingers_.size() + 1);
+  offsets_.push_back(0);
+  for (unsigned w : fingers_) {
+    if (w == 0)
+      throw std::invalid_argument(
+          "MultifingerMap: every variable needs at least one finger");
+    offsets_.push_back(offsets_.back() + w);
+  }
+}
+
+std::size_t MultifingerMap::finger_var(std::size_t early_var,
+                                       unsigned finger) const {
+  if (early_var >= fingers_.size() || finger >= fingers_[early_var])
+    throw std::out_of_range("MultifingerMap::finger_var out of range");
+  return offsets_[early_var] + finger;
+}
+
+std::size_t MultifingerMap::parasitic_var(std::size_t p) const {
+  if (p >= num_parasitic_)
+    throw std::out_of_range("MultifingerMap::parasitic_var out of range");
+  return num_finger_vars() + p;
+}
+
+basis::BasisSet MultifingerMap::late_linear_basis() const {
+  return basis::BasisSet::linear(num_late_vars());
+}
+
+MappedPrior MultifingerMap::map_linear_model(
+    const basis::PerformanceModel& early) const {
+  if (early.basis().dimension() != num_early_vars())
+    throw std::invalid_argument(
+        "MultifingerMap: early model dimension does not match finger spec");
+
+  MappedPrior out;
+  out.late_basis = late_linear_basis();
+  const std::size_t m_late = out.late_basis.size();  // 1 + R* + P
+  out.early_coeffs.assign(m_late, 0.0);
+  out.informative.assign(m_late, 0);
+
+  for (std::size_t m = 0; m < early.num_terms(); ++m) {
+    const basis::BasisTerm& term = early.basis().term(m);
+    const double alpha = early.coefficients()[m];
+    if (term.factors.empty()) {
+      // Constant term: index 0 of the linear late basis.
+      out.early_coeffs[0] = alpha;
+      out.informative[0] = 1;
+      continue;
+    }
+    if (term.factors.size() != 1 || term.factors[0].degree != 1)
+      throw std::invalid_argument(
+          "MultifingerMap: prior mapping is defined for linear early "
+          "models only (term " +
+          term.to_string() + ")");
+    const std::size_t r = term.factors[0].var;
+    const unsigned w = fingers_[r];
+    const double beta = alpha / std::sqrt(static_cast<double>(w));  // Eq. 49
+    for (unsigned t = 0; t < w; ++t) {
+      // Linear basis layout: term (1 + var index).
+      const std::size_t late_term = 1 + finger_var(r, t);
+      out.early_coeffs[late_term] = beta;
+      out.informative[late_term] = 1;
+    }
+  }
+  // Parasitic terms keep informative == 0 and coefficient 0 (flat prior).
+  return out;
+}
+
+linalg::Vector MultifingerMap::aggregate_to_early(
+    const linalg::Vector& x_late) const {
+  if (x_late.size() != num_late_vars())
+    throw std::invalid_argument(
+        "MultifingerMap::aggregate_to_early: dimension mismatch");
+  linalg::Vector x(num_early_vars());
+  for (std::size_t r = 0; r < fingers_.size(); ++r) {
+    double s = 0.0;
+    for (unsigned t = 0; t < fingers_[r]; ++t)
+      s += x_late[offsets_[r] + t];
+    x[r] = s / std::sqrt(static_cast<double>(fingers_[r]));
+  }
+  return x;
+}
+
+}  // namespace bmf::core

@@ -1,0 +1,80 @@
+// Prior mapping for multifinger devices (paper Section IV-A) and the
+// bookkeeping for extra late-stage variables with no early-stage
+// counterpart (layout parasitics, Section IV-B).
+//
+// At the post-layout stage each schematic variation variable x_r splits
+// into W_r per-finger variables x_{r,1}..x_{r,W_r}. Under the equal-impact
+// assumption (Eq. 47) and variance matching (Eq. 45/46), the early model
+// coefficient maps as beta_{E,r,t} = alpha_{E,r} / sqrt(W_r) (Eq. 49).
+// Parasitic variables are appended after all finger variables and are
+// marked non-informative so the BMF prior treats them as flat (Eq. 50/51).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "basis/model.hpp"
+
+namespace bmf::core {
+
+/// Extended early-stage knowledge over the late-stage basis: the inputs a
+/// BmfFitter needs.
+struct MappedPrior {
+  basis::BasisSet late_basis;
+  /// beta_{E} extended to the late basis (zeros for parasitic terms).
+  linalg::Vector early_coeffs;
+  /// informative[m] == 0 for terms with missing prior knowledge.
+  std::vector<char> informative;
+};
+
+class MultifingerMap {
+ public:
+  /// `fingers[r]` = W_r >= 1 finger count of early variable r;
+  /// `num_parasitic` extra late-stage variables with no prior.
+  explicit MultifingerMap(std::vector<unsigned> fingers,
+                          std::size_t num_parasitic = 0);
+
+  std::size_t num_early_vars() const { return fingers_.size(); }
+  /// Total finger variables (sum of W_r), excluding parasitics.
+  std::size_t num_finger_vars() const { return offsets_.back(); }
+  std::size_t num_parasitic() const { return num_parasitic_; }
+  /// Full late-stage dimension R* + P.
+  std::size_t num_late_vars() const {
+    return num_finger_vars() + num_parasitic_;
+  }
+
+  unsigned finger_count(std::size_t early_var) const {
+    return fingers_[early_var];
+  }
+
+  /// Late-variable index of finger t (0-based) of early variable r.
+  std::size_t finger_var(std::size_t early_var, unsigned finger) const;
+
+  /// Late-variable index of parasitic p.
+  std::size_t parasitic_var(std::size_t p) const;
+
+  /// The linear late-stage basis {1, all finger vars, all parasitic vars}.
+  basis::BasisSet late_linear_basis() const;
+
+  /// Map a *linear* early model onto the late basis (Eq. 49): the constant
+  /// passes through, each linear coefficient becomes W_r coefficients
+  /// alpha/sqrt(W_r), parasitic terms get a flat (missing) prior.
+  /// Throws std::invalid_argument if the early model contains terms of
+  /// degree >= 2 (the paper's mapping is defined for the linear case; see
+  /// DESIGN.md).
+  MappedPrior map_linear_model(const basis::PerformanceModel& early) const;
+
+  /// Schematic-equivalent aggregation: x_r = sum_t x_{r,t} / sqrt(W_r).
+  /// Because the finger variables are i.i.d. N(0,1), the aggregate is again
+  /// standard normal — this is the inverse view of Eq. (44)-(49) and is
+  /// used by the circuit substrate to evaluate early-stage behaviour on
+  /// late-stage sample points.
+  linalg::Vector aggregate_to_early(const linalg::Vector& x_late) const;
+
+ private:
+  std::vector<unsigned> fingers_;
+  std::vector<std::size_t> offsets_;  // prefix sums; offsets_[r] = first var
+  std::size_t num_parasitic_;
+};
+
+}  // namespace bmf::core

@@ -1,0 +1,38 @@
+#include "bmf/sequential.hpp"
+
+#include <stdexcept>
+
+namespace bmf::core {
+
+SequentialFusion::SequentialFusion(basis::BasisSet basis,
+                                   linalg::Vector stage0_coeffs,
+                                   std::vector<char> informative,
+                                   FusionOptions options)
+    : basis_(std::move(basis)),
+      options_(options),
+      coeffs_(std::move(stage0_coeffs)),
+      informative_(std::move(informative)) {
+  if (basis_.size() != coeffs_.size())
+    throw std::invalid_argument(
+        "SequentialFusion: coefficient count must match basis size");
+  if (informative_.empty()) informative_.assign(coeffs_.size(), 1);
+  if (informative_.size() != coeffs_.size())
+    throw std::invalid_argument(
+        "SequentialFusion: informative mask size mismatch");
+}
+
+FusionResult SequentialFusion::advance(const linalg::Matrix& points,
+                                       const linalg::Vector& f,
+                                       PriorSelection selection) {
+  BmfFitter fitter(basis_, coeffs_, informative_, options_);
+  fitter.set_data(points, f);
+  FusionResult result = fitter.fit(selection);
+  coeffs_ = result.model.coefficients();
+  // The fused model estimates every coefficient, so the next stage has
+  // prior knowledge for all of them.
+  informative_.assign(coeffs_.size(), 1);
+  ++stage_;
+  return result;
+}
+
+}  // namespace bmf::core

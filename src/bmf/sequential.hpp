@@ -1,0 +1,48 @@
+// Multi-stage sequential fusion.
+//
+// The paper's introduction frames AMS design as three core stages —
+// schematic design, layout design, chip manufacturing/testing — and BMF as
+// the bridge between *consecutive* stages. This helper chains Algorithm 1
+// across any number of stages: the fused coefficients of stage i become
+// the prior knowledge for stage i+1, so a silicon-measurement model can be
+// fit from a handful of measured chips on top of a post-layout model that
+// itself was fused from the schematic model.
+#pragma once
+
+#include "bmf/fusion.hpp"
+
+namespace bmf::core {
+
+class SequentialFusion {
+ public:
+  /// `stage0_coeffs` is the earliest-stage model over `basis`;
+  /// `informative` marks terms it actually knows about (empty = all).
+  SequentialFusion(basis::BasisSet basis, linalg::Vector stage0_coeffs,
+                   std::vector<char> informative = {},
+                   FusionOptions options = {});
+
+  /// Fuse the next stage from its samples. After the call, the fused
+  /// coefficients are the prior for the following stage (and every term is
+  /// informative: the fusion estimated all of them).
+  FusionResult advance(const linalg::Matrix& points, const linalg::Vector& f,
+                       PriorSelection selection = PriorSelection::kAuto);
+
+  /// Number of advance() calls so far.
+  std::size_t stage() const { return stage_; }
+
+  /// The current prior coefficients (stage-0 model before any advance).
+  const linalg::Vector& current_coefficients() const { return coeffs_; }
+  const std::vector<char>& current_informative() const {
+    return informative_;
+  }
+  const basis::BasisSet& basis() const { return basis_; }
+
+ private:
+  basis::BasisSet basis_;
+  FusionOptions options_;
+  linalg::Vector coeffs_;
+  std::vector<char> informative_;
+  std::size_t stage_ = 0;
+};
+
+}  // namespace bmf::core

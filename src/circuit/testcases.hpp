@@ -1,0 +1,87 @@
+// The two evaluation circuits of the paper's Section V, realized as
+// VirtualSilicon presets (see DESIGN.md for the substitution rationale):
+//
+//  * ring oscillator (Fig. 3): three metrics — power, phase noise,
+//    frequency — over 7177 variation variables at paper scale;
+//  * SRAM read path (Fig. 6): read delay over 66117 variables at paper
+//    scale (128-cell column, few dominant cells).
+//
+// Each Testcase bundles the silicon, the early-stage (schematic) model —
+// fitted exactly as the paper does, by OMP on 3000 schematic-level Monte
+// Carlo samples — and the simulation-cost calibration used for the
+// Table IV / Table VI cost accounting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "circuit/virtual_silicon.hpp"
+
+namespace bmf::circuit {
+
+/// How the early-stage model is obtained.
+enum class EarlyModelSource {
+  /// OMP fit on 3000 schematic Monte Carlo samples (the paper's flow).
+  kOmpFit,
+  /// Use the ground-truth early coefficients directly (fast; for tests).
+  kTruth,
+};
+
+struct Testcase {
+  std::string circuit;
+  std::string metric;
+  std::string unit;
+  VirtualSilicon silicon;
+  /// Early-stage model coefficients over silicon.late_basis() (zero for
+  /// parasitic terms, which carry no prior knowledge).
+  linalg::Vector early_coeffs;
+  /// Mask of basis terms with real prior knowledge.
+  std::vector<char> informative;
+  /// Wall-clock cost of one "transistor-level simulation", calibrated from
+  /// the paper's reported totals (50.3 s/sample RO, 349 s/sample SRAM).
+  double seconds_per_sample = 0.0;
+
+  /// Extrapolated simulation cost in hours for n samples (the dominant
+  /// term of the paper's total modeling cost).
+  double simulation_hours(std::size_t n) const {
+    return seconds_per_sample * static_cast<double>(n) / 3600.0;
+  }
+};
+
+/// Ring-oscillator metrics of Tables I-III.
+enum class RoMetric { kPower, kPhaseNoise, kFrequency };
+
+const char* to_string(RoMetric metric);
+
+/// Paper-scale dimensions.
+inline constexpr std::size_t kRoFullVars = 7177;
+inline constexpr std::size_t kSramFullVars = 66117;
+/// Laptop-scale defaults used by the benches unless --full is given.
+inline constexpr std::size_t kRoDefaultVars = 1500;
+inline constexpr std::size_t kSramDefaultVars = 3000;
+/// Number of schematic MC samples used to fit the early model (paper: 3000).
+inline constexpr std::size_t kEarlyFitSamples = 3000;
+
+/// Build one RO metric testcase. Spec parameters are tuned so that the
+/// table *shapes* of the paper reproduce: the prior fidelity differs per
+/// metric (power: accurate prior, NZM wins; frequency: sign flips, ZM
+/// wins; phase noise: tiny spread, NZM slightly ahead).
+Testcase ring_oscillator_testcase(
+    RoMetric metric, std::size_t num_vars = kRoDefaultVars,
+    std::uint64_t seed = 1,
+    EarlyModelSource source = EarlyModelSource::kOmpFit);
+
+/// Build the SRAM read-delay testcase (Table V/VI, Figs 7-8).
+Testcase sram_read_path_testcase(
+    std::size_t num_vars = kSramDefaultVars, std::uint64_t seed = 1,
+    EarlyModelSource source = EarlyModelSource::kOmpFit);
+
+/// Generic assembly used by the presets (exposed for custom experiments):
+/// builds the silicon, obtains the early model per `source`, and packages
+/// the testcase.
+Testcase make_testcase(std::string circuit, std::string metric,
+                       std::string unit, const TestcaseSpec& spec,
+                       double seconds_per_sample, EarlyModelSource source,
+                       std::size_t early_fit_samples = kEarlyFitSamples);
+
+}  // namespace bmf::circuit

@@ -1,0 +1,145 @@
+#include "circuit/virtual_silicon.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace bmf::circuit {
+
+namespace {
+
+void validate(const TestcaseSpec& s) {
+  if (s.num_vars == 0)
+    throw std::invalid_argument("TestcaseSpec: num_vars must be positive");
+  if (s.num_parasitic >= s.num_vars)
+    throw std::invalid_argument(
+        "TestcaseSpec: parasitics must be fewer than total variables");
+  for (double rate : {s.strong_fraction, s.sign_flip_rate})
+    if (rate < 0.0 || rate > 1.0)
+      throw std::invalid_argument("TestcaseSpec: rates must be in [0, 1]");
+  if (s.variation_rel <= 0.0 || s.noise_rel < 0.0 || s.weak_floor < 0.0)
+    throw std::invalid_argument("TestcaseSpec: bad scale parameters");
+}
+
+}  // namespace
+
+VirtualSilicon::VirtualSilicon(const TestcaseSpec& spec)
+    : spec_(spec), basis_(basis::BasisSet::linear(spec.num_vars)) {
+  validate(spec_);
+  const std::size_t r = spec_.num_vars;
+  const std::size_t m = r + 1;
+  stats::Rng rng(spec_.seed);
+
+  // --- Late-stage ground truth -------------------------------------------
+  // Pick which variables are parasitic (the last `num_parasitic` positions
+  // of a random permutation) and which of the rest are "strong".
+  const auto perm = rng.permutation(r);
+  std::vector<char> is_parasitic(r, 0);
+  for (std::size_t p = 0; p < spec_.num_parasitic; ++p)
+    is_parasitic[perm[r - 1 - p]] = 1;
+
+  std::vector<std::size_t> device_vars;  // non-parasitic, permuted order
+  for (std::size_t i = 0; i < r; ++i)
+    if (!is_parasitic[perm[i]]) device_vars.push_back(perm[i]);
+
+  const std::size_t num_strong = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::llround(
+             spec_.strong_fraction * static_cast<double>(device_vars.size()))));
+
+  late_truth_.assign(m, 0.0);
+  // Strong coefficients: power-law magnitudes j^-decay, random signs.
+  for (std::size_t j = 0; j < device_vars.size(); ++j) {
+    const double mag =
+        j < num_strong
+            ? std::pow(static_cast<double>(j + 1), -spec_.decay)
+            : spec_.weak_floor * (0.5 + rng.uniform());
+    const double sign = rng.uniform() < 0.5 ? -1.0 : 1.0;
+    late_truth_[1 + device_vars[j]] = sign * mag;
+  }
+  // Parasitic coefficients: modest, dense-ish contributions.
+  for (std::size_t v = 0; v < r; ++v)
+    if (is_parasitic[v])
+      late_truth_[1 + v] = spec_.parasitic_strength * rng.normal();
+
+  // Rescale so the variation sd equals variation_rel * nominal. With the
+  // orthonormal linear basis, sd^2 = sum of non-constant coefficients^2.
+  double var = 0.0;
+  for (std::size_t j = 1; j < m; ++j) var += late_truth_[j] * late_truth_[j];
+  const double target_sd = spec_.variation_rel * std::abs(spec_.nominal);
+  const double rescale = target_sd / std::sqrt(var);
+  for (std::size_t j = 1; j < m; ++j) late_truth_[j] *= rescale;
+  late_truth_[0] = spec_.nominal;
+
+  noise_sd_ = spec_.noise_rel * target_sd;
+
+  // --- Early-stage ground truth -------------------------------------------
+  // Same model with magnitude drift and sign flips; parasitic terms do not
+  // exist at schematic level.
+  early_truth_ = late_truth_;
+  informative_.assign(m, 1);
+  for (std::size_t v = 0; v < r; ++v) {
+    const std::size_t term = 1 + v;
+    if (is_parasitic[v]) {
+      early_truth_[term] = 0.0;
+      informative_[term] = 0;
+      continue;
+    }
+    double e = late_truth_[term] * (1.0 + spec_.magnitude_drift * rng.normal());
+    if (rng.uniform() < spec_.sign_flip_rate) e = -e;
+    early_truth_[term] = e;
+  }
+  // The nominal point shifts slightly between schematic and layout.
+  early_truth_[0] =
+      late_truth_[0] * (1.0 + 0.1 * spec_.magnitude_drift * rng.normal());
+}
+
+double VirtualSilicon::evaluate_late_exact(const linalg::Vector& x) const {
+  LINALG_REQUIRE(x.size() == spec_.num_vars,
+                 "VirtualSilicon: point dimension mismatch");
+  double f = late_truth_[0];
+  for (std::size_t v = 0; v < x.size(); ++v) f += late_truth_[1 + v] * x[v];
+  return f;
+}
+
+double VirtualSilicon::simulate_late(const linalg::Vector& x,
+                                     stats::Rng& rng) const {
+  return evaluate_late_exact(x) + rng.normal(0.0, noise_sd_);
+}
+
+double VirtualSilicon::simulate_early(const linalg::Vector& x,
+                                      stats::Rng& rng) const {
+  LINALG_REQUIRE(x.size() == spec_.num_vars,
+                 "VirtualSilicon: point dimension mismatch");
+  double f = early_truth_[0];
+  for (std::size_t v = 0; v < x.size(); ++v) f += early_truth_[1 + v] * x[v];
+  return f + rng.normal(0.0, noise_sd_);
+}
+
+Dataset VirtualSilicon::sample(std::size_t n, const linalg::Vector& truth,
+                               stats::Rng& rng) const {
+  const std::size_t r = spec_.num_vars;
+  Dataset d;
+  d.points.assign(n, r);
+  d.f.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double f = truth[0];
+    double* row = d.points.row_ptr(i);
+    for (std::size_t v = 0; v < r; ++v) {
+      const double x = rng.normal();
+      row[v] = x;
+      f += truth[1 + v] * x;
+    }
+    d.f[i] = f + rng.normal(0.0, noise_sd_);
+  }
+  return d;
+}
+
+Dataset VirtualSilicon::sample_late(std::size_t n, stats::Rng& rng) const {
+  return sample(n, late_truth_, rng);
+}
+
+Dataset VirtualSilicon::sample_early(std::size_t n, stats::Rng& rng) const {
+  return sample(n, early_truth_, rng);
+}
+
+}  // namespace bmf::circuit

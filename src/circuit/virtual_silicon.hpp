@@ -1,0 +1,109 @@
+// VirtualSilicon — the synthetic silicon substrate that replaces the
+// paper's commercial 32 nm PDK + transistor-level SPICE (see DESIGN.md,
+// "Repro constraints and substitutions").
+//
+// The BMF algorithm only ever observes (sample point, performance value)
+// pairs plus the early-stage model coefficients; everything that drives the
+// paper's results is the statistical relationship between the early-stage
+// and late-stage coefficient vectors. VirtualSilicon makes that
+// relationship explicit and controllable:
+//
+//   * ground-truth late-stage performance: a sparse linear model over R
+//     i.i.d. standard-normal variation variables (optionally with diagonal
+//     quadratic terms), plus Gaussian measurement noise;
+//   * ground-truth early-stage performance: the same model with per-
+//     coefficient magnitude drift and sign flips, and with the layout-
+//     parasitic variables removed (they do not exist at schematic level).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "basis/model.hpp"
+#include "stats/rng.hpp"
+
+namespace bmf::circuit {
+
+/// Knobs for a synthetic circuit metric. All rates/fractions are in [0, 1].
+struct TestcaseSpec {
+  /// Total number of late-stage (post-layout) variation variables R.
+  std::size_t num_vars = 1000;
+  /// How many of them are layout parasitics, invisible at schematic level.
+  std::size_t num_parasitic = 0;
+  /// Fraction of variables with a "strong" coefficient.
+  double strong_fraction = 0.2;
+  /// Power-law decay exponent of the strong-coefficient magnitudes.
+  double decay = 1.0;
+  /// Magnitude of weak (near-zero) coefficients relative to the strongest.
+  double weak_floor = 1e-3;
+  /// RMS magnitude of parasitic coefficients relative to the strongest.
+  double parasitic_strength = 0.05;
+  /// Relative magnitude perturbation of early vs late coefficients:
+  /// alpha_E = alpha_L * (1 + drift * N(0,1)).
+  double magnitude_drift = 0.05;
+  /// Probability that an early coefficient has the opposite sign.
+  double sign_flip_rate = 0.0;
+  /// Standard deviation of the variation-induced performance spread,
+  /// relative to the nominal value.
+  double variation_rel = 0.05;
+  /// Measurement-noise sd relative to the variation spread.
+  double noise_rel = 0.05;
+  /// Nominal (mean) value of the metric, in `unit`s.
+  double nominal = 1.0;
+  std::string unit = "a.u.";
+  std::uint64_t seed = 1;
+};
+
+/// A batch of Monte Carlo samples: one row of `points` per simulation.
+struct Dataset {
+  linalg::Matrix points;
+  linalg::Vector f;
+
+  std::size_t size() const { return f.size(); }
+};
+
+class VirtualSilicon {
+ public:
+  explicit VirtualSilicon(const TestcaseSpec& spec);
+
+  const TestcaseSpec& spec() const { return spec_; }
+  std::size_t dimension() const { return spec_.num_vars; }
+
+  /// Shared linear basis {1, x_1..x_R} of both stages (paper Section V uses
+  /// linear models throughout).
+  const basis::BasisSet& late_basis() const { return basis_; }
+
+  /// informative()[m] == 0 for basis terms whose variable is a layout
+  /// parasitic (no early-stage knowledge).
+  const std::vector<char>& informative() const { return informative_; }
+
+  /// Ground-truth coefficient vectors over late_basis().
+  const linalg::Vector& late_truth() const { return late_truth_; }
+  const linalg::Vector& early_truth() const { return early_truth_; }
+
+  /// One "transistor-level simulation" at point x (noisy evaluation).
+  double simulate_late(const linalg::Vector& x, stats::Rng& rng) const;
+  double simulate_early(const linalg::Vector& x, stats::Rng& rng) const;
+
+  /// n Monte Carlo simulations with x ~ N(0, I).
+  Dataset sample_late(std::size_t n, stats::Rng& rng) const;
+  Dataset sample_early(std::size_t n, stats::Rng& rng) const;
+
+  /// Noise-free late-stage evaluation (for oracle comparisons in tests).
+  double evaluate_late_exact(const linalg::Vector& x) const;
+
+  double noise_sd() const { return noise_sd_; }
+
+ private:
+  Dataset sample(std::size_t n, const linalg::Vector& truth,
+                 stats::Rng& rng) const;
+
+  TestcaseSpec spec_;
+  basis::BasisSet basis_;
+  linalg::Vector late_truth_;
+  linalg::Vector early_truth_;
+  std::vector<char> informative_;
+  double noise_sd_ = 0.0;
+};
+
+}  // namespace bmf::circuit

@@ -1,0 +1,78 @@
+#include "io/args.hpp"
+
+#include <stdexcept>
+
+namespace bmf::io {
+
+Args::Args(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(token));
+      continue;
+    }
+    token.erase(0, 2);
+    const auto eq = token.find('=');
+    if (eq != std::string::npos) {
+      values_[token.substr(0, eq)] = token.substr(eq + 1);
+      continue;
+    }
+    // "--key value" unless the next token is another option or missing.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[token] = argv[++i];
+    } else {
+      values_[token] = "";
+    }
+  }
+}
+
+bool Args::has(const std::string& key) const { return values_.count(key); }
+
+bool Args::flag(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return false;
+  return it->second.empty() || it->second == "true" || it->second == "1";
+}
+
+std::string Args::get(const std::string& key,
+                      const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+long Args::get_int(const std::string& key, long fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    return std::stol(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("bad integer for --" + key + ": '" +
+                                it->second + "'");
+  }
+}
+
+double Args::get_double(const std::string& key, double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("bad number for --" + key + ": '" +
+                                it->second + "'");
+  }
+}
+
+std::uint64_t Args::get_seed(const std::string& key,
+                             std::uint64_t fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    return std::stoull(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("bad seed for --" + key + ": '" +
+                                it->second + "'");
+  }
+}
+
+}  // namespace bmf::io

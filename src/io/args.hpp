@@ -1,0 +1,39 @@
+// Tiny CLI argument parser shared by the bench and example binaries.
+// Supports --key value, --key=value and boolean --flag forms.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bmf::io {
+
+class Args {
+ public:
+  Args(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+
+  /// Boolean flag: present (with no value or "true"/"1") => true.
+  bool flag(const std::string& key) const;
+
+  std::string get(const std::string& key,
+                  const std::string& fallback = "") const;
+  long get_int(const std::string& key, long fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  std::uint64_t get_seed(const std::string& key,
+                         std::uint64_t fallback) const;
+
+  /// Positional (non --key) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace bmf::io

@@ -1,0 +1,93 @@
+#include "io/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace bmf::io {
+
+namespace {
+
+std::vector<std::string> split_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream is(line);
+  while (std::getline(is, cell, ',')) cells.push_back(cell);
+  if (!line.empty() && line.back() == ',') cells.push_back("");
+  return cells;
+}
+
+}  // namespace
+
+void write_csv(const std::string& path, const linalg::Matrix& data,
+               const std::vector<std::string>& header) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("write_csv: cannot open " + path);
+  os.precision(17);
+  if (!header.empty()) {
+    if (header.size() != data.cols())
+      throw std::invalid_argument("write_csv: header width mismatch");
+    for (std::size_t c = 0; c < header.size(); ++c)
+      os << header[c] << (c + 1 < header.size() ? "," : "\n");
+  }
+  for (std::size_t i = 0; i < data.rows(); ++i)
+    for (std::size_t j = 0; j < data.cols(); ++j)
+      os << data(i, j) << (j + 1 < data.cols() ? "," : "\n");
+  if (!os) throw std::runtime_error("write_csv: write failed for " + path);
+}
+
+void write_csv_columns(const std::string& path,
+                       const std::vector<std::string>& names,
+                       const std::vector<linalg::Vector>& columns) {
+  if (names.size() != columns.size())
+    throw std::invalid_argument("write_csv_columns: name/column mismatch");
+  if (columns.empty())
+    throw std::invalid_argument("write_csv_columns: no columns");
+  const std::size_t n = columns[0].size();
+  for (const auto& c : columns)
+    if (c.size() != n)
+      throw std::invalid_argument("write_csv_columns: ragged columns");
+  linalg::Matrix m(n, columns.size());
+  for (std::size_t j = 0; j < columns.size(); ++j) m.set_col(j, columns[j]);
+  write_csv(path, m, names);
+}
+
+linalg::Matrix read_csv(const std::string& path, bool has_header,
+                        std::vector<std::string>* header) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("read_csv: cannot open " + path);
+  std::string line;
+  std::vector<std::vector<double>> rows;
+  std::size_t cols = 0;
+  bool first = true;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (first && has_header) {
+      if (header) *header = split_line(line);
+      first = false;
+      continue;
+    }
+    first = false;
+    const auto cells = split_line(line);
+    std::vector<double> row;
+    row.reserve(cells.size());
+    for (const auto& cell : cells) {
+      try {
+        row.push_back(std::stod(cell));
+      } catch (const std::exception&) {
+        throw std::runtime_error("read_csv: bad number '" + cell + "' in " +
+                                 path);
+      }
+    }
+    if (cols == 0) cols = row.size();
+    if (row.size() != cols)
+      throw std::runtime_error("read_csv: ragged row in " + path);
+    rows.push_back(std::move(row));
+  }
+  linalg::Matrix m(rows.size(), cols);
+  for (std::size_t i = 0; i < rows.size(); ++i)
+    for (std::size_t j = 0; j < cols; ++j) m(i, j) = rows[i][j];
+  return m;
+}
+
+}  // namespace bmf::io

@@ -1,0 +1,27 @@
+// Minimal CSV reading/writing for datasets and models, so experiments can
+// be persisted and re-analyzed outside the binaries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace bmf::io {
+
+/// Write a matrix as CSV with an optional header row.
+void write_csv(const std::string& path, const linalg::Matrix& data,
+               const std::vector<std::string>& header = {});
+
+/// Write named columns (all the same length) as CSV.
+void write_csv_columns(const std::string& path,
+                       const std::vector<std::string>& names,
+                       const std::vector<linalg::Vector>& columns);
+
+/// Read a CSV of doubles. If `has_header` the first line is returned in
+/// *header (when non-null) and skipped. Throws std::runtime_error on I/O or
+/// parse failure, including ragged rows.
+linalg::Matrix read_csv(const std::string& path, bool has_header = false,
+                        std::vector<std::string>* header = nullptr);
+
+}  // namespace bmf::io

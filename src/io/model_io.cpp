@@ -1,0 +1,81 @@
+#include "io/model_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace bmf::io {
+
+namespace {
+constexpr const char* kMagic = "bmf-model v1";
+}
+
+void save_model(const std::string& path,
+                const basis::PerformanceModel& model) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("save_model: cannot open " + path);
+  os.precision(17);
+  os << kMagic << "\n";
+  os << "dimension " << model.basis().dimension() << "\n";
+  for (std::size_t m = 0; m < model.num_terms(); ++m) {
+    os << "term " << model.coefficients()[m];
+    for (const auto& f : model.basis().term(m).factors)
+      os << ' ' << f.var << ':' << f.degree;
+    os << "\n";
+  }
+  if (!os) throw std::runtime_error("save_model: write failed for " + path);
+}
+
+basis::PerformanceModel load_model(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("load_model: cannot open " + path);
+  std::string line;
+  if (!std::getline(is, line) || line != kMagic)
+    throw std::runtime_error("load_model: bad magic in " + path);
+  std::size_t dimension = 0;
+  {
+    std::string keyword;
+    if (!(is >> keyword >> dimension) || keyword != "dimension")
+      throw std::runtime_error("load_model: missing dimension in " + path);
+  }
+  std::getline(is, line);  // consume rest of the dimension line
+
+  std::vector<basis::BasisTerm> terms;
+  linalg::Vector coeffs;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string keyword;
+    double coeff;
+    if (!(ls >> keyword >> coeff) || keyword != "term")
+      throw std::runtime_error("load_model: malformed line '" + line + "'");
+    basis::BasisTerm term;
+    std::string factor;
+    while (ls >> factor) {
+      const auto colon = factor.find(':');
+      if (colon == std::string::npos)
+        throw std::runtime_error("load_model: malformed factor '" + factor +
+                                 "'");
+      try {
+        const std::size_t var = std::stoull(factor.substr(0, colon));
+        const unsigned degree =
+            static_cast<unsigned>(std::stoul(factor.substr(colon + 1)));
+        term.factors.push_back({var, degree});
+      } catch (const std::exception&) {
+        throw std::runtime_error("load_model: malformed factor '" + factor +
+                                 "'");
+      }
+    }
+    terms.push_back(std::move(term));
+    coeffs.push_back(coeff);
+  }
+  try {
+    return basis::PerformanceModel(basis::BasisSet(dimension, terms),
+                                   coeffs);
+  } catch (const std::invalid_argument& e) {
+    throw std::runtime_error(std::string("load_model: invalid model: ") +
+                             e.what());
+  }
+}
+
+}  // namespace bmf::io

@@ -1,0 +1,30 @@
+// Persistence for fitted performance models.
+//
+// A model file is a small line-oriented text format:
+//
+//   bmf-model v1
+//   dimension <R>
+//   term <coefficient> <var:degree> <var:degree> ...   (one per basis term;
+//                                                       no factors = constant)
+//
+// Round-trips every BasisSet/coefficient combination exactly (coefficients
+// are written with 17 significant digits). This is what lets a schematic
+// team hand its early-stage model file to the layout team — the workflow
+// the paper's multi-stage flow assumes.
+#pragma once
+
+#include <string>
+
+#include "basis/model.hpp"
+
+namespace bmf::io {
+
+/// Write `model` to `path`. Throws std::runtime_error on I/O failure.
+void save_model(const std::string& path,
+                const basis::PerformanceModel& model);
+
+/// Read a model written by save_model. Throws std::runtime_error on I/O
+/// or format errors (wrong magic, malformed terms, out-of-range variables).
+basis::PerformanceModel load_model(const std::string& path);
+
+}  // namespace bmf::io

@@ -1,0 +1,37 @@
+// Aligned text tables in the style of the paper's Tables I-VI.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bmf::io {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Add one row; cell count must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Format a double with `precision` significant-style fixed digits.
+  static std::string num(double v, int precision = 4);
+
+  /// Scientific formatting (for hyper-parameters spanning many decades).
+  static std::string sci(double v, int precision = 3);
+
+  /// Render with aligned columns, a header underline, and two-space gutters.
+  std::string to_string() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return headers_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Table& t);
+
+}  // namespace bmf::io

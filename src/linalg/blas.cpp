@@ -1,0 +1,188 @@
+#include "linalg/blas.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bmf::linalg {
+
+double dot(const Vector& a, const Vector& b) {
+  LINALG_REQUIRE(a.size() == b.size(), "dot size mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+void axpy(double alpha, const Vector& x, Vector& y) {
+  LINALG_REQUIRE(x.size() == y.size(), "axpy size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scal(double alpha, Vector& x) {
+  for (double& v : x) v *= alpha;
+}
+
+double norm2(const Vector& x) { return std::sqrt(dot(x, x)); }
+
+double norm_inf(const Vector& x) {
+  double m = 0.0;
+  for (double v : x) m = std::max(m, std::abs(v));
+  return m;
+}
+
+Vector sub(const Vector& a, const Vector& b) {
+  LINALG_REQUIRE(a.size() == b.size(), "sub size mismatch");
+  Vector r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = a[i] - b[i];
+  return r;
+}
+
+Vector add(const Vector& a, const Vector& b) {
+  LINALG_REQUIRE(a.size() == b.size(), "add size mismatch");
+  Vector r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = a[i] + b[i];
+  return r;
+}
+
+Vector gemv(const Matrix& a, const Vector& x) {
+  LINALG_REQUIRE(a.cols() == x.size(), "gemv shape mismatch");
+  Vector y(a.rows(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* row = a.row_ptr(i);
+    double s = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) s += row[j] * x[j];
+    y[i] = s;
+  }
+  return y;
+}
+
+Vector gemv_t(const Matrix& a, const Vector& x) {
+  LINALG_REQUIRE(a.rows() == x.size(), "gemv_t shape mismatch");
+  Vector y(a.cols(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* row = a.row_ptr(i);
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    for (std::size_t j = 0; j < a.cols(); ++j) y[j] += xi * row[j];
+  }
+  return y;
+}
+
+namespace {
+// Register-friendly blocked kernel: C(mxn) += A(mxk) * B(kxn), row-major.
+constexpr std::size_t kBlock = 64;
+
+void gemm_block(const double* a, const double* b, double* c, std::size_t m,
+                std::size_t k, std::size_t n, std::size_t lda,
+                std::size_t ldb, std::size_t ldc) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* ai = a + i * lda;
+    double* ci = c + i * ldc;
+    for (std::size_t p = 0; p < k; ++p) {
+      const double aip = ai[p];
+      if (aip == 0.0) continue;
+      const double* bp = b + p * ldb;
+      for (std::size_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
+    }
+  }
+}
+}  // namespace
+
+Matrix gemm(const Matrix& a, const Matrix& b) {
+  LINALG_REQUIRE(a.cols() == b.rows(), "gemm shape mismatch");
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  Matrix c(m, n, 0.0);
+  for (std::size_t i0 = 0; i0 < m; i0 += kBlock)
+    for (std::size_t p0 = 0; p0 < k; p0 += kBlock)
+      for (std::size_t j0 = 0; j0 < n; j0 += kBlock)
+        gemm_block(a.data() + i0 * k + p0, b.data() + p0 * n + j0,
+                   c.data() + i0 * n + j0, std::min(kBlock, m - i0),
+                   std::min(kBlock, k - p0), std::min(kBlock, n - j0), k, n,
+                   n);
+  return c;
+}
+
+Matrix gemm_tn(const Matrix& a, const Matrix& b) {
+  LINALG_REQUIRE(a.rows() == b.rows(), "gemm_tn shape mismatch");
+  const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+  Matrix c(m, n, 0.0);
+  // Accumulate rank-1 updates row-by-row of A and B: cache friendly for
+  // row-major inputs, no explicit transpose needed.
+  for (std::size_t p = 0; p < k; ++p) {
+    const double* ap = a.row_ptr(p);
+    const double* bp = b.row_ptr(p);
+    for (std::size_t i = 0; i < m; ++i) {
+      const double api = ap[i];
+      if (api == 0.0) continue;
+      double* ci = c.row_ptr(i);
+      for (std::size_t j = 0; j < n; ++j) ci[j] += api * bp[j];
+    }
+  }
+  return c;
+}
+
+Matrix gemm_nt(const Matrix& a, const Matrix& b) {
+  LINALG_REQUIRE(a.cols() == b.cols(), "gemm_nt shape mismatch");
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  Matrix c(m, n, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* ai = a.row_ptr(i);
+    double* ci = c.row_ptr(i);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double* bj = b.row_ptr(j);
+      double s = 0.0;
+      for (std::size_t p = 0; p < k; ++p) s += ai[p] * bj[p];
+      ci[j] = s;
+    }
+  }
+  return c;
+}
+
+Matrix gram(const Matrix& g) {
+  const std::size_t k = g.rows(), m = g.cols();
+  Matrix c(m, m, 0.0);
+  for (std::size_t p = 0; p < k; ++p) {
+    const double* gp = g.row_ptr(p);
+    for (std::size_t i = 0; i < m; ++i) {
+      const double gpi = gp[i];
+      if (gpi == 0.0) continue;
+      double* ci = c.row_ptr(i);
+      for (std::size_t j = i; j < m; ++j) ci[j] += gpi * gp[j];
+    }
+  }
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < i; ++j) c(i, j) = c(j, i);
+  return c;
+}
+
+Matrix outer_gram_weighted(const Matrix& g, const Vector& d) {
+  LINALG_REQUIRE(g.cols() == d.size(), "outer_gram_weighted size mismatch");
+  const std::size_t k = g.rows(), m = g.cols();
+  Matrix c(k, k, 0.0);
+  for (std::size_t i = 0; i < k; ++i) {
+    const double* gi = g.row_ptr(i);
+    for (std::size_t j = i; j < k; ++j) {
+      const double* gj = g.row_ptr(j);
+      double s = 0.0;
+      for (std::size_t p = 0; p < m; ++p) s += gi[p] * d[p] * gj[p];
+      c(i, j) = s;
+    }
+  }
+  for (std::size_t i = 0; i < k; ++i)
+    for (std::size_t j = 0; j < i; ++j) c(i, j) = c(j, i);
+  return c;
+}
+
+Vector gemv_scaled(const Matrix& g, const Vector& d, const Vector& z) {
+  LINALG_REQUIRE(g.cols() == d.size() && d.size() == z.size(),
+                 "gemv_scaled size mismatch");
+  Vector y(g.rows(), 0.0);
+  for (std::size_t i = 0; i < g.rows(); ++i) {
+    const double* gi = g.row_ptr(i);
+    double s = 0.0;
+    for (std::size_t p = 0; p < d.size(); ++p) s += gi[p] * d[p] * z[p];
+    y[i] = s;
+  }
+  return y;
+}
+
+}  // namespace bmf::linalg

@@ -1,0 +1,112 @@
+#include "linalg/cholesky.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace bmf::linalg {
+
+Cholesky::Cholesky(const Matrix& a) {
+  if (!factor_in_place(a))
+    throw std::runtime_error(
+        "Cholesky: matrix is not positive definite (non-positive pivot)");
+}
+
+std::optional<Cholesky> Cholesky::try_factor(const Matrix& a) {
+  Cholesky c;
+  if (!c.factor_in_place(a)) return std::nullopt;
+  return c;
+}
+
+bool Cholesky::factor_in_place(const Matrix& a) {
+  LINALG_REQUIRE(a.rows() == a.cols(), "Cholesky requires a square matrix");
+  const std::size_t n = a.rows();
+  l_ = a;
+  for (std::size_t j = 0; j < n; ++j) {
+    double* lj = l_.row_ptr(j);
+    // Pivot: L_jj = sqrt(A_jj - sum_k L_jk^2).
+    double d = lj[j];
+    for (std::size_t k = 0; k < j; ++k) d -= lj[k] * lj[k];
+    if (!(d > 0.0)) return false;  // also catches NaN
+    const double ljj = std::sqrt(d);
+    lj[j] = ljj;
+    const double inv = 1.0 / ljj;
+    // Column below the pivot.
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double* li = l_.row_ptr(i);
+      double s = li[j];
+      for (std::size_t k = 0; k < j; ++k) s -= li[k] * lj[k];
+      li[j] = s * inv;
+    }
+  }
+  // Zero the strictly upper triangle so factor() is truly lower-triangular.
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) l_(i, j) = 0.0;
+  return true;
+}
+
+Vector Cholesky::solve(const Vector& b) const {
+  Vector y = forward_subst(l_, b);
+  return backward_subst_t(l_, y);
+}
+
+Matrix Cholesky::solve(const Matrix& b) const {
+  LINALG_REQUIRE(b.rows() == dim(), "Cholesky::solve shape mismatch");
+  Matrix x(b.rows(), b.cols());
+  for (std::size_t j = 0; j < b.cols(); ++j)
+    x.set_col(j, solve(b.col(j)));
+  return x;
+}
+
+double Cholesky::log_det() const {
+  double s = 0.0;
+  for (std::size_t i = 0; i < dim(); ++i) s += std::log(l_(i, i));
+  return 2.0 * s;
+}
+
+Vector forward_subst(const Matrix& l, const Vector& b) {
+  LINALG_REQUIRE(l.rows() == l.cols() && l.rows() == b.size(),
+                 "forward_subst shape mismatch");
+  const std::size_t n = b.size();
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* li = l.row_ptr(i);
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= li[k] * y[k];
+    y[i] = s / li[i];
+  }
+  return y;
+}
+
+Vector backward_subst_t(const Matrix& l, const Vector& y) {
+  LINALG_REQUIRE(l.rows() == l.cols() && l.rows() == y.size(),
+                 "backward_subst_t shape mismatch");
+  const std::size_t n = y.size();
+  Vector x = y;
+  for (std::size_t ii = n; ii-- > 0;) {
+    x[ii] /= l(ii, ii);
+    const double xi = x[ii];
+    // Subtract the ii-th column of L^T (= ii-th row of L) contribution.
+    for (std::size_t k = 0; k < ii; ++k) x[k] -= l(ii, k) * xi;
+  }
+  return x;
+}
+
+Vector backward_subst(const Matrix& u, const Vector& y) {
+  LINALG_REQUIRE(u.rows() == u.cols() && u.rows() == y.size(),
+                 "backward_subst shape mismatch");
+  const std::size_t n = y.size();
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    const double* ui = u.row_ptr(ii);
+    double s = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= ui[k] * x[k];
+    x[ii] = s / ui[ii];
+  }
+  return x;
+}
+
+Vector spd_solve(const Matrix& a, const Vector& b) {
+  return Cholesky(a).solve(b);
+}
+
+}  // namespace bmf::linalg

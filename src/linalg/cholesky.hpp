@@ -1,0 +1,59 @@
+// Cholesky (L * L^T) factorization and SPD linear solves.
+//
+// This is the "conventional solver" the paper benchmarks the fast SMW
+// solver against (Section IV-C, Fig. 5), and it is also the inner K x K
+// solve inside the fast solver itself.
+#pragma once
+
+#include <optional>
+
+#include "linalg/matrix.hpp"
+
+namespace bmf::linalg {
+
+/// Lower-triangular Cholesky factor of a symmetric positive-definite matrix.
+class Cholesky {
+ public:
+  /// Factorize `a` (must be square, symmetric, positive definite).
+  /// Throws std::runtime_error if a non-positive pivot is encountered.
+  explicit Cholesky(const Matrix& a);
+
+  /// Factorize if possible; returns std::nullopt when `a` is not SPD
+  /// (non-positive pivot) instead of throwing.
+  static std::optional<Cholesky> try_factor(const Matrix& a);
+
+  /// Solve A x = b for one right-hand side.
+  Vector solve(const Vector& b) const;
+
+  /// Solve A X = B column-by-column.
+  Matrix solve(const Matrix& b) const;
+
+  /// Lower-triangular factor L (A = L L^T).
+  const Matrix& factor() const { return l_; }
+
+  /// log(det(A)) = 2 * sum(log(L_ii)); useful for Bayesian evidence.
+  double log_det() const;
+
+  std::size_t dim() const { return l_.rows(); }
+
+ private:
+  Cholesky() = default;
+  /// Returns false on non-positive pivot.
+  bool factor_in_place(const Matrix& a);
+
+  Matrix l_;
+};
+
+/// Solve L y = b (forward substitution) for lower-triangular L.
+Vector forward_subst(const Matrix& l, const Vector& b);
+
+/// Solve L^T x = y (backward substitution) given lower-triangular L.
+Vector backward_subst_t(const Matrix& l, const Vector& y);
+
+/// Solve U x = y (backward substitution) for upper-triangular U.
+Vector backward_subst(const Matrix& u, const Vector& y);
+
+/// One-shot SPD solve: factor + solve. Throws if not SPD.
+Vector spd_solve(const Matrix& a, const Vector& b);
+
+}  // namespace bmf::linalg

@@ -1,0 +1,164 @@
+#include "linalg/eigen_sym.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace bmf::linalg {
+
+namespace {
+
+// sqrt(a^2 + b^2) without destructive underflow/overflow.
+double hypot2(double a, double b) { return std::hypot(a, b); }
+
+// Householder reduction of symmetric `a` (modified in place to hold the
+// accumulated orthogonal transform) to tridiagonal form (d = diagonal,
+// e = subdiagonal with e[0] unused). Follows the classic tred2 scheme.
+void tridiagonalize(Matrix& a, Vector& d, Vector& e) {
+  const std::size_t n = a.rows();
+  d.assign(n, 0.0);
+  e.assign(n, 0.0);
+  for (std::size_t ii = n; ii-- > 1;) {
+    const std::size_t i = ii;
+    const std::size_t l = i - 1;
+    double h = 0.0, scale = 0.0;
+    if (l > 0) {
+      for (std::size_t k = 0; k <= l; ++k) scale += std::abs(a(i, k));
+      if (scale == 0.0) {
+        e[i] = a(i, l);
+      } else {
+        for (std::size_t k = 0; k <= l; ++k) {
+          a(i, k) /= scale;
+          h += a(i, k) * a(i, k);
+        }
+        double f = a(i, l);
+        double g = f >= 0.0 ? -std::sqrt(h) : std::sqrt(h);
+        e[i] = scale * g;
+        h -= f * g;
+        a(i, l) = f - g;
+        f = 0.0;
+        for (std::size_t j = 0; j <= l; ++j) {
+          a(j, i) = a(i, j) / h;  // store u/H for eigenvector accumulation
+          g = 0.0;
+          for (std::size_t k = 0; k <= j; ++k) g += a(j, k) * a(i, k);
+          for (std::size_t k = j + 1; k <= l; ++k) g += a(k, j) * a(i, k);
+          e[j] = g / h;
+          f += e[j] * a(i, j);
+        }
+        const double hh = f / (h + h);
+        for (std::size_t j = 0; j <= l; ++j) {
+          f = a(i, j);
+          e[j] = g = e[j] - hh * f;
+          for (std::size_t k = 0; k <= j; ++k)
+            a(j, k) -= f * e[k] + g * a(i, k);
+        }
+      }
+    } else {
+      e[i] = a(i, l);
+    }
+    d[i] = h;
+  }
+  d[0] = 0.0;
+  e[0] = 0.0;
+  // Accumulate transformation matrix into `a`.
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t l = i;  // columns 0..i-1 are finalized
+    if (d[i] != 0.0) {
+      for (std::size_t j = 0; j < l; ++j) {
+        double g = 0.0;
+        for (std::size_t k = 0; k < l; ++k) g += a(i, k) * a(k, j);
+        for (std::size_t k = 0; k < l; ++k) a(k, j) -= g * a(k, i);
+      }
+    }
+    d[i] = a(i, i);
+    a(i, i) = 1.0;
+    for (std::size_t j = 0; j < l; ++j) a(j, i) = a(i, j) = 0.0;
+  }
+}
+
+// Implicit-shift QL on the tridiagonal (d, e), rotating the columns of z.
+void ql_implicit(Vector& d, Vector& e, Matrix& z) {
+  const std::size_t n = d.size();
+  if (n == 0) return;
+  for (std::size_t i = 1; i < n; ++i) e[i - 1] = e[i];
+  e[n - 1] = 0.0;
+  for (std::size_t l = 0; l < n; ++l) {
+    int iterations = 0;
+    std::size_t m;
+    do {
+      for (m = l; m + 1 < n; ++m) {
+        const double dd = std::abs(d[m]) + std::abs(d[m + 1]);
+        if (std::abs(e[m]) <= 1e-300 + 2.3e-16 * dd) break;
+      }
+      if (m != l) {
+        if (++iterations == 50)
+          throw std::runtime_error(
+              "eigen_symmetric: QL iteration failed to converge");
+        double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+        double r = hypot2(g, 1.0);
+        g = d[m] - d[l] + e[l] / (g + (g >= 0.0 ? std::abs(r) : -std::abs(r)));
+        double s = 1.0, c = 1.0, p = 0.0;
+        for (std::size_t ii = m; ii-- > l;) {
+          const std::size_t i = ii;
+          double f = s * e[i];
+          const double b = c * e[i];
+          r = hypot2(f, g);
+          e[i + 1] = r;
+          if (r == 0.0) {
+            d[i + 1] -= p;
+            e[m] = 0.0;
+            break;
+          }
+          s = f / r;
+          c = g / r;
+          g = d[i + 1] - p;
+          r = (d[i] - g) * s + 2.0 * c * b;
+          p = s * r;
+          d[i + 1] = g + p;
+          g = c * r - b;
+          for (std::size_t k = 0; k < n; ++k) {
+            f = z(k, i + 1);
+            z(k, i + 1) = s * z(k, i) + c * f;
+            z(k, i) = c * z(k, i) - s * f;
+          }
+        }
+        if (r == 0.0 && m - l > 1) continue;
+        d[l] -= p;
+        e[l] = g;
+        e[m] = 0.0;
+      }
+    } while (m != l);
+  }
+}
+
+}  // namespace
+
+SymmetricEigen eigen_symmetric(const Matrix& a) {
+  LINALG_REQUIRE(a.rows() == a.cols(),
+                 "eigen_symmetric requires a square matrix");
+  SymmetricEigen out;
+  const std::size_t n = a.rows();
+  if (n == 0) return out;
+  // Work on a symmetrized copy (only the lower triangle is trusted).
+  Matrix z = a;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) z(i, j) = z(j, i);
+  Vector d, e;
+  tridiagonalize(z, d, e);
+  ql_implicit(d, e, z);
+  // Sort ascending, permuting eigenvector columns to match.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return d[x] < d[y]; });
+  out.values.resize(n);
+  out.vectors.assign(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    out.values[j] = d[order[j]];
+    for (std::size_t i = 0; i < n; ++i) out.vectors(i, j) = z(i, order[j]);
+  }
+  return out;
+}
+
+}  // namespace bmf::linalg

@@ -1,0 +1,27 @@
+// Symmetric eigendecomposition A = V diag(w) V^T.
+//
+// Classic two-phase dense algorithm: Householder reduction to tridiagonal
+// form followed by the implicit-shift QL iteration, accumulating the
+// orthogonal transform. Used by the BMF cross-validation engine so that the
+// per-fold K x K capacitance matrix (I + tau^{-1} B) can be inverted for an
+// entire hyper-parameter grid at O(K^2) per grid point instead of O(K^3).
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace bmf::linalg {
+
+struct SymmetricEigen {
+  /// Eigenvalues in ascending order.
+  Vector values;
+  /// Orthonormal eigenvectors as columns: A * V.col(j) = values[j] * V.col(j).
+  Matrix vectors;
+};
+
+/// Eigendecomposition of a symmetric matrix (only the lower triangle is
+/// read). Throws std::runtime_error if the QL iteration fails to converge
+/// (more than 50 sweeps on one eigenvalue — practically unreachable for
+/// well-formed symmetric input).
+SymmetricEigen eigen_symmetric(const Matrix& a);
+
+}  // namespace bmf::linalg

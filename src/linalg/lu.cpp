@@ -1,0 +1,84 @@
+#include "linalg/lu.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace bmf::linalg {
+
+Lu::Lu(const Matrix& a) : lu_(a), perm_(a.rows()) {
+  LINALG_REQUIRE(a.rows() == a.cols(), "Lu requires a square matrix");
+  const std::size_t n = lu_.rows();
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot: largest magnitude in the column at/below the diagonal.
+    std::size_t pivot = col;
+    double best = std::abs(lu_(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double v = std::abs(lu_(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best == 0.0)
+      throw std::runtime_error("Lu: singular matrix (zero pivot column)");
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c)
+        std::swap(lu_(col, c), lu_(pivot, c));
+      std::swap(perm_[col], perm_[pivot]);
+    }
+    const double inv = 1.0 / lu_(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double l = lu_(r, col) * inv;
+      lu_(r, col) = l;
+      if (l == 0.0) continue;
+      const double* urow = lu_.row_ptr(col);
+      double* rrow = lu_.row_ptr(r);
+      for (std::size_t c = col + 1; c < n; ++c) rrow[c] -= l * urow[c];
+    }
+  }
+}
+
+Vector Lu::solve(const Vector& b) const {
+  LINALG_REQUIRE(b.size() == dim(), "Lu::solve size mismatch");
+  const std::size_t n = dim();
+  // Apply permutation, then forward (unit L) and backward (U) substitution.
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) y[i] = b[perm_[i]];
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* li = lu_.row_ptr(i);
+    double s = y[i];
+    for (std::size_t k = 0; k < i; ++k) s -= li[k] * y[k];
+    y[i] = s;
+  }
+  for (std::size_t ii = n; ii-- > 0;) {
+    const double* ui = lu_.row_ptr(ii);
+    double s = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= ui[k] * y[k];
+    y[ii] = s / ui[ii];
+  }
+  return y;
+}
+
+double Lu::min_max_pivot_ratio() const {
+  const std::size_t n = dim();
+  if (n == 0) return 1.0;
+  double mn = std::abs(lu_(0, 0)), mx = mn;
+  for (std::size_t i = 1; i < n; ++i) {
+    const double p = std::abs(lu_(i, i));
+    mn = std::min(mn, p);
+    mx = std::max(mx, p);
+  }
+  return mx > 0.0 ? mn / mx : 0.0;
+}
+
+double Lu::log_abs_det() const {
+  double s = 0.0;
+  for (std::size_t i = 0; i < dim(); ++i) s += std::log(std::abs(lu_(i, i)));
+  return s;
+}
+
+Vector lu_solve(const Matrix& a, const Vector& b) { return Lu(a).solve(b); }
+
+}  // namespace bmf::linalg

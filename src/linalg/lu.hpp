@@ -1,0 +1,35 @@
+// LU factorization with partial pivoting, for general (non-symmetric)
+// square systems — the MNA matrices of the SPICE substrate are
+// unsymmetric whenever controlled sources or transistors are present.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace bmf::linalg {
+
+class Lu {
+ public:
+  /// Factorize PA = LU. Throws std::runtime_error on exact singularity.
+  explicit Lu(const Matrix& a);
+
+  /// Solve A x = b.
+  Vector solve(const Vector& b) const;
+
+  /// Estimated reciprocal pivot growth: min|U_ii| / max|U_ii|. Near zero
+  /// means the system is ill-conditioned.
+  double min_max_pivot_ratio() const;
+
+  /// determinant sign * exp(log|det|) pieces: log|det(A)|.
+  double log_abs_det() const;
+
+  std::size_t dim() const { return lu_.rows(); }
+
+ private:
+  Matrix lu_;                       // L below diagonal (unit), U on/above
+  std::vector<std::size_t> perm_;   // row permutation
+};
+
+/// One-shot solve of a general square system.
+Vector lu_solve(const Matrix& a, const Vector& b);
+
+}  // namespace bmf::linalg

@@ -1,0 +1,146 @@
+#include "linalg/matrix.hpp"
+
+#include <cmath>
+#include <ostream>
+
+namespace bmf::linalg {
+
+void throw_shape_error(const std::string& what) {
+  throw std::invalid_argument("linalg: " + what);
+}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    LINALG_REQUIRE(r.size() == cols_, "ragged initializer list");
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::diagonal(const Vector& d) {
+  Matrix m(d.size(), d.size());
+  for (std::size_t i = 0; i < d.size(); ++i) m(i, i) = d[i];
+  return m;
+}
+
+Matrix Matrix::column(const Vector& v) {
+  Matrix m(v.size(), 1);
+  for (std::size_t i = 0; i < v.size(); ++i) m(i, 0) = v[i];
+  return m;
+}
+
+double& Matrix::at(std::size_t i, std::size_t j) {
+  if (i >= rows_ || j >= cols_)
+    throw std::out_of_range("Matrix::at index out of range");
+  return (*this)(i, j);
+}
+
+double Matrix::at(std::size_t i, std::size_t j) const {
+  if (i >= rows_ || j >= cols_)
+    throw std::out_of_range("Matrix::at index out of range");
+  return (*this)(i, j);
+}
+
+Vector Matrix::row(std::size_t i) const {
+  LINALG_REQUIRE(i < rows_, "row index out of range");
+  return Vector(row_ptr(i), row_ptr(i) + cols_);
+}
+
+Vector Matrix::col(std::size_t j) const {
+  LINALG_REQUIRE(j < cols_, "col index out of range");
+  Vector v(rows_);
+  for (std::size_t i = 0; i < rows_; ++i) v[i] = (*this)(i, j);
+  return v;
+}
+
+void Matrix::set_row(std::size_t i, const Vector& v) {
+  LINALG_REQUIRE(i < rows_ && v.size() == cols_, "set_row shape mismatch");
+  std::copy(v.begin(), v.end(), row_ptr(i));
+}
+
+void Matrix::set_col(std::size_t j, const Vector& v) {
+  LINALG_REQUIRE(j < cols_ && v.size() == rows_, "set_col shape mismatch");
+  for (std::size_t i = 0; i < rows_; ++i) (*this)(i, j) = v[i];
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+  return t;
+}
+
+void Matrix::fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Matrix::assign(std::size_t rows, std::size_t cols, double fill) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, fill);
+}
+
+Matrix Matrix::block(std::size_t r0, std::size_t c0, std::size_t nr,
+                     std::size_t nc) const {
+  LINALG_REQUIRE(r0 + nr <= rows_ && c0 + nc <= cols_,
+                 "block out of range");
+  Matrix b(nr, nc);
+  for (std::size_t i = 0; i < nr; ++i)
+    for (std::size_t j = 0; j < nc; ++j) b(i, j) = (*this)(r0 + i, c0 + j);
+  return b;
+}
+
+Matrix& Matrix::operator+=(const Matrix& rhs) {
+  LINALG_REQUIRE(same_shape(rhs), "operator+= shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& rhs) {
+  LINALG_REQUIRE(same_shape(rhs), "operator-= shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (double& x : data_) x *= s;
+  return *this;
+}
+
+double max_abs_diff(const Matrix& a, const Matrix& b) {
+  LINALG_REQUIRE(a.same_shape(b), "max_abs_diff shape mismatch");
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j)
+      m = std::max(m, std::abs(a(i, j) - b(i, j)));
+  return m;
+}
+
+double frobenius_norm(const Matrix& a) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) s += a(i, j) * a(i, j);
+  return std::sqrt(s);
+}
+
+std::ostream& operator<<(std::ostream& os, const Matrix& m) {
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    os << (i == 0 ? "[" : " ");
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      os << m(i, j);
+      if (j + 1 < m.cols()) os << ", ";
+    }
+    os << (i + 1 == m.rows() ? "]" : ";\n");
+  }
+  return os;
+}
+
+}  // namespace bmf::linalg

@@ -1,0 +1,142 @@
+// Dense row-major matrix and vector types used throughout the BMF library.
+//
+// This is a deliberately small, dependency-free linear-algebra substrate:
+// the environment provides no Eigen/BLAS, and the BMF paper's numerics only
+// need dense GEMM, Cholesky, Householder QR, and triangular solves. All
+// storage is owned std::vector<double>; all shapes are checked with
+// LINALG_REQUIRE which throws std::invalid_argument on violation.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace bmf::linalg {
+
+/// Dense vector of doubles. A thin alias: free functions in blas.hpp provide
+/// the arithmetic so that callers can also pass plain std::vector buffers.
+using Vector = std::vector<double>;
+
+[[noreturn]] void throw_shape_error(const std::string& what);
+
+#define LINALG_REQUIRE(cond, msg)                                     \
+  do {                                                                \
+    if (!(cond)) ::bmf::linalg::throw_shape_error(msg);               \
+  } while (0)
+
+/// Dense row-major matrix of doubles.
+///
+/// Invariant: data_.size() == rows_ * cols_ at all times.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() = default;
+
+  /// rows x cols matrix, all entries set to `fill` (default 0).
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Construct from a nested initializer list, e.g. {{1,2},{3,4}}.
+  /// All rows must have equal length.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  /// n x n identity matrix.
+  static Matrix identity(std::size_t n);
+
+  /// Diagonal matrix from a vector of diagonal entries.
+  static Matrix diagonal(const Vector& d);
+
+  /// Matrix with a single column taken from `v`.
+  static Matrix column(const Vector& v);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t i, std::size_t j) {
+    return data_[i * cols_ + j];
+  }
+  double operator()(std::size_t i, std::size_t j) const {
+    return data_[i * cols_ + j];
+  }
+
+  /// Bounds-checked element access (throws std::out_of_range).
+  double& at(std::size_t i, std::size_t j);
+  double at(std::size_t i, std::size_t j) const;
+
+  /// Pointer to the start of row i (contiguous, cols() entries).
+  double* row_ptr(std::size_t i) { return data_.data() + i * cols_; }
+  const double* row_ptr(std::size_t i) const {
+    return data_.data() + i * cols_;
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  /// Copy of row i as a Vector.
+  Vector row(std::size_t i) const;
+  /// Copy of column j as a Vector.
+  Vector col(std::size_t j) const;
+  /// Overwrite row i with `v` (v.size() must equal cols()).
+  void set_row(std::size_t i, const Vector& v);
+  /// Overwrite column j with `v` (v.size() must equal rows()).
+  void set_col(std::size_t j, const Vector& v);
+
+  /// Out-of-place transpose.
+  Matrix transposed() const;
+
+  /// Reset all entries to `value`.
+  void fill(double value);
+
+  /// Resize to rows x cols discarding contents (entries become `fill`).
+  void assign(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  /// Submatrix copy: rows [r0, r0+nr) x cols [c0, c0+nc).
+  Matrix block(std::size_t r0, std::size_t c0, std::size_t nr,
+               std::size_t nc) const;
+
+  bool same_shape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  Matrix& operator+=(const Matrix& rhs);
+  Matrix& operator-=(const Matrix& rhs);
+  Matrix& operator*=(double s);
+
+  friend Matrix operator+(Matrix lhs, const Matrix& rhs) {
+    lhs += rhs;
+    return lhs;
+  }
+  friend Matrix operator-(Matrix lhs, const Matrix& rhs) {
+    lhs -= rhs;
+    return lhs;
+  }
+  friend Matrix operator*(Matrix lhs, double s) {
+    lhs *= s;
+    return lhs;
+  }
+  friend Matrix operator*(double s, Matrix rhs) {
+    rhs *= s;
+    return rhs;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Max absolute entrywise difference; shapes must match.
+double max_abs_diff(const Matrix& a, const Matrix& b);
+
+/// Frobenius norm.
+double frobenius_norm(const Matrix& a);
+
+/// Pretty-print (for debugging / small matrices).
+std::ostream& operator<<(std::ostream& os, const Matrix& m);
+
+}  // namespace bmf::linalg

@@ -1,0 +1,152 @@
+#include "linalg/qr.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/blas.hpp"
+#include "linalg/cholesky.hpp"
+
+namespace bmf::linalg {
+
+HouseholderQR::HouseholderQR(const Matrix& a) : qr_(a), beta_(a.cols(), 0.0) {
+  LINALG_REQUIRE(a.rows() >= a.cols(),
+                 "HouseholderQR requires rows >= cols");
+  const std::size_t m = qr_.rows(), n = qr_.cols();
+  for (std::size_t j = 0; j < n; ++j) {
+    // Build the Householder vector for column j from rows j..m-1.
+    double norm = 0.0;
+    for (std::size_t i = j; i < m; ++i) norm += qr_(i, j) * qr_(i, j);
+    norm = std::sqrt(norm);
+    if (norm == 0.0) {
+      beta_[j] = 0.0;
+      continue;
+    }
+    const double alpha = qr_(j, j) >= 0 ? -norm : norm;
+    const double v0 = qr_(j, j) - alpha;
+    // v = (v0, qr(j+1..m-1, j)); beta = 2 / ||v||^2, stored with v0 folded in.
+    double vnorm2 = v0 * v0;
+    for (std::size_t i = j + 1; i < m; ++i) vnorm2 += qr_(i, j) * qr_(i, j);
+    beta_[j] = vnorm2 > 0 ? 2.0 / vnorm2 : 0.0;
+    // Apply reflector to the remaining columns.
+    for (std::size_t c = j + 1; c < n; ++c) {
+      double s = v0 * qr_(j, c);
+      for (std::size_t i = j + 1; i < m; ++i) s += qr_(i, j) * qr_(i, c);
+      s *= beta_[j];
+      qr_(j, c) -= s * v0;
+      for (std::size_t i = j + 1; i < m; ++i) qr_(i, c) -= s * qr_(i, j);
+    }
+    qr_(j, j) = alpha;  // R diagonal
+    // Store normalized v below the diagonal: keep v_i (i>j) as-is and
+    // remember v0 implicitly by storing it scaled into a side channel.
+    // We fold v0 into the subdiagonal by dividing: v := v / v0, so that
+    // v0 becomes 1 and beta is rescaled accordingly.
+    if (v0 != 0.0) {
+      for (std::size_t i = j + 1; i < m; ++i) qr_(i, j) /= v0;
+      beta_[j] *= v0 * v0;
+    }
+  }
+}
+
+Vector HouseholderQR::apply_qt(const Vector& b) const {
+  LINALG_REQUIRE(b.size() == qr_.rows(), "apply_qt size mismatch");
+  const std::size_t m = qr_.rows(), n = qr_.cols();
+  Vector y = b;
+  for (std::size_t j = 0; j < n; ++j) {
+    if (beta_[j] == 0.0) continue;
+    // v = (1, qr(j+1..m-1, j)).
+    double s = y[j];
+    for (std::size_t i = j + 1; i < m; ++i) s += qr_(i, j) * y[i];
+    s *= beta_[j];
+    y[j] -= s;
+    for (std::size_t i = j + 1; i < m; ++i) y[i] -= s * qr_(i, j);
+  }
+  return y;
+}
+
+Vector HouseholderQR::solve(const Vector& b) const {
+  const std::size_t n = qr_.cols();
+  for (std::size_t i = 0; i < n; ++i)
+    if (qr_(i, i) == 0.0)
+      throw std::runtime_error("HouseholderQR::solve: singular R");
+  Vector y = apply_qt(b);
+  // Back-substitute on the leading n x n block of R.
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= qr_(ii, k) * x[k];
+    x[ii] = s / qr_(ii, ii);
+  }
+  return x;
+}
+
+Matrix HouseholderQR::r() const {
+  const std::size_t n = qr_.cols();
+  Matrix r(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i; j < n; ++j) r(i, j) = qr_(i, j);
+  return r;
+}
+
+double HouseholderQR::min_max_pivot_ratio() const {
+  const std::size_t n = qr_.cols();
+  if (n == 0) return 1.0;
+  double mn = std::abs(qr_(0, 0)), mx = mn;
+  for (std::size_t i = 1; i < n; ++i) {
+    const double p = std::abs(qr_(i, i));
+    mn = std::min(mn, p);
+    mx = std::max(mx, p);
+  }
+  return mx > 0 ? mn / mx : 0.0;
+}
+
+IncrementalQR::IncrementalQR(std::size_t m) : m_(m) {}
+
+bool IncrementalQR::append_column(const Vector& v, double tol) {
+  LINALG_REQUIRE(v.size() == m_, "append_column size mismatch");
+  const double vnorm = norm2(v);
+  Vector w = v;
+  Vector rcol(ncols_ + 1, 0.0);
+  // Modified Gram-Schmidt, two passes for numerical robustness.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::size_t j = 0; j < ncols_; ++j) {
+      const double c = dot(q_[j], w);
+      rcol[j] += c;
+      axpy(-c, q_[j], w);
+    }
+  }
+  const double wnorm = norm2(w);
+  if (wnorm <= tol * std::max(vnorm, 1e-300)) return false;
+  rcol[ncols_] = wnorm;
+  scal(1.0 / wnorm, w);
+  q_.push_back(std::move(w));
+  r_.push_back(std::move(rcol));
+  ++ncols_;
+  return true;
+}
+
+Vector IncrementalQR::project(const Vector& b) const {
+  LINALG_REQUIRE(b.size() == m_, "project size mismatch");
+  Vector y(ncols_);
+  for (std::size_t j = 0; j < ncols_; ++j) y[j] = dot(q_[j], b);
+  return y;
+}
+
+Vector IncrementalQR::residual(const Vector& b) const {
+  Vector r = b;
+  for (std::size_t j = 0; j < ncols_; ++j) axpy(-dot(q_[j], b), q_[j], r);
+  return r;
+}
+
+Vector IncrementalQR::solve(const Vector& b) const {
+  Vector y = project(b);
+  // Back-substitute against the packed upper-triangular R.
+  Vector x(ncols_);
+  for (std::size_t ii = ncols_; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t k = ii + 1; k < ncols_; ++k) s -= r_[k][ii] * x[k];
+    x[ii] = s / r_[ii][ii];
+  }
+  return x;
+}
+
+}  // namespace bmf::linalg

@@ -1,0 +1,75 @@
+// QR factorization: full Householder QR for general least squares, and an
+// incremental column-append QR (Gram-Schmidt with reorthogonalization) that
+// lets the OMP baseline refit its growing active set in O(K*s) per step.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace bmf::linalg {
+
+/// Householder QR of a (m x n) matrix with m >= n.
+/// Stores the compact R and applies Q^T to right-hand sides on demand.
+class HouseholderQR {
+ public:
+  /// Factorize `a`; requires a.rows() >= a.cols().
+  explicit HouseholderQR(const Matrix& a);
+
+  /// Least-squares solution of min ||A x - b||_2.
+  /// Throws std::runtime_error if R is numerically singular.
+  Vector solve(const Vector& b) const;
+
+  /// Apply Q^T to a vector of length rows().
+  Vector apply_qt(const Vector& b) const;
+
+  /// The upper-triangular factor (n x n leading block).
+  Matrix r() const;
+
+  std::size_t rows() const { return qr_.rows(); }
+  std::size_t cols() const { return qr_.cols(); }
+
+  /// Smallest |R_ii| / largest |R_ii| — a cheap rank/conditioning probe.
+  double min_max_pivot_ratio() const;
+
+ private:
+  Matrix qr_;    // Householder vectors below the diagonal, R on/above.
+  Vector beta_;  // Householder scaling factors.
+};
+
+/// Incremental thin QR: starts empty and appends one column at a time,
+/// maintaining Q (m x s, orthonormal columns) and R (s x s upper-triangular).
+///
+/// Used by OMP: after selecting basis column g_j, append it; the LS refit
+/// over the active set is then a single back-substitution.
+class IncrementalQR {
+ public:
+  /// `m` is the fixed column length (number of samples K).
+  explicit IncrementalQR(std::size_t m);
+
+  /// Append column v (size m). Returns false — and leaves the factorization
+  /// unchanged — if v is numerically dependent on the current columns
+  /// (residual norm <= tol * ||v||).
+  bool append_column(const Vector& v, double tol = 1e-10);
+
+  /// Least-squares coefficients over the s appended columns:
+  /// argmin_x || [v_1 ... v_s] x - b ||_2.
+  Vector solve(const Vector& b) const;
+
+  /// Q^T b (length = current number of columns).
+  Vector project(const Vector& b) const;
+
+  /// Residual b - Q Q^T b of projecting b onto the current column span.
+  Vector residual(const Vector& b) const;
+
+  std::size_t num_columns() const { return ncols_; }
+  std::size_t rows() const { return m_; }
+
+ private:
+  std::size_t m_ = 0;
+  std::size_t ncols_ = 0;
+  // Q stored column-major: q_[j] is the j-th orthonormal column (size m_).
+  std::vector<Vector> q_;
+  // R stored as packed columns: r_[j] holds R(0..j, j).
+  std::vector<Vector> r_;
+};
+
+}  // namespace bmf::linalg

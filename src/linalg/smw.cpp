@@ -1,0 +1,48 @@
+#include "linalg/smw.hpp"
+
+#include <cmath>
+
+#include "linalg/blas.hpp"
+#include "linalg/cholesky.hpp"
+
+namespace bmf::linalg {
+
+WoodburySolver::WoodburySolver(const Matrix& g, const Vector& diag, double c)
+    : g_(&g), inv_diag_(diag.size()), c_(c) {
+  LINALG_REQUIRE(g.cols() == diag.size(),
+                 "WoodburySolver: diag size must equal G columns");
+  LINALG_REQUIRE(c > 0.0, "WoodburySolver: c must be positive");
+  for (std::size_t i = 0; i < diag.size(); ++i) {
+    LINALG_REQUIRE(diag[i] > 0.0,
+                   "WoodburySolver: diagonal entries must be positive");
+    inv_diag_[i] = 1.0 / diag[i];
+  }
+  // Capacitance matrix: c^{-1} I + G A^{-1} G^T  (K x K, SPD).
+  Matrix cap = outer_gram_weighted(g, inv_diag_);
+  const double cinv = 1.0 / c;
+  for (std::size_t i = 0; i < cap.rows(); ++i) cap(i, i) += cinv;
+  cap_l_ = Cholesky(cap).factor();
+}
+
+Vector WoodburySolver::solve(const Vector& b) const {
+  LINALG_REQUIRE(b.size() == m(), "WoodburySolver::solve size mismatch");
+  // u = A^{-1} b
+  Vector u(b.size());
+  for (std::size_t i = 0; i < b.size(); ++i) u[i] = inv_diag_[i] * b[i];
+  // t = (cap)^{-1} G u, via the cached Cholesky factor.
+  Vector gu = gemv(*g_, u);
+  Vector t = backward_subst_t(cap_l_, forward_subst(cap_l_, gu));
+  // x = u - A^{-1} G^T t
+  Vector gt = gemv_t(*g_, t);
+  Vector x(b.size());
+  for (std::size_t i = 0; i < b.size(); ++i)
+    x[i] = u[i] - inv_diag_[i] * gt[i];
+  return x;
+}
+
+Vector woodbury_solve(const Matrix& g, const Vector& diag, double c,
+                      const Vector& b) {
+  return WoodburySolver(g, diag, c).solve(b);
+}
+
+}  // namespace bmf::linalg

@@ -1,0 +1,43 @@
+// Sherman–Morrison–Woodbury low-rank solve.
+//
+// The BMF fast solver (paper Section IV-C, Eq. 53-58) needs
+//   (diag(a) + c * G^T G)^{-1} * b
+// where G is K x M with K << M. Woodbury turns the M x M solve into a
+// K x K SPD solve:
+//   (A + c G^T G)^{-1} b = A^{-1} b
+//        - A^{-1} G^T (c^{-1} I + G A^{-1} G^T)^{-1} G A^{-1} b
+// which never forms an M x M matrix.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace bmf::linalg {
+
+/// Precomputed Woodbury solver for (diag(a) + c * G^T G) with fixed G, a, c.
+/// The K x K capacitance matrix is factorized once in the constructor, so
+/// repeated solves (e.g. across cross-validation hyper-parameter grids with
+/// the same inner matrix) are cheap.
+class WoodburySolver {
+ public:
+  /// `g` is the K x M design matrix, `diag` the M diagonal entries (all > 0),
+  /// `c` the positive scale of the Gram term.
+  WoodburySolver(const Matrix& g, const Vector& diag, double c);
+
+  /// Solve (diag(a) + c G^T G) x = b; b has M entries.
+  Vector solve(const Vector& b) const;
+
+  std::size_t k() const { return g_->rows(); }
+  std::size_t m() const { return g_->cols(); }
+
+ private:
+  const Matrix* g_;   // not owned; must outlive the solver
+  Vector inv_diag_;   // a^{-1}
+  double c_;
+  Matrix cap_l_;      // Cholesky factor of (c^{-1} I + G A^{-1} G^T)
+};
+
+/// One-shot convenience wrapper around WoodburySolver.
+Vector woodbury_solve(const Matrix& g, const Vector& diag, double c,
+                      const Vector& b);
+
+}  // namespace bmf::linalg

@@ -1,0 +1,177 @@
+#include "regress/elastic_net.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/blas.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/rng.hpp"
+
+namespace bmf::regress {
+
+namespace {
+
+double soft_threshold(double z, double t) {
+  if (z > t) return z - t;
+  if (z < -t) return z + t;
+  return 0.0;
+}
+
+struct RowView {
+  const linalg::Matrix* g;
+  const linalg::Vector* f;
+  std::vector<std::size_t> rows;
+
+  std::size_t k() const { return rows.size(); }
+  std::size_t m() const { return g->cols(); }
+};
+
+// Cyclic coordinate descent at one lambda; warm-starts from `a` and keeps
+// the residual `r` (over view.rows) consistent. Returns sweeps used.
+std::size_t descend(const RowView& view, double lambda, double rho,
+                    const ElasticNetOptions& opt,
+                    const linalg::Vector& col_sq_norms, linalg::Vector& a,
+                    linalg::Vector& r) {
+  const double k = static_cast<double>(view.k());
+  const double f_scale = std::max(linalg::norm_inf(*view.f), 1e-300);
+  std::size_t sweep = 0;
+  for (; sweep < opt.max_sweeps; ++sweep) {
+    double max_update = 0.0;
+    for (std::size_t j = 0; j < view.m(); ++j) {
+      if (col_sq_norms[j] == 0.0) continue;
+      // z = (1/K) g_j^T (r + g_j a_j)
+      double gr = 0.0;
+      for (std::size_t i = 0; i < view.rows.size(); ++i)
+        gr += (*view.g)(view.rows[i], j) * r[i];
+      const double z = (gr + col_sq_norms[j] * a[j]) / k;
+      const double denom = col_sq_norms[j] / k + lambda * (1.0 - rho);
+      const double aj_new = soft_threshold(z, lambda * rho) / denom;
+      const double delta = aj_new - a[j];
+      if (delta != 0.0) {
+        for (std::size_t i = 0; i < view.rows.size(); ++i)
+          r[i] -= delta * (*view.g)(view.rows[i], j);
+        a[j] = aj_new;
+        max_update = std::max(max_update, std::abs(delta));
+      }
+    }
+    if (max_update <= opt.tolerance * f_scale) {
+      ++sweep;
+      break;
+    }
+  }
+  return sweep;
+}
+
+linalg::Vector column_sq_norms(const RowView& view) {
+  linalg::Vector n(view.m(), 0.0);
+  for (std::size_t idx : view.rows) {
+    const double* row = view.g->row_ptr(idx);
+    for (std::size_t j = 0; j < view.m(); ++j) n[j] += row[j] * row[j];
+  }
+  return n;
+}
+
+double lambda_max(const RowView& view, double rho) {
+  // Smallest lambda with an all-zero lasso solution: max |g_j^T f| / (K rho).
+  const double k = static_cast<double>(view.k());
+  double mx = 0.0;
+  for (std::size_t j = 0; j < view.m(); ++j) {
+    double gr = 0.0;
+    for (std::size_t idx : view.rows) gr += (*view.g)(idx, j) * (*view.f)[idx];
+    mx = std::max(mx, std::abs(gr));
+  }
+  return mx / (k * std::max(rho, 1e-3));
+}
+
+linalg::Vector residual_over(const RowView& view, const linalg::Vector& a) {
+  linalg::Vector r(view.rows.size());
+  for (std::size_t i = 0; i < view.rows.size(); ++i) {
+    double pred = 0.0;
+    const double* row = view.g->row_ptr(view.rows[i]);
+    for (std::size_t j = 0; j < view.m(); ++j) pred += row[j] * a[j];
+    r[i] = (*view.f)[view.rows[i]] - pred;
+  }
+  return r;
+}
+
+}  // namespace
+
+ElasticNetResult elastic_net_solve(const linalg::Matrix& g,
+                                   const linalg::Vector& f,
+                                   const ElasticNetOptions& opt) {
+  LINALG_REQUIRE(g.rows() == f.size(), "elastic_net: rhs size mismatch");
+  if (g.rows() == 0) throw std::invalid_argument("elastic_net: no samples");
+  if (opt.rho < 0.0 || opt.rho > 1.0)
+    throw std::invalid_argument("elastic_net: rho must be in [0, 1]");
+  if (opt.path_size == 0 || opt.path_min_ratio <= 0.0 ||
+      opt.path_min_ratio >= 1.0)
+    throw std::invalid_argument("elastic_net: bad path parameters");
+
+  ElasticNetResult result;
+  const std::size_t k = g.rows(), m = g.cols();
+
+  double chosen_lambda = opt.lambda;
+  if (opt.validation_fraction > 0.0 && k >= 5) {
+    stats::Rng rng(opt.seed);
+    const auto perm = rng.permutation(k);
+    std::size_t nv = static_cast<std::size_t>(
+        std::floor(opt.validation_fraction * static_cast<double>(k)));
+    nv = std::clamp<std::size_t>(nv, 1, k - 2);
+    RowView train{&g, &f, {perm.begin() + nv, perm.end()}};
+    std::vector<std::size_t> val_rows(perm.begin(), perm.begin() + nv);
+
+    const linalg::Vector norms = column_sq_norms(train);
+    const double lmax = lambda_max(train, opt.rho);
+    const double ratio =
+        std::pow(opt.path_min_ratio,
+                 1.0 / static_cast<double>(
+                           std::max<std::size_t>(opt.path_size - 1, 1)));
+    linalg::Vector a(m, 0.0);
+    linalg::Vector r = residual_over(train, a);
+    double best_err = std::numeric_limits<double>::infinity();
+    double lambda = lmax;
+    for (std::size_t p = 0; p < opt.path_size; ++p, lambda *= ratio) {
+      descend(train, lambda, opt.rho, opt, norms, a, r);
+      // Validation error.
+      linalg::Vector pred(val_rows.size()), actual(val_rows.size());
+      for (std::size_t i = 0; i < val_rows.size(); ++i) {
+        double v = 0.0;
+        const double* row = g.row_ptr(val_rows[i]);
+        for (std::size_t j = 0; j < m; ++j) v += row[j] * a[j];
+        pred[i] = v;
+        actual[i] = f[val_rows[i]];
+      }
+      const double err = stats::relative_error(pred, actual);
+      result.path_lambdas.push_back(lambda);
+      result.path_validation_errors.push_back(err);
+      if (err < best_err) {
+        best_err = err;
+        chosen_lambda = lambda;
+      }
+    }
+  }
+
+  // Final fit on all samples at the chosen lambda.
+  RowView all{&g, &f, {}};
+  all.rows.resize(k);
+  for (std::size_t i = 0; i < k; ++i) all.rows[i] = i;
+  const linalg::Vector norms = column_sq_norms(all);
+  result.coefficients.assign(m, 0.0);
+  linalg::Vector r = residual_over(all, result.coefficients);
+  result.sweeps = descend(all, chosen_lambda, opt.rho, opt, norms,
+                          result.coefficients, r);
+  result.lambda = chosen_lambda;
+  return result;
+}
+
+basis::PerformanceModel elastic_net_fit(const basis::BasisSet& basis,
+                                        const linalg::Matrix& points,
+                                        const linalg::Vector& f,
+                                        const ElasticNetOptions& options) {
+  const linalg::Matrix g = basis::design_matrix(basis, points);
+  ElasticNetResult r = elastic_net_solve(g, f, options);
+  return basis::PerformanceModel(basis, std::move(r.coefficients));
+}
+
+}  // namespace bmf::regress

@@ -1,0 +1,58 @@
+// Elastic-net regularized regression by cyclic coordinate descent — the
+// other state-of-the-art sparse baseline the paper cites (McConaghy,
+// CICC'11 [15]). Minimizes
+//
+//   (1/2K) ||f - G a||_2^2 + lambda * ( rho ||a||_1 + (1-rho)/2 ||a||_2^2 )
+//
+// rho = 1 is the lasso, rho = 0 is ridge. A validation-split path search
+// picks lambda, mirroring the OMP baseline's stopping rule.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "basis/model.hpp"
+
+namespace bmf::regress {
+
+struct ElasticNetOptions {
+  /// L1/L2 mixing in [0, 1]; 1 = lasso.
+  double rho = 1.0;
+  /// Coordinate-descent sweeps limit and convergence tolerance on the
+  /// largest coefficient update (relative to the response scale).
+  std::size_t max_sweeps = 1000;
+  double tolerance = 1e-8;
+  /// Lambda path: `path_size` log-spaced values from lambda_max (smallest
+  /// lambda with all-zero solution) down to lambda_max * path_min_ratio.
+  std::size_t path_size = 30;
+  double path_min_ratio = 1e-4;
+  /// Held-out fraction used to pick lambda on the path (0 disables the
+  /// path search; `lambda` is then used directly).
+  double validation_fraction = 0.2;
+  /// Explicit lambda (only used when validation_fraction == 0).
+  double lambda = 1e-3;
+  std::uint64_t seed = 1;
+};
+
+struct ElasticNetResult {
+  linalg::Vector coefficients;
+  double lambda = 0.0;          // the lambda actually used
+  std::size_t sweeps = 0;       // coordinate-descent sweeps of the final fit
+  std::vector<double> path_lambdas;
+  std::vector<double> path_validation_errors;
+};
+
+/// Solve on a precomputed design matrix (K x M). The intercept is NOT
+/// treated specially: include a constant basis column if desired (it is
+/// penalized like any other coefficient, matching the paper's setup where
+/// the constant term is just g_1 = 1).
+ElasticNetResult elastic_net_solve(const linalg::Matrix& g,
+                                   const linalg::Vector& f,
+                                   const ElasticNetOptions& options = {});
+
+basis::PerformanceModel elastic_net_fit(const basis::BasisSet& basis,
+                                        const linalg::Matrix& points,
+                                        const linalg::Vector& f,
+                                        const ElasticNetOptions& options = {});
+
+}  // namespace bmf::regress

@@ -1,0 +1,54 @@
+#include "regress/least_squares.hpp"
+
+#include <stdexcept>
+
+#include "linalg/blas.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/qr.hpp"
+#include "linalg/smw.hpp"
+
+namespace bmf::regress {
+
+linalg::Vector least_squares_coefficients(const linalg::Matrix& g,
+                                          const linalg::Vector& f) {
+  if (g.rows() < g.cols())
+    throw std::invalid_argument(
+        "least_squares: underdetermined system (K < M); use sparse "
+        "regression or BMF instead");
+  LINALG_REQUIRE(g.rows() == f.size(), "least_squares: rhs size mismatch");
+  return linalg::HouseholderQR(g).solve(f);
+}
+
+basis::PerformanceModel least_squares_fit(const basis::BasisSet& basis,
+                                          const linalg::Matrix& points,
+                                          const linalg::Vector& f) {
+  const linalg::Matrix g = basis::design_matrix(basis, points);
+  return basis::PerformanceModel(basis, least_squares_coefficients(g, f));
+}
+
+linalg::Vector ridge_coefficients(const linalg::Matrix& g,
+                                  const linalg::Vector& f, double lambda) {
+  if (lambda <= 0.0)
+    throw std::invalid_argument("ridge: lambda must be positive");
+  LINALG_REQUIRE(g.rows() == f.size(), "ridge: rhs size mismatch");
+  const std::size_t k = g.rows(), m = g.cols();
+  const linalg::Vector gtf = linalg::gemv_t(g, f);
+  if (k >= m) {
+    // Normal equations: (G^T G + lambda I) a = G^T f.
+    linalg::Matrix a = linalg::gram(g);
+    for (std::size_t i = 0; i < m; ++i) a(i, i) += lambda;
+    return linalg::spd_solve(a, gtf);
+  }
+  // Underdetermined: Woodbury with diag = lambda, c = 1.
+  const linalg::Vector diag(m, lambda);
+  return linalg::woodbury_solve(g, diag, 1.0, gtf);
+}
+
+basis::PerformanceModel ridge_fit(const basis::BasisSet& basis,
+                                  const linalg::Matrix& points,
+                                  const linalg::Vector& f, double lambda) {
+  const linalg::Matrix g = basis::design_matrix(basis, points);
+  return basis::PerformanceModel(basis, ridge_coefficients(g, f, lambda));
+}
+
+}  // namespace bmf::regress

@@ -1,0 +1,182 @@
+#include "regress/omp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "linalg/blas.hpp"
+#include "linalg/qr.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/rng.hpp"
+
+namespace bmf::regress {
+
+namespace {
+
+// Copy the rows of g listed in `rows`, restricted to column j.
+linalg::Vector gather_column(const linalg::Matrix& g,
+                             const std::vector<std::size_t>& rows,
+                             std::size_t j) {
+  linalg::Vector v(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) v[i] = g(rows[i], j);
+  return v;
+}
+
+linalg::Vector gather(const linalg::Vector& f,
+                      const std::vector<std::size_t>& rows) {
+  linalg::Vector v(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) v[i] = f[rows[i]];
+  return v;
+}
+
+// Greedy OMP path over the given sample rows. At each step the column with
+// the largest |g_j^T r| / ||g_j|| is appended. Returns selection order.
+// If `val_rows` is non-empty, records the relative validation error after
+// every step into `val_errors`.
+std::vector<std::size_t> greedy_path(
+    const linalg::Matrix& g, const linalg::Vector& f,
+    const std::vector<std::size_t>& rows,
+    const std::vector<std::size_t>& val_rows, std::size_t max_terms,
+    double residual_tolerance, std::vector<double>* val_errors) {
+  const std::size_t m = g.cols();
+  const linalg::Vector ft = gather(f, rows);
+  const double fnorm = linalg::norm2(ft);
+  linalg::Vector fv;
+  if (!val_rows.empty()) fv = gather(f, val_rows);
+
+  std::vector<char> used(m, 0);
+  std::vector<std::size_t> selected;
+  std::vector<linalg::Vector> train_cols;  // active columns on train rows
+  linalg::IncrementalQR qr(rows.size());
+  linalg::Vector residual = ft;
+
+  // Column norms on the training rows, for scale-invariant correlation.
+  linalg::Vector col_norm(m, 0.0);
+  for (std::size_t idx : rows) {
+    const double* row = g.row_ptr(idx);
+    for (std::size_t j = 0; j < m; ++j) col_norm[j] += row[j] * row[j];
+  }
+  for (double& cn : col_norm) cn = std::sqrt(cn);
+
+  while (selected.size() < max_terms) {
+    if (fnorm > 0 && linalg::norm2(residual) <= residual_tolerance * fnorm)
+      break;
+    // Correlation scan: c = G_train^T r.
+    linalg::Vector corr(m, 0.0);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const double ri = residual[i];
+      if (ri == 0.0) continue;
+      const double* row = g.row_ptr(rows[i]);
+      for (std::size_t j = 0; j < m; ++j) corr[j] += ri * row[j];
+    }
+    // Pick the best unused, linearly-independent column.
+    bool appended = false;
+    while (!appended) {
+      double best = -1.0;
+      std::size_t best_j = m;
+      for (std::size_t j = 0; j < m; ++j) {
+        if (used[j] || col_norm[j] == 0.0) continue;
+        const double score = std::abs(corr[j]) / col_norm[j];
+        if (score > best) {
+          best = score;
+          best_j = j;
+        }
+      }
+      if (best_j == m) return selected;  // nothing left to add
+      used[best_j] = 1;
+      linalg::Vector col = gather_column(g, rows, best_j);
+      if (qr.append_column(col)) {
+        selected.push_back(best_j);
+        train_cols.push_back(std::move(col));
+        appended = true;
+      }
+      // Dependent column: stays marked used; try the runner-up.
+    }
+    residual = qr.residual(ft);
+
+    if (!val_rows.empty()) {
+      const linalg::Vector coef = qr.solve(ft);
+      linalg::Vector pred(val_rows.size(), 0.0);
+      for (std::size_t s = 0; s < selected.size(); ++s) {
+        const std::size_t j = selected[s];
+        for (std::size_t i = 0; i < val_rows.size(); ++i)
+          pred[i] += coef[s] * g(val_rows[i], j);
+      }
+      val_errors->push_back(stats::relative_error(pred, fv));
+    }
+  }
+  return selected;
+}
+
+}  // namespace
+
+OmpResult omp_solve(const linalg::Matrix& g, const linalg::Vector& f,
+                    const OmpOptions& options) {
+  LINALG_REQUIRE(g.rows() == f.size(), "omp_solve: rhs size mismatch");
+  const std::size_t k = g.rows(), m = g.cols();
+  if (k == 0) throw std::invalid_argument("omp_solve: no samples");
+
+  OmpResult result;
+  result.coefficients.assign(m, 0.0);
+
+  std::vector<std::size_t> all_rows(k);
+  for (std::size_t i = 0; i < k; ++i) all_rows[i] = i;
+
+  std::size_t num_terms;
+  if (options.validation_fraction > 0.0 && k >= 5) {
+    // Split rows into train / validation.
+    stats::Rng rng(options.seed);
+    const auto perm = rng.permutation(k);
+    std::size_t nv = static_cast<std::size_t>(
+        std::floor(options.validation_fraction * static_cast<double>(k)));
+    nv = std::clamp<std::size_t>(nv, 1, k - 2);
+    std::vector<std::size_t> val_rows(perm.begin(), perm.begin() + nv);
+    std::vector<std::size_t> train_rows(perm.begin() + nv, perm.end());
+
+    std::size_t cap = options.max_terms
+                          ? options.max_terms
+                          : std::min(train_rows.size(), m);
+    cap = std::min(cap, train_rows.size());
+
+    std::vector<double> val_errors;
+    greedy_path(g, f, train_rows, val_rows, cap, options.residual_tolerance,
+                &val_errors);
+    result.validation_errors = val_errors;
+    if (val_errors.empty()) {
+      num_terms = 1;
+    } else {
+      const auto it = std::min_element(val_errors.begin(), val_errors.end());
+      num_terms = static_cast<std::size_t>(it - val_errors.begin()) + 1;
+    }
+  } else {
+    num_terms = options.max_terms ? std::min(options.max_terms, std::min(k, m))
+                                  : std::min(k, m);
+  }
+
+  // Final fit: greedy path over all samples, truncated at num_terms.
+  result.selected = greedy_path(g, f, all_rows, {}, num_terms,
+                                options.residual_tolerance, nullptr);
+  // Solve the LS refit over the final support.
+  linalg::IncrementalQR qr(k);
+  std::vector<std::size_t> kept;
+  for (std::size_t j : result.selected) {
+    if (qr.append_column(g.col(j))) kept.push_back(j);
+  }
+  result.selected = kept;
+  const linalg::Vector coef = qr.solve(f);
+  for (std::size_t s = 0; s < kept.size(); ++s)
+    result.coefficients[kept[s]] = coef[s];
+  return result;
+}
+
+basis::PerformanceModel omp_fit(const basis::BasisSet& basis,
+                                const linalg::Matrix& points,
+                                const linalg::Vector& f,
+                                const OmpOptions& options) {
+  const linalg::Matrix g = basis::design_matrix(basis, points);
+  OmpResult r = omp_solve(g, f, options);
+  return basis::PerformanceModel(basis, std::move(r.coefficients));
+}
+
+}  // namespace bmf::regress

@@ -1,0 +1,83 @@
+// Parameterized example circuits built on the MNA engine: the paper's two
+// motivating topologies at example scale.
+//
+//  * Differential pair (Section IV-A's worked example, Eq. 36/37): its
+//    input-referred offset is dominated by the input-device threshold
+//    mismatch — the textbook multifinger prior-mapping scenario.
+//  * CMOS ring oscillator (Section V-A at miniature scale): measured by
+//    transient simulation for oscillation frequency and average power.
+#pragma once
+
+#include "spice/mna.hpp"
+#include "spice/netlist.hpp"
+
+namespace bmf::spice {
+
+// ---------------------------------------------------------------------------
+// Differential pair
+// ---------------------------------------------------------------------------
+
+struct DiffPairParams {
+  double vdd = 1.2;        // supply [V]
+  double rload = 10e3;     // drain load resistors [ohm]
+  double itail = 200e-6;   // tail current [A]
+  double vbias = 0.7;      // common-mode input bias [V]
+  // Per-device parameters of the two input NMOS devices (mismatch knobs).
+  double vth1 = 0.4, vth2 = 0.4;  // [V]
+  double k1 = 2e-3, k2 = 2e-3;    // [A/V^2]
+  double lambda = 0.05;           // channel-length modulation [1/V]
+  // Load resistor mismatch (relative): r = rload * (1 + d).
+  double dr1 = 0.0, dr2 = 0.0;
+};
+
+struct DiffPairCircuit {
+  Netlist netlist;
+  NodeId vdd, in_p, in_n, out_p, out_n, tail;
+};
+
+DiffPairCircuit make_diff_pair(const DiffPairParams& params);
+
+/// DC solve and return the differential output voltage
+/// V(out_p) - V(out_n): zero for a perfectly matched pair, the raw
+/// measure of input offset otherwise.
+double diff_pair_output_offset(const DiffPairParams& params);
+
+/// Input-referred offset: differential output divided by the differential
+/// DC gain (estimated by finite difference on the input).
+double diff_pair_input_offset(const DiffPairParams& params);
+
+// ---------------------------------------------------------------------------
+// Ring oscillator
+// ---------------------------------------------------------------------------
+
+struct RingOscParams {
+  std::size_t stages = 5;  // must be odd and >= 3
+  double vdd = 1.0;        // supply [V]
+  double cload = 2e-15;    // per-stage load capacitance [F]
+  double lambda = 0.1;
+  // Per-stage device parameters; resized/filled with nominals if empty.
+  std::vector<double> vth_n, vth_p;  // default 0.35 / 0.35
+  std::vector<double> k_n, k_p;      // default 1.5e-3 / 1.2e-3
+};
+
+struct RingOscCircuit {
+  Netlist netlist;
+  NodeId vdd;
+  std::vector<NodeId> stage_out;
+};
+
+RingOscCircuit make_ring_oscillator(const RingOscParams& params);
+
+struct RingOscMeasurement {
+  double frequency;  // [Hz]
+  double power;      // average supply power [W]
+};
+
+/// Transient-simulate the ring and measure frequency (rising crossings at
+/// vdd/2 on stage 0) and average supply power over the second half of the
+/// run.
+RingOscMeasurement measure_ring_oscillator(const RingOscParams& params,
+                                           double t_stop = 4e-9,
+                                           double dt = 2e-12);
+
+}  // namespace bmf::spice

@@ -1,0 +1,83 @@
+#include "spice/measure.hpp"
+
+#include <stdexcept>
+
+namespace bmf::spice {
+
+namespace {
+void check_sizes(const linalg::Vector& time, const linalg::Vector& signal) {
+  if (time.size() != signal.size() || time.size() < 2)
+    throw std::invalid_argument(
+        "measure: time and signal must have equal size >= 2");
+}
+}  // namespace
+
+std::vector<double> rising_crossings(const linalg::Vector& time,
+                                     const linalg::Vector& signal,
+                                     double level) {
+  check_sizes(time, signal);
+  std::vector<double> crossings;
+  for (std::size_t i = 1; i < signal.size(); ++i) {
+    if (signal[i - 1] < level && signal[i] >= level) {
+      const double frac =
+          (level - signal[i - 1]) / (signal[i] - signal[i - 1]);
+      crossings.push_back(time[i - 1] + frac * (time[i] - time[i - 1]));
+    }
+  }
+  return crossings;
+}
+
+double oscillation_frequency(const linalg::Vector& time,
+                             const linalg::Vector& signal, double level,
+                             std::size_t periods_to_average) {
+  const auto crossings = rising_crossings(time, signal, level);
+  if (crossings.size() < periods_to_average + 1)
+    throw std::runtime_error(
+        "oscillation_frequency: not enough rising crossings (" +
+        std::to_string(crossings.size()) + ")");
+  const std::size_t last = crossings.size() - 1;
+  const double span = crossings[last] - crossings[last - periods_to_average];
+  return static_cast<double>(periods_to_average) / span;
+}
+
+double time_average(const linalg::Vector& time, const linalg::Vector& signal,
+                    double t_from) {
+  check_sizes(time, signal);
+  // Trapezoidal integral over t >= t_from; the segment straddling t_from
+  // is clipped with a linearly interpolated start value.
+  double integral = 0.0, span = 0.0;
+  for (std::size_t i = 1; i < time.size(); ++i) {
+    if (time[i] <= t_from) continue;
+    double t0 = time[i - 1], s0 = signal[i - 1];
+    if (t0 < t_from) {
+      const double frac = (t_from - t0) / (time[i] - t0);
+      s0 = s0 + frac * (signal[i] - s0);
+      t0 = t_from;
+    }
+    const double dt = time[i] - t0;
+    integral += 0.5 * (signal[i] + s0) * dt;
+    span += dt;
+  }
+  if (span <= 0.0)
+    throw std::invalid_argument("time_average: no samples after t_from");
+  return integral / span;
+}
+
+double crossing_time(const linalg::Vector& time, const linalg::Vector& signal,
+                     double level, double t_from, bool rising) {
+  check_sizes(time, signal);
+  for (std::size_t i = 1; i < signal.size(); ++i) {
+    if (time[i] < t_from) continue;
+    const bool crossed = rising
+                             ? signal[i - 1] < level && signal[i] >= level
+                             : signal[i - 1] > level && signal[i] <= level;
+    if (crossed) {
+      const double frac =
+          (level - signal[i - 1]) / (signal[i] - signal[i - 1]);
+      return time[i - 1] + frac * (time[i] - time[i - 1]);
+    }
+  }
+  throw std::runtime_error("crossing_time: signal never crosses level");
+}
+
+}  // namespace bmf::spice

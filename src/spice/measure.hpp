@@ -1,0 +1,32 @@
+// Waveform measurements for transient results: oscillation frequency via
+// threshold crossings, steady-state averages, and delays.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace bmf::spice {
+
+/// Times at which `signal` crosses `level` rising (linear interpolation
+/// between samples). `time` and `signal` must have equal size >= 2.
+std::vector<double> rising_crossings(const linalg::Vector& time,
+                                     const linalg::Vector& signal,
+                                     double level);
+
+/// Oscillation frequency from the mean period between rising crossings,
+/// using the last `periods_to_average` full periods (skips start-up).
+/// Throws std::runtime_error if fewer than periods_to_average + 1
+/// crossings are found.
+double oscillation_frequency(const linalg::Vector& time,
+                             const linalg::Vector& signal, double level,
+                             std::size_t periods_to_average = 4);
+
+/// Mean of the signal over t >= t_from.
+double time_average(const linalg::Vector& time, const linalg::Vector& signal,
+                    double t_from);
+
+/// First time the signal crosses `level` rising (or falling when
+/// rising = false) after t_from. Throws if it never does.
+double crossing_time(const linalg::Vector& time, const linalg::Vector& signal,
+                     double level, double t_from = 0.0, bool rising = true);
+
+}  // namespace bmf::spice

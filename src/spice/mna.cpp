@@ -1,0 +1,289 @@
+#include "spice/mna.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/lu.hpp"
+
+namespace bmf::spice {
+
+namespace {
+
+// Safe exponential for diode companion models.
+double limited_exp(double x) { return std::exp(std::min(x, 40.0)); }
+
+// Level-1 MOSFET evaluation in "effective NMOS" coordinates: given
+// vgs, vds >= 0 orientation handled by the caller, returns drain current
+// and the partial derivatives gm = dId/dVgs, gds = dId/dVds.
+struct MosEval {
+  double id, gm, gds;
+};
+
+MosEval eval_square_law(double vgs, double vds, double vth, double k,
+                        double lambda) {
+  MosEval e{0.0, 0.0, 0.0};
+  const double vov = vgs - vth;
+  if (vov <= 0.0) return e;  // cutoff
+  const double clm = 1.0 + lambda * vds;
+  if (vds < vov) {
+    // Triode region.
+    e.id = k * (vov * vds - 0.5 * vds * vds) * clm;
+    e.gm = k * vds * clm;
+    e.gds = k * (vov - vds) * clm +
+            k * (vov * vds - 0.5 * vds * vds) * lambda;
+  } else {
+    // Saturation.
+    e.id = 0.5 * k * vov * vov * clm;
+    e.gm = k * vov * clm;
+    e.gds = 0.5 * k * vov * vov * lambda;
+  }
+  return e;
+}
+
+}  // namespace
+
+MnaSolver::MnaSolver(const Netlist& netlist)
+    : netlist_(&netlist),
+      num_nodes_(netlist.num_nodes()),
+      unknowns_(netlist.num_nodes() - 1 + netlist.voltage_sources().size()) {}
+
+void MnaSolver::assemble(const linalg::Vector& x, double dt,
+                         const linalg::Vector& prev_voltages, double gmin,
+                         linalg::Matrix& a, linalg::Vector& b) const {
+  const Netlist& nl = *netlist_;
+  a.assign(unknowns_, unknowns_, 0.0);
+  b.assign(unknowns_, 0.0);
+
+  // Voltage of node n at the current Newton iterate.
+  auto v = [&](NodeId n) -> double { return n == kGround ? 0.0 : x[n - 1]; };
+  // Stamp helpers; ground rows/columns are dropped.
+  auto stamp_g = [&](NodeId i, NodeId j, double g) {
+    if (i != kGround && j != kGround) a(i - 1, j - 1) += g;
+  };
+  auto stamp_conductance = [&](NodeId p, NodeId n, double g) {
+    stamp_g(p, p, g);
+    stamp_g(n, n, g);
+    stamp_g(p, n, -g);
+    stamp_g(n, p, -g);
+  };
+  auto stamp_current = [&](NodeId from, NodeId to, double i) {
+    // Current i flows from `from` to `to` through the device.
+    if (from != kGround) b[from - 1] -= i;
+    if (to != kGround) b[to - 1] += i;
+  };
+
+  // gmin to ground keeps floating nodes and cutoff transistors solvable.
+  for (NodeId n = 1; n < num_nodes_; ++n) a(n - 1, n - 1) += gmin;
+
+  for (const Resistor& r : nl.resistors())
+    stamp_conductance(r.a, r.b, 1.0 / r.ohms);
+
+  if (dt > 0.0) {
+    // Backward-Euler companion: i = (C/dt) (v - v_prev).
+    for (const Capacitor& c : nl.capacitors()) {
+      const double g = c.farads / dt;
+      const double vprev =
+          (c.a == kGround ? 0.0 : prev_voltages[c.a]) -
+          (c.b == kGround ? 0.0 : prev_voltages[c.b]);
+      stamp_conductance(c.a, c.b, g);
+      stamp_current(c.a, c.b, -g * vprev);
+    }
+  }
+
+  for (const CurrentSource& s : nl.current_sources())
+    stamp_current(s.from, s.to, s.amps);
+
+  for (const Vccs& g : nl.vccs()) {
+    // i(out_from -> out_to) = gm * (v(cp) - v(cn)).
+    if (g.out_from != kGround) {
+      if (g.cp != kGround) a(g.out_from - 1, g.cp - 1) += g.gm;
+      if (g.cn != kGround) a(g.out_from - 1, g.cn - 1) -= g.gm;
+    }
+    if (g.out_to != kGround) {
+      if (g.cp != kGround) a(g.out_to - 1, g.cp - 1) -= g.gm;
+      if (g.cn != kGround) a(g.out_to - 1, g.cn - 1) += g.gm;
+    }
+  }
+
+  for (const Diode& d : nl.diodes()) {
+    const double vd = v(d.anode) - v(d.cathode);
+    const double e = limited_exp(vd / d.vt);
+    const double geq = d.is / d.vt * e;
+    const double id = d.is * (e - 1.0);
+    stamp_conductance(d.anode, d.cathode, geq);
+    stamp_current(d.anode, d.cathode, id - geq * vd);
+  }
+
+  for (const Mosfet& m : nl.mosfets()) {
+    // Map onto effective NMOS coordinates. For PMOS all voltages negate;
+    // for vds < 0 the drain and source swap roles (the level-1 model is
+    // symmetric in the channel).
+    const double sign = m.type == MosType::kNmos ? 1.0 : -1.0;
+    NodeId d_eff = m.drain, s_eff = m.source;
+    double vds = sign * (v(m.drain) - v(m.source));
+    if (vds < 0.0) {
+      std::swap(d_eff, s_eff);
+      vds = -vds;
+    }
+    const double vgs = sign * (v(m.gate) - v(s_eff));
+    const MosEval e = eval_square_law(vgs, vds, m.vth, m.k, m.lambda);
+
+    // In effective coordinates, current e.id flows d_eff -> s_eff for NMOS
+    // (s_eff -> d_eff for PMOS after un-negating).
+    // Linearized current: i = e.id + gm (dvgs) + gds (dvds), with the
+    // controlling voltages measured in effective coordinates.
+    const double vd_eff = v(d_eff), vs_eff = v(s_eff), vg = v(m.gate);
+    // i(actual, from d_eff to s_eff) = sign * [linearization in sign*v].
+    // Conductance stamps: d/dv terms. Let i_ds = sign * f(sign*(vg - vs),
+    // sign*(vd - vs)). Then di/dvg = gm, di/dvd = gds,
+    // di/dvs = -(gm + gds) — the sign factors cancel.
+    const double ieq =
+        sign * e.id - e.gm * (vg - vs_eff) - e.gds * (vd_eff - vs_eff);
+    auto add = [&](NodeId row, NodeId col, double val) {
+      if (row != kGround && col != kGround) a(row - 1, col - 1) += val;
+    };
+    add(d_eff, m.gate, e.gm);
+    add(d_eff, d_eff, e.gds);
+    add(d_eff, s_eff, -(e.gm + e.gds));
+    add(s_eff, m.gate, -e.gm);
+    add(s_eff, d_eff, -e.gds);
+    add(s_eff, s_eff, e.gm + e.gds);
+    stamp_current(d_eff, s_eff, ieq);
+  }
+
+  // Voltage sources: branch current unknowns.
+  const std::size_t first_branch = num_nodes_ - 1;
+  for (std::size_t s = 0; s < nl.voltage_sources().size(); ++s) {
+    const VoltageSource& vs = nl.voltage_sources()[s];
+    const std::size_t br = first_branch + s;
+    if (vs.pos != kGround) {
+      a(vs.pos - 1, br) += 1.0;
+      a(br, vs.pos - 1) += 1.0;
+    }
+    if (vs.neg != kGround) {
+      a(vs.neg - 1, br) -= 1.0;
+      a(br, vs.neg - 1) -= 1.0;
+    }
+    b[br] = vs.volts;
+  }
+}
+
+bool MnaSolver::newton(linalg::Vector& x, double dt,
+                       const linalg::Vector& prev_voltages, double gmin,
+                       const NewtonOptions& options,
+                       std::size_t* iterations) const {
+  linalg::Matrix a;
+  linalg::Vector b;
+  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    ++*iterations;
+    assemble(x, dt, prev_voltages, gmin, a, b);
+    linalg::Vector x_new;
+    try {
+      x_new = linalg::lu_solve(a, b);
+    } catch (const std::runtime_error&) {
+      return false;  // singular at this gmin level
+    }
+    // Damped update: cap the largest node-voltage step.
+    double max_dv = 0.0;
+    for (std::size_t n = 0; n + 1 < num_nodes_; ++n)
+      max_dv = std::max(max_dv, std::abs(x_new[n] - x[n]));
+    const double scale =
+        max_dv > options.max_step_volts ? options.max_step_volts / max_dv
+                                        : 1.0;
+    bool converged = scale == 1.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double next = x[i] + scale * (x_new[i] - x[i]);
+      if (i + 1 < num_nodes_ &&
+          std::abs(next - x[i]) >
+              options.abs_tol + options.rel_tol * std::abs(next))
+        converged = false;
+      x[i] = next;
+    }
+    if (converged) return true;
+  }
+  return false;
+}
+
+Solution MnaSolver::solve(const linalg::Vector& guess_voltages, double dt,
+                          const linalg::Vector& prev_voltages,
+                          const NewtonOptions& options) const {
+  LINALG_REQUIRE(guess_voltages.size() == num_nodes_,
+                 "MnaSolver: guess must have one entry per node");
+  linalg::Vector x0(unknowns_, 0.0);
+  for (NodeId n = 1; n < num_nodes_; ++n) x0[n - 1] = guess_voltages[n];
+  linalg::Vector x = x0;
+
+  Solution sol;
+  sol.newton_iterations = 0;
+  if (!newton(x, dt, prev_voltages, options.gmin, options,
+              &sol.newton_iterations)) {
+    // gmin stepping: restart from the guess with a heavily damped system,
+    // then relax gmin toward its floor, warm-starting each level.
+    x = x0;
+    bool ok = true;
+    for (double g = 1e-2; g > options.gmin; g *= 1e-2) {
+      ok = newton(x, dt, prev_voltages, g, options, &sol.newton_iterations);
+      if (!ok) break;
+    }
+    ok = ok && newton(x, dt, prev_voltages, options.gmin, options,
+                      &sol.newton_iterations);
+    if (!ok)
+      throw std::runtime_error(
+          "MnaSolver: Newton failed to converge (even with gmin stepping)");
+  }
+
+  sol.node_voltages.assign(num_nodes_, 0.0);
+  for (NodeId n = 1; n < num_nodes_; ++n) sol.node_voltages[n] = x[n - 1];
+  const std::size_t nv = netlist_->voltage_sources().size();
+  sol.source_currents.assign(nv, 0.0);
+  for (std::size_t s = 0; s < nv; ++s)
+    sol.source_currents[s] = x[num_nodes_ - 1 + s];
+  return sol;
+}
+
+Solution solve_dc(const Netlist& netlist, const NewtonOptions& options) {
+  MnaSolver solver(netlist);
+  const linalg::Vector zeros(netlist.num_nodes(), 0.0);
+  return solver.solve(zeros, 0.0, zeros, options);
+}
+
+Transient simulate_transient(const Netlist& netlist,
+                             const TransientOptions& options) {
+  if (options.dt <= 0.0 || options.t_stop <= options.dt)
+    throw std::invalid_argument(
+        "simulate_transient: need 0 < dt < t_stop");
+  MnaSolver solver(netlist);
+
+  linalg::Vector v0(netlist.num_nodes(), 0.0);
+  if (options.start_from_dc) {
+    v0 = solve_dc(netlist, options.newton).node_voltages;
+  } else if (!options.initial_voltages.empty()) {
+    LINALG_REQUIRE(options.initial_voltages.size() == netlist.num_nodes(),
+                   "simulate_transient: initial voltage size mismatch");
+    v0 = options.initial_voltages;
+    v0[kGround] = 0.0;
+  }
+
+  const std::size_t steps =
+      static_cast<std::size_t>(options.t_stop / options.dt) + 1;
+  Transient tr;
+  tr.time.resize(steps);
+  tr.node_voltages.assign(steps, netlist.num_nodes());
+  tr.source_currents.assign(steps, netlist.voltage_sources().size());
+
+  linalg::Vector v_prev = v0;
+  tr.time[0] = 0.0;
+  tr.node_voltages.set_row(0, v_prev);
+  for (std::size_t s = 1; s < steps; ++s) {
+    Solution sol =
+        solver.solve(v_prev, options.dt, v_prev, options.newton);
+    tr.time[s] = static_cast<double>(s) * options.dt;
+    tr.node_voltages.set_row(s, sol.node_voltages);
+    tr.source_currents.set_row(s, sol.source_currents);
+    v_prev = sol.node_voltages;
+  }
+  return tr;
+}
+
+}  // namespace bmf::spice

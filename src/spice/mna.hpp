@@ -1,0 +1,95 @@
+// Modified nodal analysis: assembly of the linearized MNA system and the
+// Newton iteration shared by the DC and transient engines.
+//
+// Unknown ordering: node voltages 1..N-1 (ground eliminated), then one
+// branch current per independent voltage source. Nonlinear devices (diode,
+// MOSFET) are stamped via their Newton companion models: around the
+// current iterate, device current i(v) is replaced by the linearization
+// g * v + (i0 - g * v0).
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "spice/netlist.hpp"
+
+namespace bmf::spice {
+
+struct NewtonOptions {
+  std::size_t max_iterations = 200;
+  /// Absolute / relative voltage convergence tolerances.
+  double abs_tol = 1e-9;
+  double rel_tol = 1e-6;
+  /// Per-iteration cap on any node-voltage update (Newton damping).
+  double max_step_volts = 0.5;
+  /// Conductance from every node to ground; also the floor of the gmin
+  /// stepping ladder used when plain Newton fails to converge.
+  double gmin = 1e-12;
+};
+
+/// Operating-point / time-step solution.
+struct Solution {
+  /// Voltage per node, indexed by NodeId (entry 0 is ground = 0 V).
+  linalg::Vector node_voltages;
+  /// Branch current per voltage source (positive out of the + terminal
+  /// through the external circuit).
+  linalg::Vector source_currents;
+  std::size_t newton_iterations = 0;
+};
+
+/// Internal workhorse: one Newton solve of the (optionally time-discrete)
+/// MNA system. When `dt > 0`, capacitors are stamped with the backward-
+/// Euler companion model around `prev` (the previous time-step solution);
+/// when `dt == 0` capacitors are open (DC).
+class MnaSolver {
+ public:
+  explicit MnaSolver(const Netlist& netlist);
+
+  /// Newton-iterate from `guess` (node voltages indexed by NodeId).
+  /// Throws std::runtime_error if Newton fails even with gmin stepping.
+  Solution solve(const linalg::Vector& guess_voltages, double dt,
+                 const linalg::Vector& prev_voltages,
+                 const NewtonOptions& options) const;
+
+  std::size_t num_unknowns() const { return unknowns_; }
+
+ private:
+  bool newton(linalg::Vector& x, double dt,
+              const linalg::Vector& prev_voltages, double gmin,
+              const NewtonOptions& options, std::size_t* iterations) const;
+
+  void assemble(const linalg::Vector& x, double dt,
+                const linalg::Vector& prev_voltages, double gmin,
+                linalg::Matrix& a, linalg::Vector& b) const;
+
+  const Netlist* netlist_;
+  std::size_t num_nodes_;
+  std::size_t unknowns_;
+};
+
+/// DC operating point (capacitors open).
+Solution solve_dc(const Netlist& netlist, const NewtonOptions& options = {});
+
+struct TransientOptions {
+  double t_stop = 0.0;
+  double dt = 0.0;
+  /// Start from the DC operating point; otherwise from `initial_voltages`
+  /// (indexed by NodeId; ground forced to 0).
+  bool start_from_dc = true;
+  linalg::Vector initial_voltages;
+  NewtonOptions newton;
+};
+
+/// Fixed-step backward-Euler transient simulation result.
+struct Transient {
+  linalg::Vector time;            // size S
+  linalg::Matrix node_voltages;   // S x num_nodes
+  linalg::Matrix source_currents; // S x num_vsources
+
+  linalg::Vector node_waveform(NodeId n) const {
+    return node_voltages.col(n);
+  }
+};
+
+Transient simulate_transient(const Netlist& netlist,
+                             const TransientOptions& options);
+
+}  // namespace bmf::spice

@@ -1,0 +1,82 @@
+#include "spice/netlist.hpp"
+
+#include <stdexcept>
+
+namespace bmf::spice {
+
+Netlist::Netlist() { names_.push_back("0"); }
+
+NodeId Netlist::add_node(const std::string& name) {
+  for (NodeId n = 0; n < names_.size(); ++n)
+    if (names_[n] == name)
+      throw std::invalid_argument("Netlist: duplicate node name " + name);
+  names_.push_back(name);
+  return names_.size() - 1;
+}
+
+NodeId Netlist::node(const std::string& name) const {
+  if (name == "gnd") return kGround;
+  for (NodeId n = 0; n < names_.size(); ++n)
+    if (names_[n] == name) return n;
+  throw std::out_of_range("Netlist: unknown node " + name);
+}
+
+void Netlist::check_node(NodeId n, const char* what) const {
+  if (n >= names_.size())
+    throw std::invalid_argument(std::string("Netlist: bad node in ") + what);
+}
+
+void Netlist::add(Resistor r) {
+  check_node(r.a, "resistor");
+  check_node(r.b, "resistor");
+  if (r.ohms <= 0.0)
+    throw std::invalid_argument("Netlist: resistor needs positive ohms");
+  resistors_.push_back(r);
+}
+
+void Netlist::add(Capacitor c) {
+  check_node(c.a, "capacitor");
+  check_node(c.b, "capacitor");
+  if (c.farads <= 0.0)
+    throw std::invalid_argument("Netlist: capacitor needs positive farads");
+  capacitors_.push_back(c);
+}
+
+void Netlist::add(VoltageSource v) {
+  check_node(v.pos, "vsource");
+  check_node(v.neg, "vsource");
+  vsources_.push_back(v);
+}
+
+void Netlist::add(CurrentSource i) {
+  check_node(i.from, "isource");
+  check_node(i.to, "isource");
+  isources_.push_back(i);
+}
+
+void Netlist::add(Vccs g) {
+  check_node(g.out_from, "vccs");
+  check_node(g.out_to, "vccs");
+  check_node(g.cp, "vccs");
+  check_node(g.cn, "vccs");
+  vccs_.push_back(g);
+}
+
+void Netlist::add(Diode d) {
+  check_node(d.anode, "diode");
+  check_node(d.cathode, "diode");
+  if (d.is <= 0.0 || d.vt <= 0.0)
+    throw std::invalid_argument("Netlist: diode needs positive is and vt");
+  diodes_.push_back(d);
+}
+
+void Netlist::add(Mosfet m) {
+  check_node(m.drain, "mosfet");
+  check_node(m.gate, "mosfet");
+  check_node(m.source, "mosfet");
+  if (m.k <= 0.0)
+    throw std::invalid_argument("Netlist: mosfet needs positive k");
+  mosfets_.push_back(m);
+}
+
+}  // namespace bmf::spice

@@ -1,0 +1,117 @@
+// Netlist representation for the SPICE substrate.
+//
+// This is a deliberately compact transistor-level circuit simulator used by
+// the end-to-end examples: enough device models (R, C, independent V/I
+// sources, VCCS, diode, level-1 MOSFET) to build the paper's motivating
+// circuits — a differential pair (Sec. IV-A worked example) and a ring
+// oscillator (Sec. V-A) — and generate *real* schematic vs post-layout
+// simulation data for BMF, rather than synthetic coefficients.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace bmf::spice {
+
+/// Node handle; kGround is the reference node.
+using NodeId = std::size_t;
+inline constexpr NodeId kGround = 0;
+
+struct Resistor {
+  NodeId a, b;
+  double ohms;
+};
+
+struct Capacitor {
+  NodeId a, b;
+  double farads;
+};
+
+struct VoltageSource {
+  NodeId pos, neg;
+  double volts;
+};
+
+struct CurrentSource {
+  NodeId from, to;  // conventional current flows from -> to through source
+  double amps;
+};
+
+/// Voltage-controlled current source: i(out_from -> out_to) = gm * v(cp, cn).
+struct Vccs {
+  NodeId out_from, out_to;
+  NodeId cp, cn;
+  double gm;
+};
+
+struct Diode {
+  NodeId anode, cathode;
+  double is = 1e-14;       // saturation current [A]
+  double vt = 0.02585;     // thermal voltage [V]
+};
+
+enum class MosType { kNmos, kPmos };
+
+/// Level-1 (square-law) MOSFET with channel-length modulation.
+struct Mosfet {
+  MosType type;
+  NodeId drain, gate, source;
+  double vth;      // threshold voltage [V] (positive for both types)
+  double k;        // transconductance factor k' * W / L [A/V^2]
+  double lambda = 0.0;  // channel-length modulation [1/V]
+};
+
+class Netlist {
+ public:
+  Netlist();
+
+  /// Create a named node; returns its id. Node "0" / "gnd" is pre-created.
+  NodeId add_node(const std::string& name);
+
+  /// Look up a node by name; throws std::out_of_range if absent.
+  NodeId node(const std::string& name) const;
+
+  std::size_t num_nodes() const { return names_.size(); }  // incl. ground
+  const std::string& node_name(NodeId n) const { return names_.at(n); }
+
+  void add(Resistor r);
+  void add(Capacitor c);
+  void add(VoltageSource v);
+  void add(CurrentSource i);
+  void add(Vccs g);
+  void add(Diode d);
+  void add(Mosfet m);
+
+  const std::vector<Resistor>& resistors() const { return resistors_; }
+  const std::vector<Capacitor>& capacitors() const { return capacitors_; }
+  const std::vector<VoltageSource>& voltage_sources() const {
+    return vsources_;
+  }
+  const std::vector<CurrentSource>& current_sources() const {
+    return isources_;
+  }
+  const std::vector<Vccs>& vccs() const { return vccs_; }
+  const std::vector<Diode>& diodes() const { return diodes_; }
+  const std::vector<Mosfet>& mosfets() const { return mosfets_; }
+
+  /// Mutable device access (for Monte Carlo parameter perturbation).
+  std::vector<Mosfet>& mosfets() { return mosfets_; }
+  std::vector<Resistor>& resistors() { return resistors_; }
+  std::vector<Capacitor>& capacitors() { return capacitors_; }
+  std::vector<VoltageSource>& voltage_sources() { return vsources_; }
+
+ private:
+  void check_node(NodeId n, const char* what) const;
+
+  std::vector<std::string> names_;
+  std::vector<Resistor> resistors_;
+  std::vector<Capacitor> capacitors_;
+  std::vector<VoltageSource> vsources_;
+  std::vector<CurrentSource> isources_;
+  std::vector<Vccs> vccs_;
+  std::vector<Diode> diodes_;
+  std::vector<Mosfet> mosfets_;
+};
+
+}  // namespace bmf::spice

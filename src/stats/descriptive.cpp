@@ -1,0 +1,132 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace bmf::stats {
+
+Summary summarize(const std::vector<double>& xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  s.min = s.max = xs[0];
+  double m = 0.0, m2 = 0.0;
+  std::size_t n = 0;
+  for (double x : xs) {
+    ++n;
+    const double d = x - m;
+    m += d / static_cast<double>(n);
+    m2 += d * (x - m);
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = m;
+  s.variance = n > 1 ? m2 / static_cast<double>(n - 1) : 0.0;
+  s.stddev = std::sqrt(s.variance);
+  return s;
+}
+
+double mean(const std::vector<double>& xs) { return summarize(xs).mean; }
+double variance(const std::vector<double>& xs) {
+  return summarize(xs).variance;
+}
+double stddev(const std::vector<double>& xs) { return summarize(xs).stddev; }
+
+double quantile(std::vector<double> xs, double q) {
+  if (xs.empty()) throw std::invalid_argument("quantile of empty sample");
+  if (q < 0.0 || q > 1.0)
+    throw std::invalid_argument("quantile level must be in [0, 1]");
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= xs.size()) return xs.back();
+  return xs[lo] * (1.0 - frac) + xs[lo + 1] * frac;
+}
+
+double correlation(const std::vector<double>& a,
+                   const std::vector<double>& b) {
+  if (a.size() != b.size() || a.empty())
+    throw std::invalid_argument("correlation: size mismatch or empty");
+  const double ma = mean(a), mb = mean(b);
+  double sab = 0.0, saa = 0.0, sbb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double da = a[i] - ma, db = b[i] - mb;
+    sab += da * db;
+    saa += da * da;
+    sbb += db * db;
+  }
+  const double denom = std::sqrt(saa * sbb);
+  return denom > 0.0 ? sab / denom : 0.0;
+}
+
+double relative_error(const std::vector<double>& predicted,
+                      const std::vector<double>& actual) {
+  if (predicted.size() != actual.size())
+    throw std::invalid_argument("relative_error: size mismatch");
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    const double d = predicted[i] - actual[i];
+    num += d * d;
+    den += actual[i] * actual[i];
+  }
+  if (den == 0.0)
+    throw std::invalid_argument("relative_error: zero actual norm");
+  return std::sqrt(num / den);
+}
+
+std::size_t Histogram::total() const {
+  std::size_t t = 0;
+  for (std::size_t c : counts) t += c;
+  return t;
+}
+
+double Histogram::bin_width() const {
+  return counts.empty() ? 0.0 : (hi - lo) / static_cast<double>(counts.size());
+}
+
+double Histogram::bin_center(std::size_t i) const {
+  return lo + (static_cast<double>(i) + 0.5) * bin_width();
+}
+
+Histogram make_histogram(const std::vector<double>& xs, std::size_t bins) {
+  if (xs.empty() || bins == 0)
+    throw std::invalid_argument("make_histogram: empty data or zero bins");
+  Histogram h;
+  h.lo = *std::min_element(xs.begin(), xs.end());
+  h.hi = *std::max_element(xs.begin(), xs.end());
+  h.counts.assign(bins, 0);
+  if (h.hi == h.lo) {
+    h.counts[0] = xs.size();
+    h.hi = h.lo + 1.0;  // avoid zero-width bins
+    return h;
+  }
+  const double w = (h.hi - h.lo) / static_cast<double>(bins);
+  for (double x : xs) {
+    std::size_t b = static_cast<std::size_t>((x - h.lo) / w);
+    if (b >= bins) b = bins - 1;  // x == hi
+    ++h.counts[b];
+  }
+  return h;
+}
+
+std::string render_histogram(const Histogram& h, std::size_t width) {
+  std::size_t peak = 1;
+  for (std::size_t c : h.counts) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t i = 0; i < h.counts.size(); ++i) {
+    const std::size_t bar = h.counts[i] * width / peak;
+    os.setf(std::ios::scientific);
+    os.precision(3);
+    os << h.bin_center(i) << "  ";
+    os.width(6);
+    os << h.counts[i] << "  ";
+    for (std::size_t b = 0; b < bar; ++b) os << '#';
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace bmf::stats

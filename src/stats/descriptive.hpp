@@ -1,0 +1,57 @@
+// Descriptive statistics, histograms and the paper's error metric (Eq. 59).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace bmf::stats {
+
+/// Summary statistics of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double variance = 0.0;  // unbiased (n-1 denominator)
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Compute mean / variance / extrema in one pass (Welford).
+Summary summarize(const std::vector<double>& xs);
+
+double mean(const std::vector<double>& xs);
+double variance(const std::vector<double>& xs);
+double stddev(const std::vector<double>& xs);
+
+/// q-quantile (0 <= q <= 1) with linear interpolation; copies and sorts.
+double quantile(std::vector<double> xs, double q);
+
+/// Pearson correlation coefficient.
+double correlation(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Relative modeling error per paper Eq. (59):
+/// || predicted - actual ||_2 / || actual ||_2.
+double relative_error(const std::vector<double>& predicted,
+                      const std::vector<double>& actual);
+
+/// Equal-width histogram.
+struct Histogram {
+  double lo = 0.0;
+  double hi = 0.0;
+  std::vector<std::size_t> counts;
+
+  std::size_t total() const;
+  double bin_width() const;
+  double bin_center(std::size_t i) const;
+};
+
+/// Build a histogram with `bins` equal-width bins spanning [min, max] of the
+/// data (values exactly at max land in the last bin).
+Histogram make_histogram(const std::vector<double>& xs, std::size_t bins);
+
+/// Render a histogram as rows of "center count ####" text; used by the
+/// Fig. 4 / Fig. 7 benches. `width` is the bar length of the tallest bin.
+std::string render_histogram(const Histogram& h, std::size_t width = 50);
+
+}  // namespace bmf::stats

@@ -1,0 +1,27 @@
+#include "stats/kfold.hpp"
+
+#include <stdexcept>
+
+namespace bmf::stats {
+
+KFold::KFold(std::size_t num_samples, std::size_t num_folds, Rng& rng)
+    : folds_(num_folds), fold_of_(num_samples) {
+  if (num_folds < 2 || num_folds > num_samples)
+    throw std::invalid_argument(
+        "KFold: need 2 <= num_folds <= num_samples");
+  // Assign shuffled indices round-robin so fold sizes differ by at most 1.
+  const auto perm = rng.permutation(num_samples);
+  for (std::size_t i = 0; i < num_samples; ++i)
+    fold_of_[perm[i]] = i % num_folds;
+}
+
+FoldSplit KFold::split(std::size_t fold) const {
+  if (fold >= folds_) throw std::out_of_range("KFold::split: bad fold index");
+  FoldSplit s;
+  for (std::size_t i = 0; i < fold_of_.size(); ++i) {
+    (fold_of_[i] == fold ? s.test : s.train).push_back(i);
+  }
+  return s;
+}
+
+}  // namespace bmf::stats

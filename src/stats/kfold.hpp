@@ -1,0 +1,40 @@
+// N-fold cross-validation partitioner (paper Section IV-D).
+//
+// The K training samples are split into N non-overlapping groups by a
+// seeded shuffle; run n uses group n for error estimation and the remaining
+// groups for fitting. Deterministic given the seed.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/rng.hpp"
+
+namespace bmf::stats {
+
+/// One train/test split of sample indices.
+struct FoldSplit {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> test;
+};
+
+class KFold {
+ public:
+  /// Partition `num_samples` indices into `num_folds` groups.
+  /// Requires 2 <= num_folds <= num_samples.
+  KFold(std::size_t num_samples, std::size_t num_folds, Rng& rng);
+
+  std::size_t num_folds() const { return fold_of_.empty() ? 0 : folds_; }
+
+  /// Train/test index sets for fold n (0-based).
+  FoldSplit split(std::size_t fold) const;
+
+  /// Fold assignment of sample i.
+  std::size_t fold_of(std::size_t i) const { return fold_of_[i]; }
+
+ private:
+  std::size_t folds_ = 0;
+  std::vector<std::size_t> fold_of_;
+};
+
+}  // namespace bmf::stats

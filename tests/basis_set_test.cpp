@@ -1,0 +1,121 @@
+#include "basis/basis_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/rng.hpp"
+
+namespace bmf::basis {
+namespace {
+
+TEST(BasisTerm, ConstantTerm) {
+  BasisTerm t;
+  EXPECT_EQ(t.total_degree(), 0u);
+  EXPECT_DOUBLE_EQ(t.evaluate({1.0, 2.0}), 1.0);
+  EXPECT_EQ(t.to_string(), "1");
+}
+
+TEST(BasisTerm, LinearTerm) {
+  BasisTerm t{{{1, 1u}}};
+  EXPECT_EQ(t.total_degree(), 1u);
+  EXPECT_DOUBLE_EQ(t.evaluate({3.0, 5.0}), 5.0);
+  EXPECT_EQ(t.to_string(), "H1(x1)");
+}
+
+TEST(BasisTerm, ProductTerm) {
+  // H1(x0) * H2(x1) = x0 * (x1^2 - 1)/sqrt(2); paper Eq. (5) style.
+  BasisTerm t{{{0, 1u}, {1, 2u}}};
+  EXPECT_EQ(t.total_degree(), 3u);
+  const double x0 = 2.0, x1 = 3.0;
+  EXPECT_NEAR(t.evaluate({x0, x1}), x0 * (x1 * x1 - 1) / std::sqrt(2.0),
+              1e-14);
+}
+
+TEST(BasisSet, LinearSetShapeMatchesPaper) {
+  // {1, x_1, ..., x_R}: M = R + 1.
+  BasisSet b = BasisSet::linear(4);
+  EXPECT_EQ(b.size(), 5u);
+  EXPECT_EQ(b.dimension(), 4u);
+  EXPECT_EQ(b.constant_index(), 0u);
+  const linalg::Vector x{1, 2, 3, 4};
+  const linalg::Vector g = b.evaluate(x);
+  EXPECT_DOUBLE_EQ(g[0], 1.0);
+  for (std::size_t r = 0; r < 4; ++r) EXPECT_DOUBLE_EQ(g[r + 1], x[r]);
+}
+
+TEST(BasisSet, TotalDegreeCountsMatchCombinatorics) {
+  // #terms with total degree <= d over R vars is C(R + d, d).
+  EXPECT_EQ(BasisSet::total_degree(2, 2).size(), 6u);   // C(4,2)
+  EXPECT_EQ(BasisSet::total_degree(3, 2).size(), 10u);  // C(5,2)
+  EXPECT_EQ(BasisSet::total_degree(2, 3).size(), 10u);  // C(5,3)
+  EXPECT_EQ(BasisSet::total_degree(5, 1).size(), 6u);   // linear
+}
+
+TEST(BasisSet, LinearPlusDiagonalQuadratic) {
+  BasisSet b = BasisSet::linear_plus_diagonal_quadratic(3);
+  EXPECT_EQ(b.size(), 7u);
+  const linalg::Vector x{1.0, 2.0, 0.0};
+  const linalg::Vector g = b.evaluate(x);
+  // Last three terms are H2 of each variable.
+  EXPECT_NEAR(g[4], (1.0 - 1.0) / std::sqrt(2.0), 1e-14);
+  EXPECT_NEAR(g[5], (4.0 - 1.0) / std::sqrt(2.0), 1e-14);
+  EXPECT_NEAR(g[6], (0.0 - 1.0) / std::sqrt(2.0), 1e-14);
+}
+
+TEST(BasisSet, ValidatesFactors) {
+  EXPECT_THROW(BasisSet(2, {BasisTerm{{{2, 1u}}}}), std::invalid_argument);
+  EXPECT_THROW(BasisSet(2, {BasisTerm{{{0, 0u}}}}), std::invalid_argument);
+  BasisSet b = BasisSet::linear(2);
+  EXPECT_THROW(b.add_term(BasisTerm{{{5, 1u}}}), std::invalid_argument);
+}
+
+TEST(BasisSet, AddTermAppends) {
+  BasisSet b = BasisSet::linear(2);
+  const std::size_t idx = b.add_term(BasisTerm{{{0, 2u}}});
+  EXPECT_EQ(idx, 3u);
+  EXPECT_EQ(b.size(), 4u);
+  EXPECT_EQ(b.term(idx).to_string(), "H2(x0)");
+}
+
+TEST(DesignMatrix, MatchesElementwiseEvaluation) {
+  BasisSet b = BasisSet::total_degree(3, 2);
+  stats::Rng rng(55);
+  linalg::Matrix pts(7, 3);
+  for (std::size_t i = 0; i < 7; ++i)
+    for (std::size_t j = 0; j < 3; ++j) pts(i, j) = rng.normal();
+  linalg::Matrix g = design_matrix(b, pts);
+  ASSERT_EQ(g.rows(), 7u);
+  ASSERT_EQ(g.cols(), b.size());
+  for (std::size_t i = 0; i < 7; ++i) {
+    const linalg::Vector gi = b.evaluate(pts.row(i));
+    for (std::size_t m = 0; m < b.size(); ++m)
+      EXPECT_NEAR(g(i, m), gi[m], 1e-13);
+  }
+}
+
+TEST(DesignMatrix, DimensionMismatchThrows) {
+  BasisSet b = BasisSet::linear(3);
+  linalg::Matrix pts(5, 2);
+  EXPECT_THROW(design_matrix(b, pts), std::invalid_argument);
+}
+
+class BasisOrthonormality : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BasisOrthonormality, MonteCarloDefectSmall) {
+  // Multi-dimensional orthonormality (paper Eq. 3) holds empirically.
+  BasisSet b = BasisSet::total_degree(3, GetParam());
+  const double defect = orthonormality_defect(b, 200000, 777);
+  EXPECT_LT(defect, 0.1) << "degree=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, BasisOrthonormality,
+                         ::testing::Values(1u, 2u, 3u));
+
+TEST(BasisSet, EvaluateDimensionMismatchThrows) {
+  BasisSet b = BasisSet::linear(3);
+  EXPECT_THROW(b.evaluate({1.0, 2.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bmf::basis

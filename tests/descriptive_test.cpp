@@ -1,0 +1,114 @@
+#include "stats/descriptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/rng.hpp"
+
+namespace bmf::stats {
+namespace {
+
+TEST(Summary, KnownValues) {
+  Summary s = summarize({1, 2, 3, 4});
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_NEAR(s.variance, 5.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+}
+
+TEST(Summary, EmptyAndSingleton) {
+  EXPECT_EQ(summarize({}).count, 0u);
+  Summary s = summarize({7.0});
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+  EXPECT_DOUBLE_EQ(s.variance, 0.0);
+}
+
+TEST(Quantile, InterpolatesLinearly) {
+  std::vector<double> xs{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.1), 1.4);
+}
+
+TEST(Quantile, Validates) {
+  EXPECT_THROW(quantile({}, 0.5), std::invalid_argument);
+  EXPECT_THROW(quantile({1.0}, 1.5), std::invalid_argument);
+  EXPECT_THROW(quantile({1.0}, -0.1), std::invalid_argument);
+}
+
+TEST(Correlation, PerfectAndAnti) {
+  EXPECT_NEAR(correlation({1, 2, 3}, {2, 4, 6}), 1.0, 1e-12);
+  EXPECT_NEAR(correlation({1, 2, 3}, {3, 2, 1}), -1.0, 1e-12);
+}
+
+TEST(Correlation, ConstantSeriesGivesZero) {
+  EXPECT_DOUBLE_EQ(correlation({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+TEST(Correlation, Validates) {
+  EXPECT_THROW(correlation({1.0}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(correlation({}, {}), std::invalid_argument);
+}
+
+TEST(RelativeError, MatchesPaperEq59) {
+  // ||pred - act||_2 / ||act||_2 with act = (3, 4): norm 5.
+  EXPECT_DOUBLE_EQ(relative_error({3, 4}, {3, 4}), 0.0);
+  EXPECT_DOUBLE_EQ(relative_error({3, 9}, {3, 4}), 1.0);  // diff norm 5
+  EXPECT_THROW(relative_error({1.0}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(relative_error({1.0}, {0.0}), std::invalid_argument);
+}
+
+TEST(Histogram, CountsAndEdges) {
+  Histogram h = make_histogram({0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 5);
+  EXPECT_EQ(h.counts.size(), 5u);
+  EXPECT_EQ(h.total(), 10u);
+  EXPECT_DOUBLE_EQ(h.lo, 0.0);
+  EXPECT_DOUBLE_EQ(h.hi, 9.0);
+  // Max value lands in last bin.
+  EXPECT_GE(h.counts.back(), 1u);
+  std::size_t sum = 0;
+  for (auto c : h.counts) sum += c;
+  EXPECT_EQ(sum, 10u);
+}
+
+TEST(Histogram, DegenerateAllEqual) {
+  Histogram h = make_histogram({2, 2, 2}, 4);
+  EXPECT_EQ(h.counts[0], 3u);
+  EXPECT_GT(h.bin_width(), 0.0);
+}
+
+TEST(Histogram, Validates) {
+  EXPECT_THROW(make_histogram({}, 3), std::invalid_argument);
+  EXPECT_THROW(make_histogram({1.0}, 0), std::invalid_argument);
+}
+
+TEST(Histogram, BinCenters) {
+  Histogram h = make_histogram({0.0, 10.0}, 2);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 2.5);
+  EXPECT_DOUBLE_EQ(h.bin_center(1), 7.5);
+}
+
+TEST(Histogram, RenderContainsBars) {
+  Histogram h = make_histogram({1, 1, 1, 5}, 2);
+  const std::string text = render_histogram(h, 10);
+  EXPECT_NE(text.find('#'), std::string::npos);
+  EXPECT_NE(text.find('\n'), std::string::npos);
+}
+
+TEST(Histogram, GaussianSamplesLookUnimodal) {
+  Rng rng(21);
+  std::vector<double> xs(20000);
+  for (double& x : xs) x = rng.normal();
+  Histogram h = make_histogram(xs, 21);
+  // The central bin should hold more mass than the edge bins.
+  const std::size_t mid = h.counts[10];
+  EXPECT_GT(mid, 10 * std::max<std::size_t>(h.counts.front(), 1));
+  EXPECT_GT(mid, 10 * std::max<std::size_t>(h.counts.back(), 1));
+}
+
+}  // namespace
+}  // namespace bmf::stats

@@ -1,0 +1,144 @@
+#include "regress/elastic_net.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/blas.hpp"
+#include "regress/least_squares.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/rng.hpp"
+
+namespace bmf::regress {
+namespace {
+
+struct SparseProblem {
+  linalg::Matrix g;
+  linalg::Vector f;
+  linalg::Vector truth;
+};
+
+SparseProblem make_problem(std::size_t k, std::size_t m, std::size_t s,
+                           double noise, stats::Rng& rng) {
+  SparseProblem p;
+  p.g.assign(k, m);
+  for (std::size_t i = 0; i < k; ++i)
+    for (std::size_t j = 0; j < m; ++j) p.g(i, j) = rng.normal();
+  p.truth.assign(m, 0.0);
+  auto perm = rng.permutation(m);
+  for (std::size_t t = 0; t < s; ++t)
+    p.truth[perm[t]] = (rng.uniform() < 0.5 ? -1.0 : 1.0) * (1.0 + rng.uniform());
+  p.f = linalg::gemv(p.g, p.truth);
+  for (double& v : p.f) v += rng.normal(0.0, noise);
+  return p;
+}
+
+TEST(ElasticNet, LassoRecoversSparseSupport) {
+  stats::Rng rng(1);
+  SparseProblem p = make_problem(80, 40, 4, 0.01, rng);
+  ElasticNetResult r = elastic_net_solve(p.g, p.f);
+  for (std::size_t j = 0; j < 40; ++j) {
+    if (p.truth[j] != 0.0)
+      EXPECT_NEAR(r.coefficients[j], p.truth[j], 0.15) << "j=" << j;
+    else
+      EXPECT_LT(std::abs(r.coefficients[j]), 0.1) << "j=" << j;
+  }
+  EXPECT_FALSE(r.path_lambdas.empty());
+  EXPECT_EQ(r.path_lambdas.size(), r.path_validation_errors.size());
+}
+
+TEST(ElasticNet, UnderdeterminedRecovery) {
+  stats::Rng rng(2);
+  SparseProblem p = make_problem(40, 120, 5, 0.1, rng);
+  ElasticNetResult r = elastic_net_solve(p.g, p.f);
+  linalg::Vector pred = linalg::gemv(p.g, r.coefficients);
+  EXPECT_LT(stats::relative_error(pred, p.f), 0.2);
+  // The genuinely large coefficients must sit on the true support.
+  std::size_t big_off_support = 0;
+  for (std::size_t j = 0; j < 120; ++j)
+    if (p.truth[j] == 0.0 && std::abs(r.coefficients[j]) > 0.3)
+      ++big_off_support;
+  EXPECT_LE(big_off_support, 2u);
+}
+
+TEST(ElasticNet, LargeLambdaGivesZeroSolution) {
+  stats::Rng rng(3);
+  SparseProblem p = make_problem(30, 10, 3, 0.01, rng);
+  ElasticNetOptions opt;
+  opt.validation_fraction = 0.0;
+  opt.lambda = 1e9;
+  ElasticNetResult r = elastic_net_solve(p.g, p.f, opt);
+  for (double c : r.coefficients) EXPECT_DOUBLE_EQ(c, 0.0);
+}
+
+TEST(ElasticNet, TinyLambdaApproachesLeastSquares) {
+  stats::Rng rng(4);
+  SparseProblem p = make_problem(60, 8, 8, 0.05, rng);
+  ElasticNetOptions opt;
+  opt.validation_fraction = 0.0;
+  opt.lambda = 1e-10;
+  opt.tolerance = 1e-12;
+  opt.max_sweeps = 20000;
+  ElasticNetResult r = elastic_net_solve(p.g, p.f, opt);
+  linalg::Vector ls = least_squares_coefficients(p.g, p.f);
+  for (std::size_t j = 0; j < 8; ++j)
+    EXPECT_NEAR(r.coefficients[j], ls[j], 1e-4);
+}
+
+TEST(ElasticNet, RidgeLimitMatchesRidgeRegression) {
+  // rho = 0 with lambda L2 only: objective (1/2K)||f-Ga||^2 + (lambda/2)||a||^2
+  // has the normal equations (G^T G + K lambda I) a = G^T f.
+  stats::Rng rng(5);
+  SparseProblem p = make_problem(50, 6, 6, 0.1, rng);
+  ElasticNetOptions opt;
+  opt.rho = 0.0;
+  opt.validation_fraction = 0.0;
+  opt.lambda = 0.2;
+  opt.tolerance = 1e-13;
+  opt.max_sweeps = 50000;
+  ElasticNetResult r = elastic_net_solve(p.g, p.f, opt);
+  linalg::Vector ridge =
+      ridge_coefficients(p.g, p.f, 50.0 * 0.2);  // K * lambda
+  for (std::size_t j = 0; j < 6; ++j)
+    EXPECT_NEAR(r.coefficients[j], ridge[j], 1e-5);
+}
+
+TEST(ElasticNet, Validates) {
+  linalg::Matrix g(3, 2);
+  linalg::Vector f(3, 0.0);
+  ElasticNetOptions opt;
+  opt.rho = 1.5;
+  EXPECT_THROW(elastic_net_solve(g, f, opt), std::invalid_argument);
+  opt.rho = 0.5;
+  opt.path_size = 0;
+  EXPECT_THROW(elastic_net_solve(g, f, opt), std::invalid_argument);
+  EXPECT_THROW(elastic_net_solve(g, {1.0}, {}), std::invalid_argument);
+  EXPECT_THROW(elastic_net_solve(linalg::Matrix(0, 2), {}, {}),
+               std::invalid_argument);
+}
+
+TEST(ElasticNet, FitProducesModel) {
+  stats::Rng rng(6);
+  const std::size_t k = 50, rdim = 10;
+  linalg::Matrix pts(k, rdim);
+  linalg::Vector f(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < rdim; ++j) pts(i, j) = rng.normal();
+    f[i] = 2.0 + 4.0 * pts(i, 3) + rng.normal(0.0, 0.01);
+  }
+  auto model = elastic_net_fit(basis::BasisSet::linear(rdim), pts, f);
+  EXPECT_NEAR(model.coefficients()[4], 4.0, 0.2);
+  EXPECT_NEAR(model.coefficients()[0], 2.0, 0.2);
+}
+
+TEST(ElasticNet, DeterministicGivenSeed) {
+  stats::Rng rng(7);
+  SparseProblem p = make_problem(40, 30, 4, 0.1, rng);
+  ElasticNetResult a = elastic_net_solve(p.g, p.f);
+  ElasticNetResult b = elastic_net_solve(p.g, p.f);
+  EXPECT_EQ(a.coefficients, b.coefficients);
+  EXPECT_DOUBLE_EQ(a.lambda, b.lambda);
+}
+
+}  // namespace
+}  // namespace bmf::regress

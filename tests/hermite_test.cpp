@@ -1,0 +1,95 @@
+#include "basis/hermite.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/rng.hpp"
+
+namespace bmf::basis {
+namespace {
+
+TEST(Hermite, FirstFewMatchPaperEq4) {
+  // g1(x)=1, g2(x)=x, g3(x)=(x^2-1)/sqrt(2) per paper Eq. (4).
+  for (double x : {-2.0, -0.5, 0.0, 1.0, 3.0}) {
+    EXPECT_DOUBLE_EQ(hermite_orthonormal(0, x), 1.0);
+    EXPECT_DOUBLE_EQ(hermite_orthonormal(1, x), x);
+    EXPECT_NEAR(hermite_orthonormal(2, x), (x * x - 1.0) / std::sqrt(2.0),
+                1e-14);
+    EXPECT_NEAR(hermite_orthonormal(3, x),
+                (x * x * x - 3.0 * x) / std::sqrt(6.0), 1e-13);
+  }
+}
+
+TEST(Hermite, AllMatchesScalar) {
+  const double x = 1.234;
+  auto vals = hermite_orthonormal_all(6, x);
+  ASSERT_EQ(vals.size(), 7u);
+  for (unsigned n = 0; n <= 6; ++n)
+    EXPECT_NEAR(vals[n], hermite_orthonormal(n, x), 1e-12) << "n=" << n;
+}
+
+TEST(Hermite, CoefficientsMatchRecurrence) {
+  for (unsigned n = 0; n <= 8; ++n) {
+    auto coef = hermite_orthonormal_coefficients(n);
+    ASSERT_EQ(coef.size(), n + 1);
+    for (double x : {-1.7, 0.3, 2.1}) {
+      double poly = 0.0, xp = 1.0;
+      for (double c : coef) {
+        poly += c * xp;
+        xp *= x;
+      }
+      EXPECT_NEAR(poly, hermite_orthonormal(n, x), 1e-10 * (1 << n))
+          << "n=" << n << " x=" << x;
+    }
+  }
+}
+
+TEST(Hermite, ParityAlternates) {
+  // He_n(-x) = (-1)^n He_n(x).
+  for (unsigned n = 0; n <= 7; ++n) {
+    const double x = 0.87;
+    const double sign = (n % 2 == 0) ? 1.0 : -1.0;
+    EXPECT_NEAR(hermite_orthonormal(n, -x),
+                sign * hermite_orthonormal(n, x), 1e-12);
+  }
+}
+
+class HermiteOrthonormality : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(HermiteOrthonormality, MonteCarloMomentsMatchEq3) {
+  // E[H_i(X) H_j(X)] = delta_ij for X ~ N(0,1), paper Eq. (3).
+  const unsigned i = GetParam();
+  stats::Rng rng(300 + i);
+  const int n = 400000;
+  std::vector<double> moments(i + 1, 0.0);
+  for (int s = 0; s < n; ++s) {
+    const double x = rng.normal();
+    const auto h = hermite_orthonormal_all(i, x);
+    for (unsigned j = 0; j <= i; ++j) moments[j] += h[i] * h[j];
+  }
+  for (unsigned j = 0; j <= i; ++j) {
+    const double e = moments[j] / n;
+    const double expect = (j == i) ? 1.0 : 0.0;
+    // MC tolerance grows with degree (heavier-tailed integrands).
+    EXPECT_NEAR(e, expect, 0.05 * (1 << i)) << "i=" << i << " j=" << j;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, HermiteOrthonormality,
+                         ::testing::Values(0u, 1u, 2u, 3u, 4u));
+
+TEST(Hermite, RecurrenceStableAtModerateDegree) {
+  // Values must stay finite and match the explicit-coefficient evaluation.
+  auto coef = hermite_orthonormal_coefficients(12);
+  const double x = 1.5;
+  double poly = 0.0, xp = 1.0;
+  for (double c : coef) {
+    poly += c * xp;
+    xp *= x;
+  }
+  EXPECT_NEAR(hermite_orthonormal(12, x), poly, 1e-8 * std::abs(poly));
+}
+
+}  // namespace
+}  // namespace bmf::basis

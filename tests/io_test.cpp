@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "io/args.hpp"
+#include "io/csv.hpp"
+#include "io/table.hpp"
+
+namespace bmf::io {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"K", "OMP", "BMF-PS"});
+  t.add_row({"100", "2.7187", "0.5558"});
+  t.add_row({"900", "0.8671", "0.4518"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("K    OMP     BMF-PS"), std::string::npos);
+  EXPECT_NE(s.find("100  2.7187  0.5558"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.num_cols(), 3u);
+}
+
+TEST(Table, Validates) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(2.71873, 4), "2.7187");
+  EXPECT_EQ(Table::num(1.0, 2), "1.00");
+}
+
+TEST(Csv, RoundTripWithHeader) {
+  const std::string path = ::testing::TempDir() + "/bmf_csv_test.csv";
+  linalg::Matrix m{{1.5, -2.0}, {3.25, 4.0}};
+  write_csv(path, m, {"a", "b"});
+  std::vector<std::string> header;
+  linalg::Matrix r = read_csv(path, true, &header);
+  ASSERT_EQ(header.size(), 2u);
+  EXPECT_EQ(header[0], "a");
+  EXPECT_EQ(header[1], "b");
+  ASSERT_EQ(r.rows(), 2u);
+  ASSERT_EQ(r.cols(), 2u);
+  EXPECT_DOUBLE_EQ(r(0, 0), 1.5);
+  EXPECT_DOUBLE_EQ(r(1, 1), 4.0);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, ColumnsWriter) {
+  const std::string path = ::testing::TempDir() + "/bmf_csv_cols.csv";
+  write_csv_columns(path, {"x", "y"}, {{1, 2, 3}, {4, 5, 6}});
+  linalg::Matrix r = read_csv(path, true);
+  ASSERT_EQ(r.rows(), 3u);
+  EXPECT_DOUBLE_EQ(r(2, 1), 6.0);
+  std::remove(path.c_str());
+  EXPECT_THROW(write_csv_columns(path, {"x"}, {{1}, {2}}),
+               std::invalid_argument);
+  EXPECT_THROW(write_csv_columns(path, {"x", "y"}, {{1, 2}, {3}}),
+               std::invalid_argument);
+}
+
+TEST(Csv, Errors) {
+  EXPECT_THROW(read_csv("/nonexistent/path.csv"), std::runtime_error);
+  const std::string path = ::testing::TempDir() + "/bmf_csv_bad.csv";
+  {
+    std::ofstream os(path);
+    os << "1,2\n3\n";
+  }
+  EXPECT_THROW(read_csv(path), std::runtime_error);
+  {
+    std::ofstream os(path);
+    os << "1,abc\n";
+  }
+  EXPECT_THROW(read_csv(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Args, ParsesKeysFlagsAndPositionals) {
+  const char* argv[] = {"prog",        "--k",   "300",  "--full",
+                        "--seed=42",   "input", "--x",  "1.5",
+                        "--name=test"};
+  Args args(9, argv);
+  EXPECT_EQ(args.program(), "prog");
+  EXPECT_EQ(args.get_int("k", 0), 300);
+  EXPECT_TRUE(args.flag("full"));
+  EXPECT_FALSE(args.flag("absent"));
+  EXPECT_EQ(args.get_seed("seed", 0), 42u);
+  EXPECT_DOUBLE_EQ(args.get_double("x", 0.0), 1.5);
+  EXPECT_EQ(args.get("name"), "test");
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "input");
+}
+
+TEST(Args, FallbacksAndErrors) {
+  const char* argv[] = {"prog", "--k", "abc"};
+  Args args(3, argv);
+  EXPECT_EQ(args.get_int("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(args.get_double("missing", 1.25), 1.25);
+  EXPECT_THROW(args.get_int("k", 0), std::invalid_argument);
+  EXPECT_THROW(args.get_double("k", 0.0), std::invalid_argument);
+  EXPECT_THROW(args.get_seed("k", 0), std::invalid_argument);
+}
+
+TEST(Args, FlagFollowedByFlag) {
+  const char* argv[] = {"prog", "--a", "--b", "v"};
+  Args args(4, argv);
+  EXPECT_TRUE(args.flag("a"));
+  EXPECT_EQ(args.get("b"), "v");
+}
+
+}  // namespace
+}  // namespace bmf::io

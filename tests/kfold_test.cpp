@@ -1,0 +1,69 @@
+#include "stats/kfold.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace bmf::stats {
+namespace {
+
+TEST(KFold, PartitionsAllSamples) {
+  Rng rng(1);
+  KFold kf(20, 5, rng);
+  std::set<std::size_t> seen;
+  for (std::size_t f = 0; f < 5; ++f) {
+    FoldSplit s = kf.split(f);
+    EXPECT_EQ(s.train.size() + s.test.size(), 20u);
+    for (auto i : s.test) {
+      EXPECT_TRUE(seen.insert(i).second) << "sample in two test folds";
+    }
+  }
+  EXPECT_EQ(seen.size(), 20u);
+}
+
+TEST(KFold, TrainAndTestDisjoint) {
+  Rng rng(2);
+  KFold kf(17, 4, rng);
+  for (std::size_t f = 0; f < 4; ++f) {
+    FoldSplit s = kf.split(f);
+    std::set<std::size_t> train(s.train.begin(), s.train.end());
+    for (auto i : s.test) EXPECT_EQ(train.count(i), 0u);
+  }
+}
+
+TEST(KFold, BalancedSizes) {
+  Rng rng(3);
+  KFold kf(22, 5, rng);  // sizes must be 5,5,4,4,4 in some order
+  std::vector<std::size_t> sizes;
+  for (std::size_t f = 0; f < 5; ++f) sizes.push_back(kf.split(f).test.size());
+  std::sort(sizes.begin(), sizes.end());
+  EXPECT_EQ(sizes.front(), 4u);
+  EXPECT_EQ(sizes.back(), 5u);
+}
+
+TEST(KFold, FoldOfConsistentWithSplit) {
+  Rng rng(4);
+  KFold kf(10, 2, rng);
+  for (std::size_t f = 0; f < 2; ++f)
+    for (auto i : kf.split(f).test) EXPECT_EQ(kf.fold_of(i), f);
+}
+
+TEST(KFold, DeterministicGivenSeed) {
+  Rng a(5), b(5);
+  KFold ka(30, 3, a), kb(30, 3, b);
+  for (std::size_t i = 0; i < 30; ++i)
+    EXPECT_EQ(ka.fold_of(i), kb.fold_of(i));
+}
+
+TEST(KFold, Validates) {
+  Rng rng(6);
+  EXPECT_THROW(KFold(5, 1, rng), std::invalid_argument);
+  EXPECT_THROW(KFold(5, 6, rng), std::invalid_argument);
+  EXPECT_NO_THROW(KFold(5, 5, rng));
+  KFold kf(5, 5, rng);
+  EXPECT_THROW(kf.split(5), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace bmf::stats

@@ -1,0 +1,114 @@
+#include "regress/least_squares.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/blas.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/rng.hpp"
+
+namespace bmf::regress {
+namespace {
+
+// Sample K points of a known linear model and return (points, responses).
+struct Data {
+  linalg::Matrix points;
+  linalg::Vector f;
+};
+
+Data make_linear_data(const linalg::Vector& truth, std::size_t k,
+                      double noise_sd, stats::Rng& rng) {
+  const std::size_t r = truth.size() - 1;
+  Data d{linalg::Matrix(k, r), linalg::Vector(k)};
+  for (std::size_t i = 0; i < k; ++i) {
+    double f = truth[0];
+    for (std::size_t j = 0; j < r; ++j) {
+      const double x = rng.normal();
+      d.points(i, j) = x;
+      f += truth[j + 1] * x;
+    }
+    d.f[i] = f + rng.normal(0.0, noise_sd);
+  }
+  return d;
+}
+
+TEST(LeastSquares, RecoversNoiselessModel) {
+  stats::Rng rng(1);
+  const linalg::Vector truth{1.0, 2.0, -3.0, 0.5};
+  Data d = make_linear_data(truth, 20, 0.0, rng);
+  auto model = least_squares_fit(basis::BasisSet::linear(3), d.points, d.f);
+  for (std::size_t m = 0; m < truth.size(); ++m)
+    EXPECT_NEAR(model.coefficients()[m], truth[m], 1e-10);
+}
+
+TEST(LeastSquares, UnderdeterminedThrows) {
+  linalg::Matrix g(3, 5);
+  linalg::Vector f(3, 0.0);
+  EXPECT_THROW(least_squares_coefficients(g, f), std::invalid_argument);
+}
+
+TEST(LeastSquares, RhsSizeMismatchThrows) {
+  linalg::Matrix g(5, 2);
+  linalg::Vector f(4, 0.0);
+  EXPECT_THROW(least_squares_coefficients(g, f), std::invalid_argument);
+}
+
+TEST(LeastSquares, NoisyFitApproachesTruthWithMoreSamples) {
+  stats::Rng rng(2);
+  const linalg::Vector truth{0.5, 1.0, -1.0};
+  Data small = make_linear_data(truth, 10, 0.5, rng);
+  Data large = make_linear_data(truth, 2000, 0.5, rng);
+  auto basis2 = basis::BasisSet::linear(2);
+  auto m_small = least_squares_fit(basis2, small.points, small.f);
+  auto m_large = least_squares_fit(basis2, large.points, large.f);
+  double err_small = 0.0, err_large = 0.0;
+  for (std::size_t m = 0; m < truth.size(); ++m) {
+    err_small += std::abs(m_small.coefficients()[m] - truth[m]);
+    err_large += std::abs(m_large.coefficients()[m] - truth[m]);
+  }
+  EXPECT_LT(err_large, err_small);
+  EXPECT_LT(err_large, 0.1);
+}
+
+TEST(Ridge, ShrinksTowardZero) {
+  stats::Rng rng(3);
+  const linalg::Vector truth{0.0, 4.0};
+  Data d = make_linear_data(truth, 50, 0.1, rng);
+  auto basis1 = basis::BasisSet::linear(1);
+  auto weak = ridge_fit(basis1, d.points, d.f, 1e-6);
+  auto strong = ridge_fit(basis1, d.points, d.f, 1e6);
+  EXPECT_NEAR(weak.coefficients()[1], 4.0, 0.05);
+  EXPECT_LT(std::abs(strong.coefficients()[1]), 0.1);
+}
+
+TEST(Ridge, UnderdeterminedViaWoodburyMatchesNormalEquationsLimit) {
+  // K < M path must agree with the K >= M path on a square-ish problem
+  // evaluated both ways (pad with zero columns to flip the branch).
+  stats::Rng rng(4);
+  const std::size_t k = 6, m = 4;
+  linalg::Matrix g(k, m);
+  for (std::size_t i = 0; i < k; ++i)
+    for (std::size_t j = 0; j < m; ++j) g(i, j) = rng.normal();
+  linalg::Vector f = rng.normal_vector(k);
+  const double lambda = 0.3;
+  linalg::Vector a1 = ridge_coefficients(g, f, lambda);  // k >= m branch
+
+  // Wide variant: append columns of zeros; solution on original coords
+  // must be identical and the new coords zero.
+  linalg::Matrix gw(k, 10, 0.0);
+  for (std::size_t i = 0; i < k; ++i)
+    for (std::size_t j = 0; j < m; ++j) gw(i, j) = g(i, j);
+  linalg::Vector a2 = ridge_coefficients(gw, f, lambda);  // k < m branch
+  for (std::size_t j = 0; j < m; ++j) EXPECT_NEAR(a2[j], a1[j], 1e-9);
+  for (std::size_t j = m; j < 10; ++j) EXPECT_NEAR(a2[j], 0.0, 1e-12);
+}
+
+TEST(Ridge, Validates) {
+  linalg::Matrix g(3, 2);
+  linalg::Vector f(3, 0.0);
+  EXPECT_THROW(ridge_coefficients(g, f, 0.0), std::invalid_argument);
+  EXPECT_THROW(ridge_coefficients(g, f, -1.0), std::invalid_argument);
+  EXPECT_THROW(ridge_coefficients(g, {1.0}, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bmf::regress

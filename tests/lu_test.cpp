@@ -1,0 +1,82 @@
+#include "linalg/lu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/blas.hpp"
+#include "stats/rng.hpp"
+
+namespace bmf::linalg {
+namespace {
+
+TEST(Lu, SolvesKnownSystem) {
+  Matrix a{{0, 2}, {1, 1}};  // needs pivoting (zero leading pivot)
+  Vector x = lu_solve(a, {4, 3});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Lu, NonSquareThrows) {
+  EXPECT_THROW(Lu{Matrix(2, 3)}, std::invalid_argument);
+}
+
+TEST(Lu, SingularThrows) {
+  Matrix a{{1, 2}, {2, 4}};
+  EXPECT_THROW(Lu{a}, std::runtime_error);
+}
+
+TEST(Lu, SolveSizeMismatchThrows) {
+  Lu lu(Matrix{{1, 0}, {0, 1}});
+  EXPECT_THROW(lu.solve({1, 2, 3}), std::invalid_argument);
+}
+
+class LuRandom : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LuRandom, ResidualSmall) {
+  const std::size_t n = GetParam();
+  stats::Rng rng(700 + n);
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.normal();
+  Vector b = rng.normal_vector(n);
+  Vector x = lu_solve(a, b);
+  Vector r = sub(gemv(a, x), b);
+  EXPECT_LT(norm2(r), 1e-9 * (1.0 + norm2(b))) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuRandom,
+                         ::testing::Values(1, 2, 3, 7, 15, 40, 80));
+
+TEST(Lu, UnsymmetricSystem) {
+  // A deliberately unsymmetric (MNA-like) matrix with a controlled source.
+  Matrix a{{2, -1, 0}, {-1, 3, 5}, {0.5, 0, 1}};
+  Vector truth{1.0, -2.0, 0.5};
+  Vector b = gemv(a, truth);
+  Vector x = lu_solve(a, b);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(x[i], truth[i], 1e-10);
+}
+
+TEST(Lu, PivotRatioAndLogDet) {
+  Matrix a{{4, 0}, {0, 0.25}};
+  Lu lu(a);
+  EXPECT_NEAR(lu.min_max_pivot_ratio(), 0.0625, 1e-12);
+  EXPECT_NEAR(lu.log_abs_det(), std::log(1.0), 1e-12);
+}
+
+TEST(Lu, RepeatedSolvesWithOneFactorization) {
+  stats::Rng rng(9);
+  const std::size_t n = 10;
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.normal();
+  Lu lu(a);
+  for (int rep = 0; rep < 3; ++rep) {
+    Vector b = rng.normal_vector(n);
+    Vector x = lu.solve(b);
+    EXPECT_LT(norm2(sub(gemv(a, x), b)), 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace bmf::linalg

@@ -1,0 +1,137 @@
+#include "linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace bmf::linalg {
+namespace {
+
+TEST(Matrix, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(Matrix, ConstructorFills) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(m(i, j), 1.5);
+}
+
+TEST(Matrix, InitializerList) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(0, 0), 1);
+  EXPECT_DOUBLE_EQ(m(1, 2), 6);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1, 2}, {3}}), std::invalid_argument);
+}
+
+TEST(Matrix, Identity) {
+  Matrix i = Matrix::identity(3);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c)
+      EXPECT_DOUBLE_EQ(i(r, c), r == c ? 1.0 : 0.0);
+}
+
+TEST(Matrix, Diagonal) {
+  Matrix d = Matrix::diagonal({2, 3});
+  EXPECT_DOUBLE_EQ(d(0, 0), 2);
+  EXPECT_DOUBLE_EQ(d(1, 1), 3);
+  EXPECT_DOUBLE_EQ(d(0, 1), 0);
+}
+
+TEST(Matrix, AtThrowsOutOfRange) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m.at(2, 0), std::out_of_range);
+  EXPECT_THROW(m.at(0, 2), std::out_of_range);
+  EXPECT_NO_THROW(m.at(1, 1));
+}
+
+TEST(Matrix, RowColAccess) {
+  Matrix m{{1, 2}, {3, 4}, {5, 6}};
+  EXPECT_EQ(m.row(1), (Vector{3, 4}));
+  EXPECT_EQ(m.col(0), (Vector{1, 3, 5}));
+}
+
+TEST(Matrix, SetRowAndCol) {
+  Matrix m(2, 2);
+  m.set_row(0, {1, 2});
+  m.set_col(1, {7, 8});
+  EXPECT_DOUBLE_EQ(m(0, 0), 1);
+  EXPECT_DOUBLE_EQ(m(0, 1), 7);
+  EXPECT_DOUBLE_EQ(m(1, 1), 8);
+}
+
+TEST(Matrix, SetRowShapeMismatchThrows) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m.set_row(0, {1, 2, 3}), std::invalid_argument);
+  EXPECT_THROW(m.set_col(0, {1}), std::invalid_argument);
+}
+
+TEST(Matrix, Transposed) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(t(j, i), m(i, j));
+}
+
+TEST(Matrix, Block) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}};
+  Matrix b = m.block(1, 1, 2, 2);
+  EXPECT_DOUBLE_EQ(b(0, 0), 5);
+  EXPECT_DOUBLE_EQ(b(1, 1), 9);
+  EXPECT_THROW(m.block(2, 2, 2, 2), std::invalid_argument);
+}
+
+TEST(Matrix, Arithmetic) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{4, 3}, {2, 1}};
+  Matrix s = a + b;
+  EXPECT_DOUBLE_EQ(s(0, 0), 5);
+  EXPECT_DOUBLE_EQ(s(1, 1), 5);
+  Matrix d = a - b;
+  EXPECT_DOUBLE_EQ(d(0, 0), -3);
+  Matrix sc = 2.0 * a;
+  EXPECT_DOUBLE_EQ(sc(1, 0), 6);
+}
+
+TEST(Matrix, ArithmeticShapeMismatchThrows) {
+  Matrix a(2, 2), b(2, 3);
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW(a -= b, std::invalid_argument);
+}
+
+TEST(Matrix, MaxAbsDiffAndFrobenius) {
+  Matrix a{{3, 0}, {0, 4}};
+  Matrix b{{3, 0}, {0, 0}};
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 4.0);
+  EXPECT_DOUBLE_EQ(frobenius_norm(a), 5.0);
+}
+
+TEST(Matrix, StreamOutput) {
+  Matrix a{{1, 2}};
+  std::ostringstream os;
+  os << a;
+  EXPECT_EQ(os.str(), "[1, 2]");
+}
+
+TEST(Matrix, AssignResizes) {
+  Matrix m(2, 2, 1.0);
+  m.assign(3, 1, 7.0);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 1u);
+  EXPECT_DOUBLE_EQ(m(2, 0), 7.0);
+}
+
+}  // namespace
+}  // namespace bmf::linalg

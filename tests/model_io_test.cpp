@@ -1,0 +1,106 @@
+#include "io/model_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "stats/rng.hpp"
+
+namespace bmf::io {
+namespace {
+
+std::string temp_path(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(ModelIo, RoundTripLinearModel) {
+  const std::string path = temp_path("linear.bmfmodel");
+  basis::PerformanceModel m(basis::BasisSet::linear(5),
+                            {1.5, -2.25, 0.0, 1e-17, 3.0, -0.5});
+  save_model(path, m);
+  basis::PerformanceModel r = load_model(path);
+  ASSERT_EQ(r.num_terms(), m.num_terms());
+  ASSERT_EQ(r.basis().dimension(), 5u);
+  for (std::size_t i = 0; i < m.num_terms(); ++i) {
+    EXPECT_EQ(r.coefficients()[i], m.coefficients()[i]) << "i=" << i;
+    EXPECT_EQ(r.basis().term(i), m.basis().term(i)) << "i=" << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ModelIo, RoundTripHighOrderTerms) {
+  const std::string path = temp_path("quad.bmfmodel");
+  auto b = basis::BasisSet::total_degree(3, 3);
+  stats::Rng rng(42);
+  linalg::Vector coeffs(b.size());
+  for (double& c : coeffs) c = rng.normal();
+  basis::PerformanceModel m(b, coeffs);
+  save_model(path, m);
+  basis::PerformanceModel r = load_model(path);
+  // Predictions must match bit-for-bit on arbitrary points.
+  for (int s = 0; s < 10; ++s) {
+    linalg::Vector x = rng.normal_vector(3);
+    EXPECT_EQ(r.predict(x), m.predict(x));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ModelIo, SaveFailsOnBadPath) {
+  basis::PerformanceModel m(basis::BasisSet::linear(1), {1.0, 2.0});
+  EXPECT_THROW(save_model("/nonexistent/dir/x.bmfmodel", m),
+               std::runtime_error);
+}
+
+TEST(ModelIo, LoadRejectsMissingFile) {
+  EXPECT_THROW(load_model("/nonexistent/x.bmfmodel"), std::runtime_error);
+}
+
+TEST(ModelIo, LoadRejectsBadMagic) {
+  const std::string path = temp_path("badmagic.bmfmodel");
+  {
+    std::ofstream os(path);
+    os << "not-a-model\n";
+  }
+  EXPECT_THROW(load_model(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(ModelIo, LoadRejectsMalformedTerm) {
+  const std::string path = temp_path("badterm.bmfmodel");
+  {
+    std::ofstream os(path);
+    os << "bmf-model v1\ndimension 2\nterm 1.0 nonsense\n";
+  }
+  EXPECT_THROW(load_model(path), std::runtime_error);
+  {
+    std::ofstream os(path);
+    os << "bmf-model v1\ndimension 2\nblah 1.0\n";
+  }
+  EXPECT_THROW(load_model(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(ModelIo, LoadRejectsOutOfRangeVariable) {
+  const std::string path = temp_path("badvar.bmfmodel");
+  {
+    std::ofstream os(path);
+    os << "bmf-model v1\ndimension 2\nterm 1.0 5:1\n";
+  }
+  EXPECT_THROW(load_model(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(ModelIo, ConstantOnlyModel) {
+  const std::string path = temp_path("const.bmfmodel");
+  basis::PerformanceModel m(basis::BasisSet(3, {basis::BasisTerm{}}),
+                            {7.25});
+  save_model(path, m);
+  basis::PerformanceModel r = load_model(path);
+  EXPECT_EQ(r.num_terms(), 1u);
+  EXPECT_EQ(r.predict(linalg::Vector{1.0, 2.0, 3.0}), 7.25);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace bmf::io

@@ -1,0 +1,60 @@
+#include "basis/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.hpp"
+
+namespace bmf::basis {
+namespace {
+
+TEST(PerformanceModel, PredictLinear) {
+  // f(x) = 2 + 3 x0 - x1.
+  PerformanceModel m(BasisSet::linear(2), {2.0, 3.0, -1.0});
+  EXPECT_DOUBLE_EQ(m.predict(linalg::Vector{0.0, 0.0}), 2.0);
+  EXPECT_DOUBLE_EQ(m.predict(linalg::Vector{1.0, 1.0}), 4.0);
+  EXPECT_DOUBLE_EQ(m.predict(linalg::Vector{-1.0, 2.0}), -3.0);
+}
+
+TEST(PerformanceModel, CoefficientCountValidated) {
+  EXPECT_THROW(PerformanceModel(BasisSet::linear(2), {1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(PerformanceModel, BatchPredictMatchesScalar) {
+  stats::Rng rng(5);
+  PerformanceModel m(BasisSet::total_degree(2, 2),
+                     {0.5, 1.0, -2.0, 0.3, 0.7, -0.1});
+  linalg::Matrix pts(6, 2);
+  for (std::size_t i = 0; i < 6; ++i)
+    for (std::size_t j = 0; j < 2; ++j) pts(i, j) = rng.normal();
+  linalg::Vector batch = m.predict(pts);
+  for (std::size_t i = 0; i < 6; ++i)
+    EXPECT_NEAR(batch[i], m.predict(pts.row(i)), 1e-13);
+}
+
+TEST(PerformanceModel, PredictDesignMatchesPredict) {
+  stats::Rng rng(6);
+  PerformanceModel m(BasisSet::linear(3), {1.0, 0.5, -0.5, 2.0});
+  linalg::Matrix pts(4, 3);
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 3; ++j) pts(i, j) = rng.normal();
+  linalg::Matrix g = design_matrix(m.basis(), pts);
+  linalg::Vector via_design = m.predict_design(g);
+  linalg::Vector direct = m.predict(pts);
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_NEAR(via_design[i], direct[i], 1e-13);
+}
+
+TEST(PerformanceModel, NumSignificant) {
+  PerformanceModel m(BasisSet::linear(3), {1.0, 1e-12, 0.5, 0.0});
+  EXPECT_EQ(m.num_significant(1e-6), 2u);
+  EXPECT_EQ(m.num_significant(0.9), 1u);
+}
+
+TEST(PerformanceModel, ZeroCoefficientsSkippedInPredict) {
+  PerformanceModel m(BasisSet::linear(2), {0.0, 0.0, 5.0});
+  EXPECT_DOUBLE_EQ(m.predict(linalg::Vector{100.0, 2.0}), 10.0);
+}
+
+}  // namespace
+}  // namespace bmf::basis

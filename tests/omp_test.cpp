@@ -1,0 +1,171 @@
+#include "regress/omp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "linalg/blas.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/rng.hpp"
+
+namespace bmf::regress {
+namespace {
+
+struct SparseProblem {
+  linalg::Matrix g;
+  linalg::Vector f;
+  std::vector<std::size_t> support;
+  linalg::Vector truth;  // dense, zeros off support
+};
+
+// Random design with a sparse ground-truth coefficient vector.
+SparseProblem make_sparse_problem(std::size_t k, std::size_t m,
+                                  std::size_t s, double noise_sd,
+                                  stats::Rng& rng) {
+  SparseProblem p;
+  p.g.assign(k, m);
+  for (std::size_t i = 0; i < k; ++i)
+    for (std::size_t j = 0; j < m; ++j) p.g(i, j) = rng.normal();
+  p.truth.assign(m, 0.0);
+  auto perm = rng.permutation(m);
+  for (std::size_t t = 0; t < s; ++t) {
+    p.support.push_back(perm[t]);
+    p.truth[perm[t]] = (rng.uniform() < 0.5 ? -1.0 : 1.0) *
+                       (1.0 + 2.0 * rng.uniform());
+  }
+  std::sort(p.support.begin(), p.support.end());
+  p.f = linalg::gemv(p.g, p.truth);
+  for (double& v : p.f) v += rng.normal(0.0, noise_sd);
+  return p;
+}
+
+TEST(Omp, RecoversExactSupportNoiseless) {
+  stats::Rng rng(1);
+  SparseProblem p = make_sparse_problem(60, 40, 4, 0.0, rng);
+  OmpOptions opt;
+  opt.validation_fraction = 0.0;
+  opt.max_terms = 4;
+  OmpResult r = omp_solve(p.g, p.f, opt);
+  std::set<std::size_t> sel(r.selected.begin(), r.selected.end());
+  for (std::size_t j : p.support) EXPECT_TRUE(sel.count(j)) << "missed " << j;
+  for (std::size_t j = 0; j < 40; ++j)
+    EXPECT_NEAR(r.coefficients[j], p.truth[j], 1e-8);
+}
+
+TEST(Omp, UnderdeterminedSparseRecovery) {
+  // K < M: the regime sparse regression exists for (paper Sec. II-C).
+  stats::Rng rng(2);
+  SparseProblem p = make_sparse_problem(40, 100, 5, 0.0, rng);
+  OmpOptions opt;
+  opt.validation_fraction = 0.0;
+  opt.max_terms = 5;
+  OmpResult r = omp_solve(p.g, p.f, opt);
+  for (std::size_t j = 0; j < 100; ++j)
+    EXPECT_NEAR(r.coefficients[j], p.truth[j], 1e-7);
+}
+
+TEST(Omp, ValidationStoppingAvoidsGrossOverfit) {
+  stats::Rng rng(3);
+  SparseProblem p = make_sparse_problem(50, 80, 4, 0.3, rng);
+  OmpOptions opt;  // defaults: validation on
+  OmpResult r = omp_solve(p.g, p.f, opt);
+  // Must not select close to the full K terms under noise.
+  EXPECT_LT(r.selected.size(), 30u);
+  EXPECT_FALSE(r.validation_errors.empty());
+  // Out-of-sample error on fresh data stays moderate.
+  SparseProblem fresh = p;
+  linalg::Matrix test(200, 80);
+  for (std::size_t i = 0; i < 200; ++i)
+    for (std::size_t j = 0; j < 80; ++j) test(i, j) = rng.normal();
+  linalg::Vector pred = linalg::gemv(test, r.coefficients);
+  linalg::Vector actual = linalg::gemv(test, p.truth);
+  EXPECT_LT(stats::relative_error(pred, actual), 0.5);
+}
+
+TEST(Omp, ResidualToleranceStopsEarly) {
+  stats::Rng rng(4);
+  SparseProblem p = make_sparse_problem(50, 30, 3, 0.0, rng);
+  OmpOptions opt;
+  opt.validation_fraction = 0.0;
+  opt.max_terms = 25;
+  opt.residual_tolerance = 1e-8;
+  OmpResult r = omp_solve(p.g, p.f, opt);
+  EXPECT_LE(r.selected.size(), 4u);  // stops once residual ~ 0
+}
+
+TEST(Omp, SelectionOrderedByImportance) {
+  // One dominant coefficient must be selected first.
+  stats::Rng rng(5);
+  const std::size_t k = 80, m = 20;
+  linalg::Matrix g(k, m);
+  for (std::size_t i = 0; i < k; ++i)
+    for (std::size_t j = 0; j < m; ++j) g(i, j) = rng.normal();
+  linalg::Vector truth(m, 0.0);
+  truth[7] = 10.0;
+  truth[3] = 0.5;
+  linalg::Vector f = linalg::gemv(g, truth);
+  OmpOptions opt;
+  opt.validation_fraction = 0.0;
+  opt.max_terms = 2;
+  OmpResult r = omp_solve(g, f, opt);
+  ASSERT_GE(r.selected.size(), 1u);
+  EXPECT_EQ(r.selected[0], 7u);
+}
+
+TEST(Omp, HandlesDuplicateColumns) {
+  // Two identical columns: one must be rejected, fit still exact.
+  linalg::Matrix g(4, 3);
+  stats::Rng rng(6);
+  for (std::size_t i = 0; i < 4; ++i) {
+    g(i, 0) = rng.normal();
+    g(i, 1) = g(i, 0);
+    g(i, 2) = rng.normal();
+  }
+  linalg::Vector truth{2.0, 0.0, -1.0};
+  linalg::Vector f = linalg::gemv(g, truth);
+  OmpOptions opt;
+  opt.validation_fraction = 0.0;
+  opt.max_terms = 3;
+  OmpResult r = omp_solve(g, f, opt);
+  linalg::Vector pred = linalg::gemv(g, r.coefficients);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(pred[i], f[i], 1e-9);
+}
+
+TEST(Omp, FitProducesModelOverBasis) {
+  stats::Rng rng(7);
+  const std::size_t k = 30, rdim = 5;
+  linalg::Matrix pts(k, rdim);
+  for (std::size_t i = 0; i < k; ++i)
+    for (std::size_t j = 0; j < rdim; ++j) pts(i, j) = rng.normal();
+  // f = 3 x2 (plus intercept 1).
+  linalg::Vector f(k);
+  for (std::size_t i = 0; i < k; ++i) f[i] = 1.0 + 3.0 * pts(i, 2);
+  OmpOptions opt;
+  opt.validation_fraction = 0.0;
+  opt.max_terms = 2;
+  auto model = omp_fit(basis::BasisSet::linear(rdim), pts, f, opt);
+  EXPECT_NEAR(model.coefficients()[0], 1.0, 1e-8);
+  EXPECT_NEAR(model.coefficients()[3], 3.0, 1e-8);
+}
+
+TEST(Omp, Validates) {
+  linalg::Matrix g(3, 2);
+  EXPECT_THROW(omp_solve(g, {1.0, 2.0}, {}), std::invalid_argument);
+  EXPECT_THROW(omp_solve(linalg::Matrix(0, 2), {}, {}),
+               std::invalid_argument);
+}
+
+TEST(Omp, DeterministicGivenSeed) {
+  stats::Rng rng(8);
+  SparseProblem p = make_sparse_problem(40, 60, 4, 0.2, rng);
+  OmpOptions opt;
+  opt.seed = 9;
+  OmpResult a = omp_solve(p.g, p.f, opt);
+  OmpResult b = omp_solve(p.g, p.f, opt);
+  EXPECT_EQ(a.selected, b.selected);
+  EXPECT_EQ(a.coefficients, b.coefficients);
+}
+
+}  // namespace
+}  // namespace bmf::regress

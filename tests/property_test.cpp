@@ -1,0 +1,135 @@
+// Property-based sweeps over problem shapes: invariants of the MAP
+// estimator and the prior machinery that must hold for *every*
+// (K, M, prior) combination, not just the tuned testcases.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "bmf/map_solver.hpp"
+#include "linalg/blas.hpp"
+#include "stats/rng.hpp"
+
+namespace bmf::core {
+namespace {
+
+struct Shape {
+  std::size_t k, m;
+};
+
+class MapProperties
+    : public ::testing::TestWithParam<std::tuple<Shape, PriorKind>> {
+ protected:
+  void SetUp() override {
+    const auto [shape, kind] = GetParam();
+    stats::Rng rng(shape.k * 131 + shape.m * 7 +
+                   static_cast<std::size_t>(kind));
+    g_.assign(shape.k, shape.m);
+    for (std::size_t i = 0; i < shape.k; ++i)
+      for (std::size_t j = 0; j < shape.m; ++j) g_(i, j) = rng.normal();
+    early_.resize(shape.m);
+    for (double& e : early_) e = rng.normal();
+    f_.resize(shape.k);
+    for (std::size_t i = 0; i < shape.k; ++i) {
+      double v = 0.0;
+      for (std::size_t j = 0; j < shape.m; ++j)
+        v += early_[j] * 1.2 * g_(i, j);  // truth != prior mean
+      f_[i] = v + rng.normal(0.0, 0.05);
+    }
+    prior_ = kind == PriorKind::kZeroMean
+                 ? CoefficientPrior::zero_mean(early_)
+                 : CoefficientPrior::nonzero_mean(early_);
+  }
+
+  linalg::Matrix g_;
+  linalg::Vector f_, early_;
+  std::optional<CoefficientPrior> prior_;
+};
+
+TEST_P(MapProperties, DistanceToPriorMeanDecreasesWithTau) {
+  // Stronger prior weight must pull the MAP estimate monotonically toward
+  // the prior mean.
+  double prev = std::numeric_limits<double>::infinity();
+  for (double tau : {1e-4, 1e-2, 1.0, 1e2, 1e4, 1e6}) {
+    linalg::Vector a = map_solve_fast(g_, f_, *prior_, tau);
+    linalg::Vector d = linalg::sub(a, prior_->mean());
+    const double dist = linalg::norm2(d);
+    EXPECT_LE(dist, prev * (1.0 + 1e-9)) << "tau=" << tau;
+    prev = dist;
+  }
+}
+
+TEST_P(MapProperties, TrainingResidualIncreasesWithTau) {
+  // The data fit can only get worse as the prior takes over.
+  double prev = -1.0;
+  for (double tau : {1e-4, 1e-2, 1.0, 1e2, 1e4}) {
+    linalg::Vector a = map_solve_fast(g_, f_, *prior_, tau);
+    const double res = linalg::norm2(linalg::sub(linalg::gemv(g_, a), f_));
+    EXPECT_GE(res, prev * (1.0 - 1e-9)) << "tau=" << tau;
+    prev = res;
+  }
+}
+
+TEST_P(MapProperties, NormalEquationsSatisfied) {
+  // (tau D + G^T G) a = tau D mu + G^T f must hold to solver precision.
+  const double tau = 3.7;
+  linalg::Vector a = map_solve_fast(g_, f_, *prior_, tau);
+  const linalg::Vector& q = prior_->precision_scale();
+  const linalg::Vector& mu = prior_->mean();
+  linalg::Vector lhs = linalg::gemv_t(g_, linalg::gemv(g_, a));
+  for (std::size_t j = 0; j < a.size(); ++j) lhs[j] += tau * q[j] * a[j];
+  linalg::Vector rhs = linalg::gemv_t(g_, f_);
+  for (std::size_t j = 0; j < a.size(); ++j) rhs[j] += tau * q[j] * mu[j];
+  const double scale = linalg::norm_inf(rhs) + 1.0;
+  for (std::size_t j = 0; j < a.size(); ++j)
+    EXPECT_NEAR(lhs[j], rhs[j], 1e-7 * scale) << "j=" << j;
+}
+
+TEST_P(MapProperties, SolversAgree) {
+  for (double tau : {1e-3, 1.0, 1e3}) {
+    linalg::Vector fast = map_solve_fast(g_, f_, *prior_, tau);
+    linalg::Vector direct = map_solve_direct(g_, f_, *prior_, tau);
+    const double scale = linalg::norm_inf(direct) + 1.0;
+    for (std::size_t j = 0; j < fast.size(); ++j)
+      EXPECT_NEAR(fast[j], direct[j], 1e-7 * scale);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MapProperties,
+    ::testing::Combine(::testing::Values(Shape{5, 3}, Shape{10, 25},
+                                         Shape{30, 30}, Shape{20, 80},
+                                         Shape{60, 15}),
+                       ::testing::Values(PriorKind::kZeroMean,
+                                         PriorKind::kNonzeroMean)));
+
+TEST(MapScaleInvariance, CoefficientsScaleWithResponse) {
+  // Scaling f by c and tau appropriately scales the solution by c: for the
+  // ZM prior, alpha(c*f; tau) with sigma ~ |c*alpha_E| equals c*alpha(f).
+  stats::Rng rng(99);
+  const std::size_t k = 12, m = 30;
+  linalg::Matrix g(k, m);
+  for (std::size_t i = 0; i < k; ++i)
+    for (std::size_t j = 0; j < m; ++j) g(i, j) = rng.normal();
+  linalg::Vector early = rng.normal_vector(m);
+  linalg::Vector f(k);
+  for (std::size_t i = 0; i < k; ++i) f[i] = rng.normal();
+
+  const double c = 1e-9;  // e.g. switching units from seconds to ns
+  linalg::Vector early_scaled = early;
+  linalg::Vector f_scaled = f;
+  for (double& v : early_scaled) v *= c;
+  for (double& v : f_scaled) v *= c;
+
+  auto p1 = CoefficientPrior::zero_mean(early);
+  auto p2 = CoefficientPrior::zero_mean(early_scaled);
+  const double tau = 0.37;
+  linalg::Vector a1 = map_solve_fast(g, f, p1, tau);
+  linalg::Vector a2 = map_solve_fast(g, f_scaled, p2, tau * c * c);
+  for (std::size_t j = 0; j < m; ++j)
+    EXPECT_NEAR(a2[j], c * a1[j], 1e-9 * std::abs(c * a1[j]) + 1e-300)
+        << "j=" << j;
+}
+
+}  // namespace
+}  // namespace bmf::core

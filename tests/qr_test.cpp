@@ -1,0 +1,127 @@
+#include "linalg/qr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/blas.hpp"
+#include "stats/rng.hpp"
+
+namespace bmf::linalg {
+namespace {
+
+TEST(HouseholderQR, SolvesSquareSystem) {
+  Matrix a{{2, 1}, {1, 3}};
+  HouseholderQR qr(a);
+  Vector x = qr.solve({5, 10});
+  // Exact solution of [[2,1],[1,3]] x = [5,10] is x = (1, 3).
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(HouseholderQR, LeastSquaresMinimizesResidual) {
+  // Overdetermined: fit a line to 4 points.
+  Matrix a{{1, 0}, {1, 1}, {1, 2}, {1, 3}};
+  Vector b{1, 3, 5, 7};  // exactly b = 1 + 2t
+  Vector x = HouseholderQR(a).solve(b);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(HouseholderQR, ResidualOrthogonalToColumnSpan) {
+  stats::Rng rng(7);
+  Matrix a(20, 5);
+  for (std::size_t i = 0; i < 20; ++i)
+    for (std::size_t j = 0; j < 5; ++j) a(i, j) = rng.normal();
+  Vector b = rng.normal_vector(20);
+  Vector x = HouseholderQR(a).solve(b);
+  Vector r = sub(b, gemv(a, x));
+  Vector atr = gemv_t(a, r);
+  EXPECT_LT(norm_inf(atr), 1e-10);
+}
+
+TEST(HouseholderQR, RFactorIsUpperTriangularAndConsistent) {
+  stats::Rng rng(11);
+  Matrix a(8, 4);
+  for (std::size_t i = 0; i < 8; ++i)
+    for (std::size_t j = 0; j < 4; ++j) a(i, j) = rng.normal();
+  HouseholderQR qr(a);
+  Matrix r = qr.r();
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < i; ++j) EXPECT_DOUBLE_EQ(r(i, j), 0.0);
+  // R^T R must equal A^T A (both are the Cholesky Gram of A, up to signs).
+  Matrix rtr = gemm_tn(r, r);
+  Matrix ata = gram(a);
+  EXPECT_LT(max_abs_diff(rtr, ata), 1e-10);
+}
+
+TEST(HouseholderQR, UnderdeterminedThrows) {
+  Matrix a(2, 3);
+  EXPECT_THROW(HouseholderQR{a}, std::invalid_argument);
+}
+
+TEST(HouseholderQR, SingularSolveThrows) {
+  Matrix a{{1, 1}, {1, 1}, {1, 1}};
+  HouseholderQR qr(a);
+  EXPECT_THROW(qr.solve({1, 2, 3}), std::runtime_error);
+}
+
+TEST(HouseholderQR, PivotRatioDetectsConditioning) {
+  Matrix good{{1, 0}, {0, 1}, {0, 0}};
+  EXPECT_GT(HouseholderQR(good).min_max_pivot_ratio(), 0.5);
+  Matrix bad{{1, 1}, {1, 1.0 + 1e-13}, {0, 0}};
+  EXPECT_LT(HouseholderQR(bad).min_max_pivot_ratio(), 1e-10);
+}
+
+TEST(IncrementalQR, MatchesBatchLeastSquares) {
+  stats::Rng rng(3);
+  const std::size_t m = 30, n = 6;
+  Matrix a(m, n);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.normal();
+  Vector b = rng.normal_vector(m);
+
+  IncrementalQR iqr(m);
+  for (std::size_t j = 0; j < n; ++j)
+    ASSERT_TRUE(iqr.append_column(a.col(j)));
+  Vector x_inc = iqr.solve(b);
+  Vector x_batch = HouseholderQR(a).solve(b);
+  for (std::size_t j = 0; j < n; ++j)
+    EXPECT_NEAR(x_inc[j], x_batch[j], 1e-9);
+}
+
+TEST(IncrementalQR, RejectsDependentColumn) {
+  IncrementalQR iqr(3);
+  ASSERT_TRUE(iqr.append_column({1, 0, 0}));
+  ASSERT_TRUE(iqr.append_column({1, 1, 0}));
+  EXPECT_FALSE(iqr.append_column({2, 1, 0}));  // in the span
+  EXPECT_EQ(iqr.num_columns(), 2u);
+  EXPECT_TRUE(iqr.append_column({0, 0, 1}));
+}
+
+TEST(IncrementalQR, ResidualOrthogonalToColumns) {
+  stats::Rng rng(5);
+  IncrementalQR iqr(10);
+  std::vector<Vector> cols;
+  for (int j = 0; j < 4; ++j) {
+    cols.push_back(rng.normal_vector(10));
+    ASSERT_TRUE(iqr.append_column(cols.back()));
+  }
+  Vector b = rng.normal_vector(10);
+  Vector r = iqr.residual(b);
+  for (const auto& c : cols) EXPECT_NEAR(dot(c, r), 0.0, 1e-10);
+}
+
+TEST(IncrementalQR, ProjectGivesQtB) {
+  IncrementalQR iqr(2);
+  ASSERT_TRUE(iqr.append_column({3, 4}));  // unit vector (0.6, 0.8)
+  Vector p = iqr.project({5, 0});
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_NEAR(p[0], 3.0, 1e-12);
+}
+
+TEST(IncrementalQR, SizeMismatchThrows) {
+  IncrementalQR iqr(3);
+  EXPECT_THROW(iqr.append_column({1, 2}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bmf::linalg

@@ -1,0 +1,132 @@
+#include "stats/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace bmf::stats {
+namespace {
+
+TEST(Rng, DeterministicGivenSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 2.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 2.0);
+  }
+}
+
+TEST(Rng, UniformIntBounded) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values reached
+  EXPECT_EQ(rng.uniform_int(0), 0u);
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng rng(10);
+  const int n = 200000;
+  double sum = 0.0, sum2 = 0.0, sum3 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+    sum3 += x * x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  const double skew = sum3 / n;
+  EXPECT_NEAR(mean, 0.0, 0.01);
+  EXPECT_NEAR(var, 1.0, 0.02);
+  EXPECT_NEAR(skew, 0.0, 0.03);
+}
+
+TEST(Rng, NormalShiftScale) {
+  Rng rng(11);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(5.0, 2.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 5.0, 0.05);
+  EXPECT_NEAR(sum2 / n - mean * mean, 4.0, 0.1);
+}
+
+TEST(Rng, NormalVectorSizeAndIndependenceFromScalarPath) {
+  Rng rng(12);
+  auto v = rng.normal_vector(17);
+  EXPECT_EQ(v.size(), 17u);
+}
+
+TEST(Rng, PermutationIsPermutation) {
+  Rng rng(13);
+  for (std::size_t n : {1u, 2u, 10u, 100u}) {
+    auto p = rng.permutation(n);
+    ASSERT_EQ(p.size(), n);
+    std::set<std::size_t> s(p.begin(), p.end());
+    EXPECT_EQ(s.size(), n);
+    EXPECT_EQ(*s.begin(), 0u);
+    EXPECT_EQ(*s.rbegin(), n - 1);
+  }
+  EXPECT_TRUE(rng.permutation(0).empty());
+}
+
+TEST(Rng, PermutationIsShuffled) {
+  Rng rng(14);
+  auto p = rng.permutation(100);
+  std::size_t fixed = 0;
+  for (std::size_t i = 0; i < 100; ++i)
+    if (p[i] == i) ++fixed;
+  EXPECT_LT(fixed, 10u);  // expected number of fixed points is 1
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(15);
+  Rng child = parent.split();
+  // The child stream should not coincide with the parent's continuation.
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (parent.next() == child.next()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(SplitMix, KnownFirstOutputNonzeroAndStable) {
+  SplitMix64 a(0), b(0);
+  const auto x = a.next();
+  EXPECT_EQ(x, b.next());
+  EXPECT_NE(x, 0u);
+}
+
+}  // namespace
+}  // namespace bmf::stats

@@ -1,0 +1,138 @@
+#include "bmf/sequential.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/blas.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/rng.hpp"
+
+namespace bmf::core {
+namespace {
+
+// Three-stage world: schematic truth -> post-layout truth (drifted) ->
+// silicon truth (drifted again).
+struct World {
+  basis::BasisSet basis;
+  linalg::Vector w_schematic, w_layout, w_silicon;
+};
+
+World make_world(std::size_t r, std::uint64_t seed) {
+  stats::Rng rng(seed);
+  World w;
+  w.basis = basis::BasisSet::linear(r);
+  w.w_schematic.assign(r + 1, 0.0);
+  w.w_schematic[0] = 1.0;
+  for (std::size_t j = 1; j <= r; ++j)
+    w.w_schematic[j] = 0.05 * rng.normal() / std::sqrt(static_cast<double>(j));
+  auto drift = [&](const linalg::Vector& in) {
+    linalg::Vector out = in;
+    for (std::size_t j = 1; j < out.size(); ++j)
+      out[j] *= 1.0 + 0.10 * rng.normal();
+    return out;
+  };
+  w.w_layout = drift(w.w_schematic);
+  w.w_silicon = drift(w.w_layout);
+  return w;
+}
+
+struct Data {
+  linalg::Matrix points;
+  linalg::Vector f;
+};
+
+Data sample(const World& w, const linalg::Vector& truth, std::size_t n,
+            double noise, stats::Rng& rng) {
+  const std::size_t r = w.basis.dimension();
+  Data d{linalg::Matrix(n, r), linalg::Vector(n)};
+  for (std::size_t i = 0; i < n; ++i) {
+    d.f[i] = truth[0];
+    for (std::size_t j = 0; j < r; ++j) {
+      const double x = rng.normal();
+      d.points(i, j) = x;
+      d.f[i] += truth[j + 1] * x;
+    }
+    d.f[i] += rng.normal(0.0, noise);
+  }
+  return d;
+}
+
+TEST(SequentialFusion, ValidatesConstruction) {
+  EXPECT_THROW(SequentialFusion(basis::BasisSet::linear(3), {1.0, 2.0}),
+               std::invalid_argument);
+  EXPECT_THROW(SequentialFusion(basis::BasisSet::linear(1), {1.0, 2.0},
+                                {1, 1, 1}),
+               std::invalid_argument);
+}
+
+TEST(SequentialFusion, StageBookkeeping) {
+  World w = make_world(20, 1);
+  stats::Rng rng(2);
+  SequentialFusion seq(w.basis, w.w_schematic);
+  EXPECT_EQ(seq.stage(), 0u);
+  Data d = sample(w, w.w_layout, 30, 0.002, rng);
+  seq.advance(d.points, d.f);
+  EXPECT_EQ(seq.stage(), 1u);
+  for (char c : seq.current_informative()) EXPECT_TRUE(c);
+}
+
+TEST(SequentialFusion, AdvanceUpdatesPriorTowardStageTruth) {
+  World w = make_world(40, 3);
+  stats::Rng rng(4);
+  SequentialFusion seq(w.basis, w.w_schematic);
+  Data d = sample(w, w.w_layout, 60, 0.002, rng);
+  seq.advance(d.points, d.f);
+  // The fused coefficients should be closer to the layout truth than the
+  // schematic prior was.
+  double before = 0.0, after = 0.0;
+  for (std::size_t j = 0; j < w.w_layout.size(); ++j) {
+    before += std::abs(w.w_schematic[j] - w.w_layout[j]);
+    after += std::abs(seq.current_coefficients()[j] - w.w_layout[j]);
+  }
+  EXPECT_LT(after, 0.7 * before);
+}
+
+TEST(SequentialFusion, ThreeStageChainBeatsSkippingTheMiddleStage) {
+  // Silicon stage has very few "measured chips": chaining through the
+  // post-layout stage must beat fusing schematic -> silicon directly.
+  World w = make_world(60, 5);
+  stats::Rng rng(6);
+  Data layout_data = sample(w, w.w_layout, 80, 0.002, rng);
+  Data silicon_data = sample(w, w.w_silicon, 15, 0.002, rng);
+  Data test = sample(w, w.w_silicon, 300, 0.0, rng);
+
+  SequentialFusion chained(w.basis, w.w_schematic);
+  chained.advance(layout_data.points, layout_data.f);
+  FusionResult fused = chained.advance(silicon_data.points, silicon_data.f);
+
+  SequentialFusion direct(w.basis, w.w_schematic);
+  FusionResult direct_res =
+      direct.advance(silicon_data.points, silicon_data.f);
+
+  const double err_chained =
+      stats::relative_error(fused.model.predict(test.points), test.f);
+  const double err_direct =
+      stats::relative_error(direct_res.model.predict(test.points), test.f);
+  EXPECT_LT(err_chained, err_direct);
+}
+
+TEST(SequentialFusion, RepeatedStagesKeepImproving) {
+  World w = make_world(30, 7);
+  stats::Rng rng(8);
+  SequentialFusion seq(w.basis, w.w_schematic);
+  Data test = sample(w, w.w_silicon, 200, 0.0, rng);
+  double prev_err = 1e9;
+  for (int stage = 0; stage < 3; ++stage) {
+    Data d = sample(w, w.w_silicon, 25, 0.002, rng);
+    FusionResult res = seq.advance(d.points, d.f);
+    const double err =
+        stats::relative_error(res.model.predict(test.points), test.f);
+    EXPECT_LT(err, prev_err * 1.5);  // no catastrophic regressions
+    prev_err = err;
+  }
+  EXPECT_LT(prev_err, 0.01);
+}
+
+}  // namespace
+}  // namespace bmf::core

@@ -1,0 +1,110 @@
+#include "circuit/testcases.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bmf/fusion.hpp"
+#include "stats/descriptive.hpp"
+
+namespace bmf::circuit {
+namespace {
+
+TEST(Testcases, RoMetricNames) {
+  EXPECT_STREQ(to_string(RoMetric::kPower), "power");
+  EXPECT_STREQ(to_string(RoMetric::kPhaseNoise), "phase-noise");
+  EXPECT_STREQ(to_string(RoMetric::kFrequency), "frequency");
+}
+
+TEST(Testcases, RingOscillatorTruthSourceSmall) {
+  Testcase tc = ring_oscillator_testcase(RoMetric::kPower, 100, 1,
+                                         EarlyModelSource::kTruth);
+  EXPECT_EQ(tc.circuit, "ring-oscillator");
+  EXPECT_EQ(tc.metric, "power");
+  EXPECT_EQ(tc.early_coeffs.size(), 101u);
+  EXPECT_GT(tc.seconds_per_sample, 0.0);
+  // Cost calibration: 900 samples must cost ~12.58 hours.
+  EXPECT_NEAR(tc.simulation_hours(900), 12.58, 1e-9);
+}
+
+TEST(Testcases, SramCostCalibration) {
+  Testcase tc = sram_read_path_testcase(100, 1, EarlyModelSource::kTruth);
+  EXPECT_NEAR(tc.simulation_hours(400), 38.77, 1e-9);
+  EXPECT_EQ(tc.circuit, "sram-read-path");
+}
+
+TEST(Testcases, EarlyCoeffsZeroOnParasitics) {
+  Testcase tc = ring_oscillator_testcase(RoMetric::kFrequency, 200, 2,
+                                         EarlyModelSource::kTruth);
+  std::size_t missing = 0;
+  for (std::size_t m = 0; m < tc.informative.size(); ++m) {
+    if (!tc.informative[m]) {
+      ++missing;
+      EXPECT_DOUBLE_EQ(tc.early_coeffs[m], 0.0);
+    }
+  }
+  EXPECT_EQ(missing, 4u);  // num_vars / 50
+}
+
+TEST(Testcases, OmpFitEarlyModelApproximatesEarlyTruth) {
+  // The paper's schematic-model flow: OMP on 3000 schematic samples must
+  // recover the early-stage behaviour well (it is fit at K >> strong terms).
+  Testcase tc = ring_oscillator_testcase(RoMetric::kPower, 120, 3,
+                                         EarlyModelSource::kOmpFit);
+  stats::Rng rng(123);
+  Dataset test = tc.silicon.sample_early(300, rng);
+  basis::PerformanceModel early(tc.silicon.late_basis(), tc.early_coeffs);
+  const double err = stats::relative_error(early.predict(test.points), test.f);
+  EXPECT_LT(err, 0.01);
+}
+
+TEST(Testcases, MetricsDiffer) {
+  Testcase power = ring_oscillator_testcase(RoMetric::kPower, 80, 1,
+                                            EarlyModelSource::kTruth);
+  Testcase freq = ring_oscillator_testcase(RoMetric::kFrequency, 80, 1,
+                                           EarlyModelSource::kTruth);
+  // Different seeds/specs -> different ground truths.
+  bool differ = false;
+  for (std::size_t m = 0; m < power.early_coeffs.size(); ++m)
+    if (power.early_coeffs[m] != freq.early_coeffs[m]) differ = true;
+  EXPECT_TRUE(differ);
+  EXPECT_DOUBLE_EQ(power.silicon.late_truth()[0], 1.2e-3);
+  EXPECT_DOUBLE_EQ(freq.silicon.late_truth()[0], 2.5e9);
+}
+
+TEST(Testcases, FrequencyPriorHasSignFlips) {
+  Testcase tc = ring_oscillator_testcase(RoMetric::kFrequency, 1000, 4,
+                                         EarlyModelSource::kTruth);
+  std::size_t flips = 0, total = 0;
+  const auto& late = tc.silicon.late_truth();
+  for (std::size_t m = 1; m < late.size(); ++m) {
+    if (!tc.informative[m] || late[m] == 0.0) continue;
+    ++total;
+    if (tc.early_coeffs[m] * late[m] < 0.0) ++flips;
+  }
+  const double rate = static_cast<double>(flips) / total;
+  EXPECT_GT(rate, 0.2);
+  EXPECT_LT(rate, 0.45);
+}
+
+TEST(Testcases, EndToEndBmfBeatsSmallSampleBudget) {
+  // Integration: BMF-PS on the RO power testcase at K = 40 must beat the
+  // no-prior error level by a wide margin at this K (smoke version of
+  // Table I at reduced scale).
+  Testcase tc = ring_oscillator_testcase(RoMetric::kPower, 150, 5,
+                                         EarlyModelSource::kTruth);
+  stats::Rng rng(77);
+  Dataset train = tc.silicon.sample_late(40, rng);
+  Dataset test = tc.silicon.sample_late(200, rng);
+  core::FusionResult res =
+      core::bmf_fit(tc.silicon.late_basis(), tc.early_coeffs, tc.informative,
+                    train.points, train.f);
+  const double err =
+      stats::relative_error(res.model.predict(test.points), test.f);
+  // Prior-only error is already ~drift level; fused must be comparable or
+  // better, and far below the variation spread (5%).
+  EXPECT_LT(err, 0.01);
+}
+
+}  // namespace
+}  // namespace bmf::circuit

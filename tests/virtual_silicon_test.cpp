@@ -1,0 +1,142 @@
+#include "circuit/virtual_silicon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/descriptive.hpp"
+
+namespace bmf::circuit {
+namespace {
+
+TestcaseSpec small_spec() {
+  TestcaseSpec s;
+  s.num_vars = 50;
+  s.num_parasitic = 5;
+  s.strong_fraction = 0.2;
+  s.nominal = 2.0;
+  s.variation_rel = 0.1;
+  s.noise_rel = 0.05;
+  s.seed = 3;
+  return s;
+}
+
+TEST(VirtualSilicon, ShapesAndMasks) {
+  VirtualSilicon vs(small_spec());
+  EXPECT_EQ(vs.dimension(), 50u);
+  EXPECT_EQ(vs.late_basis().size(), 51u);
+  EXPECT_EQ(vs.late_truth().size(), 51u);
+  EXPECT_EQ(vs.early_truth().size(), 51u);
+  std::size_t missing = 0;
+  for (char c : vs.informative())
+    if (!c) ++missing;
+  EXPECT_EQ(missing, 5u);
+  EXPECT_TRUE(vs.informative()[0]);  // constant term always informative
+}
+
+TEST(VirtualSilicon, NominalAndVariationCalibrated) {
+  VirtualSilicon vs(small_spec());
+  EXPECT_DOUBLE_EQ(vs.late_truth()[0], 2.0);
+  double var = 0.0;
+  for (std::size_t j = 1; j < vs.late_truth().size(); ++j)
+    var += vs.late_truth()[j] * vs.late_truth()[j];
+  EXPECT_NEAR(std::sqrt(var), 0.1 * 2.0, 1e-12);
+  EXPECT_NEAR(vs.noise_sd(), 0.05 * 0.1 * 2.0, 1e-12);
+}
+
+TEST(VirtualSilicon, ParasiticTermsHaveNoEarlyCoefficient) {
+  VirtualSilicon vs(small_spec());
+  for (std::size_t m = 0; m < vs.informative().size(); ++m) {
+    if (!vs.informative()[m]) {
+      EXPECT_DOUBLE_EQ(vs.early_truth()[m], 0.0);
+      EXPECT_NE(vs.late_truth()[m], 0.0);  // but they do affect late stage
+    }
+  }
+}
+
+TEST(VirtualSilicon, EarlyCloseToLateForInformativeTerms) {
+  TestcaseSpec s = small_spec();
+  s.magnitude_drift = 0.01;
+  s.sign_flip_rate = 0.0;
+  VirtualSilicon vs(s);
+  for (std::size_t m = 1; m < vs.late_truth().size(); ++m) {
+    if (!vs.informative()[m]) continue;
+    const double rel = std::abs(vs.early_truth()[m] - vs.late_truth()[m]) /
+                       (std::abs(vs.late_truth()[m]) + 1e-300);
+    EXPECT_LT(rel, 0.1) << "m=" << m;
+  }
+}
+
+TEST(VirtualSilicon, SignFlipsAppearAtRequestedRate) {
+  TestcaseSpec s = small_spec();
+  s.num_vars = 2000;
+  s.num_parasitic = 0;
+  s.magnitude_drift = 0.0;
+  s.sign_flip_rate = 0.25;
+  VirtualSilicon vs(s);
+  std::size_t flips = 0, total = 0;
+  for (std::size_t m = 1; m < vs.late_truth().size(); ++m) {
+    if (vs.late_truth()[m] == 0.0) continue;
+    ++total;
+    if (vs.early_truth()[m] * vs.late_truth()[m] < 0.0) ++flips;
+  }
+  const double rate = static_cast<double>(flips) / total;
+  EXPECT_NEAR(rate, 0.25, 0.04);
+}
+
+TEST(VirtualSilicon, SampleMomentsMatchTruth) {
+  VirtualSilicon vs(small_spec());
+  stats::Rng rng(9);
+  Dataset d = vs.sample_late(20000, rng);
+  ASSERT_EQ(d.size(), 20000u);
+  auto sum = stats::summarize(std::vector<double>(d.f.begin(), d.f.end()));
+  EXPECT_NEAR(sum.mean, 2.0, 0.01);
+  // Variation sd = variation_rel * nominal = 0.2, plus measurement noise.
+  const double expect_sd =
+      std::sqrt(0.2 * 0.2 + vs.noise_sd() * vs.noise_sd());
+  EXPECT_NEAR(sum.stddev, expect_sd, 0.01);
+}
+
+TEST(VirtualSilicon, SimulateLateIsNoisyAroundExact) {
+  VirtualSilicon vs(small_spec());
+  stats::Rng rng(11);
+  linalg::Vector x = rng.normal_vector(50);
+  const double exact = vs.evaluate_late_exact(x);
+  std::vector<double> reps(2000);
+  for (double& v : reps) v = vs.simulate_late(x, rng);
+  EXPECT_NEAR(stats::mean(reps), exact, 4 * vs.noise_sd() / std::sqrt(2000.0));
+  EXPECT_NEAR(stats::stddev(reps), vs.noise_sd(), 0.1 * vs.noise_sd());
+}
+
+TEST(VirtualSilicon, DeterministicGivenSeed) {
+  VirtualSilicon a(small_spec()), b(small_spec());
+  for (std::size_t m = 0; m < a.late_truth().size(); ++m) {
+    EXPECT_DOUBLE_EQ(a.late_truth()[m], b.late_truth()[m]);
+    EXPECT_DOUBLE_EQ(a.early_truth()[m], b.early_truth()[m]);
+  }
+}
+
+TEST(VirtualSilicon, SpecValidation) {
+  TestcaseSpec s = small_spec();
+  s.num_vars = 0;
+  EXPECT_THROW(VirtualSilicon{s}, std::invalid_argument);
+  s = small_spec();
+  s.num_parasitic = 50;
+  EXPECT_THROW(VirtualSilicon{s}, std::invalid_argument);
+  s = small_spec();
+  s.sign_flip_rate = 1.5;
+  EXPECT_THROW(VirtualSilicon{s}, std::invalid_argument);
+  s = small_spec();
+  s.variation_rel = 0.0;
+  EXPECT_THROW(VirtualSilicon{s}, std::invalid_argument);
+}
+
+TEST(VirtualSilicon, DimensionMismatchThrows) {
+  VirtualSilicon vs(small_spec());
+  stats::Rng rng(1);
+  EXPECT_THROW(vs.evaluate_late_exact({1.0}), std::invalid_argument);
+  EXPECT_THROW(vs.simulate_early({1.0}, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bmf::circuit
