@@ -46,13 +46,19 @@ SweepResult run_error_sweep(const circuit::Testcase& tc,
 
   for (std::size_t rep = 0; rep < config.repeats; ++rep) {
     stats::Rng run_rng = rng.split();
-    // Fresh training and testing sets per run (Section V protocol).
+    // Fresh training and testing sets per run (Section V protocol). The
+    // sampling and design-matrix phases are timed separately from the
+    // solves so parallel speedups stay attributable per phase.
+    double t0 = now_seconds();
     circuit::Dataset train = tc.silicon.sample_late(k_max, run_rng);
     circuit::Dataset test = tc.silicon.sample_late(config.test_size, run_rng);
+    result.sample_seconds += now_seconds() - t0;
+    t0 = now_seconds();
     const linalg::Matrix g_all =
         basis::design_matrix(tc.silicon.late_basis(), train.points);
     const linalg::Matrix g_test =
         basis::design_matrix(tc.silicon.late_basis(), test.points);
+    result.design_seconds += now_seconds() - t0;
 
     for (std::size_t ki = 0; ki < config.sample_sizes.size(); ++ki) {
       const std::size_t k = config.sample_sizes[ki];
@@ -119,6 +125,8 @@ SweepResult run_error_sweep(const circuit::Testcase& tc,
       result.errors[m][ki] *= inv;
       result.fit_seconds[m][ki] *= inv;
     }
+  result.sample_seconds *= inv;
+  result.design_seconds *= inv;
   return result;
 }
 
@@ -150,6 +158,15 @@ std::string format_cost_table(const SweepResult& result,
     table.add_row(std::move(row));
   }
   return table.to_string();
+}
+
+std::string format_phase_timing(const SweepResult& result) {
+  std::ostringstream os;
+  os << "per-repeat phase wall-clock: sampling=" << io::Table::num(
+            result.sample_seconds, 4)
+     << "s, design-matrix=" << io::Table::num(result.design_seconds, 4)
+     << "s (fit columns above are solve-only)";
+  return os.str();
 }
 
 CostComparison run_cost_comparison(const circuit::Testcase& tc,

@@ -37,8 +37,14 @@ struct SweepResult {
   std::vector<std::size_t> sample_sizes;
   /// errors[method][k_index]: mean relative error over repeats.
   double errors[kNumMethods][16] = {};
-  /// Mean wall-clock fitting seconds per (method, K).
+  /// Mean wall-clock *solve-only* seconds per (method, K) — Monte Carlo
+  /// sampling and design-matrix assembly are reported separately below so
+  /// that per-phase speedups stay attributable.
   double fit_seconds[kNumMethods][16] = {};
+  /// Mean per-repeat wall-clock of the shared phases: drawing the training
+  /// + testing Monte Carlo sets, and assembling their design matrices.
+  double sample_seconds = 0.0;
+  double design_seconds = 0.0;
 };
 
 /// Run the full error sweep on one testcase.
@@ -51,6 +57,10 @@ std::string format_error_table(const SweepResult& result);
 /// Print the fitting-cost series (seconds vs K) for the given methods.
 std::string format_cost_table(const SweepResult& result,
                               const std::vector<Method>& methods);
+
+/// One-line per-phase wall-clock summary (sampling vs design-matrix
+/// assembly vs solve) for a sweep result.
+std::string format_phase_timing(const SweepResult& result);
 
 /// Single-point comparison used by Tables IV and VI: OMP at k_omp samples
 /// vs BMF-PS (fast solver) at k_bmf samples.

@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# Machine-readable perf trajectory for the MAP solvers.
+#
+# Runs the google-benchmark solver-scaling ablation with JSON output so
+# successive PRs can diff wall-clock numbers. Usage:
+#
+#   bench/run_bench.sh [build-dir] [extra google-benchmark args...]
+#
+# Writes <build-dir>/BENCH_solver.json (default build dir: ./build).
+# Thread count is controlled by BMF_NUM_THREADS (default: all cores).
+set -eu
+
+build_dir="${1:-build}"
+[ $# -gt 0 ] && shift
+
+bin="$build_dir/bench/ablation_solver_scaling"
+if [ ! -x "$bin" ]; then
+  echo "error: $bin not found — build first: cmake --build $build_dir -j" >&2
+  exit 1
+fi
+
+out="$build_dir/BENCH_solver.json"
+"$bin" --benchmark_format=json --benchmark_out="$out" \
+       --benchmark_out_format=json "$@"
+echo "wrote $out (BMF_NUM_THREADS=${BMF_NUM_THREADS:-auto})"

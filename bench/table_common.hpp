@@ -35,7 +35,8 @@ inline int run_error_table_bench(
   SweepResult result = run_error_sweep(tc, config);
   std::cout << "Relative modeling error (%) of " << tc.metric << " for "
             << tc.circuit << "\n";
-  std::cout << format_error_table(result) << std::flush;
+  std::cout << format_error_table(result);
+  std::cout << format_phase_timing(result) << "\n" << std::flush;
   return 0;
 }
 

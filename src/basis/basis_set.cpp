@@ -1,9 +1,12 @@
 #include "basis/basis_set.hpp"
 
 #include <cmath>
+#include <map>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
+#include "parallel/thread_pool.hpp"
 #include "stats/rng.hpp"
 
 namespace bmf::basis {
@@ -115,17 +118,45 @@ linalg::Matrix design_matrix(const BasisSet& basis,
   LINALG_REQUIRE(points.cols() == basis.dimension(),
                  "design_matrix: point dimension mismatch");
   const std::size_t k = points.rows(), m = basis.size();
-  linalg::Matrix g(k, m);
-  for (std::size_t i = 0; i < k; ++i) {
-    const double* x = points.row_ptr(i);
-    double* gi = g.row_ptr(i);
-    for (std::size_t j = 0; j < m; ++j) {
-      double v = 1.0;
-      for (const auto& f : basis.term(j).factors)
-        v *= hermite_orthonormal(f.degree, x[f.var]);
-      gi[j] = v;
+
+  // Evaluation plan: each distinct (var, degree) factor gets one slot, so a
+  // factor shared by many terms (e.g. H1(x_r) appearing in both the linear
+  // and every mixed term of a quadratic set) is evaluated once per sample.
+  // Slots are listed per term in the term's own factor order, keeping the
+  // product order — and hence the result bits — identical to evaluating
+  // term-by-term.
+  std::map<std::pair<std::size_t, unsigned>, std::size_t> slot_of;
+  std::vector<VarDegree> slot_factors;
+  std::vector<std::size_t> term_offsets(m + 1, 0);
+  std::vector<std::size_t> term_slots;
+  for (std::size_t j = 0; j < m; ++j) {
+    for (const auto& f : basis.term(j).factors) {
+      auto [it, inserted] =
+          slot_of.try_emplace({f.var, f.degree}, slot_factors.size());
+      if (inserted) slot_factors.push_back(f);
+      term_slots.push_back(it->second);
     }
+    term_offsets[j + 1] = term_slots.size();
   }
+  const std::size_t num_slots = slot_factors.size();
+
+  linalg::Matrix g(k, m);
+  parallel::parallel_for(0, k, 0, [&](std::size_t r0, std::size_t r1) {
+    std::vector<double> factor_vals(num_slots);
+    for (std::size_t i = r0; i < r1; ++i) {
+      const double* x = points.row_ptr(i);
+      double* gi = g.row_ptr(i);
+      for (std::size_t s = 0; s < num_slots; ++s)
+        factor_vals[s] =
+            hermite_orthonormal(slot_factors[s].degree, x[slot_factors[s].var]);
+      for (std::size_t j = 0; j < m; ++j) {
+        double v = 1.0;
+        for (std::size_t t = term_offsets[j]; t < term_offsets[j + 1]; ++t)
+          v *= factor_vals[term_slots[t]];
+        gi[j] = v;
+      }
+    }
+  });
   return g;
 }
 

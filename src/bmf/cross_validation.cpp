@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "linalg/blas.hpp"
+#include "parallel/thread_pool.hpp"
 #include "stats/descriptive.hpp"
 #include "stats/kfold.hpp"
 #include "stats/rng.hpp"
@@ -79,55 +80,65 @@ CvEngine::CvEngine(const linalg::Matrix& g, const linalg::Vector& f,
   stats::Rng rng(options.seed);
   stats::KFold kfold(k, options.folds, rng);
   folds_.resize(options.folds);
-  for (std::size_t fi = 0; fi < options.folds; ++fi) {
-    Fold& fold = folds_[fi];
-    auto split = kfold.split(fi);
-    fold.train = std::move(split.train);
-    fold.test = std::move(split.test);
-    const std::size_t kt = fold.train.size(), ke = fold.test.size();
+  // Folds are independent: each builds its own B, eigendecomposition and
+  // test-side projections into a preassigned folds_ slot.
+  parallel::parallel_for(0, options.folds, 1, [&](std::size_t f0,
+                                                  std::size_t f1) {
+    for (std::size_t fi = f0; fi < f1; ++fi) build_fold(kfold, fi);
+  });
+}
 
-    fold.f_test.resize(ke);
-    for (std::size_t i = 0; i < ke; ++i) fold.f_test[i] = f[fold.test[i]];
+void CvEngine::build_fold(const stats::KFold& kfold, std::size_t fi) {
+  const linalg::Matrix& g = *g_;
+  const linalg::Vector& f = *f_;
+  const std::size_t m = g.cols();
+  Fold& fold = folds_[fi];
+  auto split = kfold.split(fi);
+  fold.train = std::move(split.train);
+  fold.test = std::move(split.test);
+  const std::size_t kt = fold.train.size(), ke = fold.test.size();
 
-    // g_t = G_tr^T f_tr.
-    fold.gt_f.assign(m, 0.0);
-    for (std::size_t i = 0; i < kt; ++i)
-      accumulate_row(g, fold.train[i], f[fold.train[i]], fold.gt_f);
+  fold.f_test.resize(ke);
+  for (std::size_t i = 0; i < ke; ++i) fold.f_test[i] = f[fold.test[i]];
 
-    // B = G_tr diag(1/q) G_tr^T, built one scaled row at a time.
-    linalg::Matrix b(kt, kt);
-    linalg::Vector scaled(m);
-    for (std::size_t i = 0; i < kt; ++i) {
-      const double* gi = g.row_ptr(fold.train[i]);
-      for (std::size_t p = 0; p < m; ++p) scaled[p] = gi[p] * inv_q_[p];
-      for (std::size_t j = i; j < kt; ++j) {
-        const double v = row_dot(g, fold.train[j], scaled);
-        b(i, j) = v;
-        b(j, i) = v;
-      }
+  // g_t = G_tr^T f_tr.
+  fold.gt_f.assign(m, 0.0);
+  for (std::size_t i = 0; i < kt; ++i)
+    accumulate_row(g, fold.train[i], f[fold.train[i]], fold.gt_f);
+
+  // B = G_tr diag(1/q) G_tr^T, built one scaled row at a time.
+  linalg::Matrix b(kt, kt);
+  linalg::Vector scaled(m);
+  for (std::size_t i = 0; i < kt; ++i) {
+    const double* gi = g.row_ptr(fold.train[i]);
+    for (std::size_t p = 0; p < m; ++p) scaled[p] = gi[p] * inv_q_[p];
+    for (std::size_t j = i; j < kt; ++j) {
+      const double v = row_dot(g, fold.train[j], scaled);
+      b(i, j) = v;
+      b(j, i) = v;
     }
-
-    // b2 = B f_tr, then rotate into the eigenbasis.
-    linalg::Vector f_tr(kt);
-    for (std::size_t i = 0; i < kt; ++i) f_tr[i] = f[fold.train[i]];
-    linalg::Vector b2 = linalg::gemv(b, f_tr);
-
-    fold.eig = linalg::eigen_symmetric(b);
-    for (double& w : fold.eig.values) w = std::max(w, 0.0);  // PSD clamp
-    fold.vb2 = linalg::gemv_t(fold.eig.vectors, b2);
-
-    // a2 = G_te diag(1/q) g_t and C = G_te diag(1/q) G_tr^T.
-    fold.a2.resize(ke);
-    linalg::Matrix c(ke, kt);
-    for (std::size_t i = 0; i < ke; ++i) {
-      const double* gi = g.row_ptr(fold.test[i]);
-      for (std::size_t p = 0; p < m; ++p) scaled[p] = gi[p] * inv_q_[p];
-      fold.a2[i] = linalg::dot(scaled, fold.gt_f);
-      for (std::size_t j = 0; j < kt; ++j)
-        c(i, j) = row_dot(g, fold.train[j], scaled);
-    }
-    fold.c_hat = linalg::gemm(c, fold.eig.vectors);
   }
+
+  // b2 = B f_tr, then rotate into the eigenbasis.
+  linalg::Vector f_tr(kt);
+  for (std::size_t i = 0; i < kt; ++i) f_tr[i] = f[fold.train[i]];
+  linalg::Vector b2 = linalg::gemv(b, f_tr);
+
+  fold.eig = linalg::eigen_symmetric(b);
+  for (double& w : fold.eig.values) w = std::max(w, 0.0);  // PSD clamp
+  fold.vb2 = linalg::gemv_t(fold.eig.vectors, b2);
+
+  // a2 = G_te diag(1/q) g_t and C = G_te diag(1/q) G_tr^T.
+  fold.a2.resize(ke);
+  linalg::Matrix c(ke, kt);
+  for (std::size_t i = 0; i < ke; ++i) {
+    const double* gi = g.row_ptr(fold.test[i]);
+    for (std::size_t p = 0; p < m; ++p) scaled[p] = gi[p] * inv_q_[p];
+    fold.a2[i] = linalg::dot(scaled, fold.gt_f);
+    for (std::size_t j = 0; j < kt; ++j)
+      c(i, j) = row_dot(g, fold.train[j], scaled);
+  }
+  fold.c_hat = linalg::gemm(c, fold.eig.vectors);
 }
 
 CvCurve CvEngine::evaluate(const linalg::Vector& mu) const {
@@ -141,37 +152,56 @@ CvCurve CvEngine::evaluate(const linalg::Vector& mu) const {
 
   CvCurve curve;
   curve.taus.assign(taus_.begin(), taus_.end());
-  curve.errors.assign(taus_.size(), 0.0);
+  const std::size_t nf = folds_.size(), nt = taus_.size();
+  curve.errors.assign(nt, 0.0);
 
-  for (const Fold& fold : folds_) {
-    const std::size_t kt = fold.train.size(), ke = fold.test.size();
-    // vb1 = V^T (G_tr mu), a1 = G_te mu.
-    linalg::Vector vb1(kt, 0.0), a1(ke, 0.0);
-    if (!mu_zero) {
+  // Per-fold projections of the prior mean: vb1 = V^T (G_tr mu), a1 = G_te
+  // mu. Independent across folds.
+  std::vector<linalg::Vector> vb1(nf), a1(nf);
+  parallel::parallel_for(0, nf, 1, [&](std::size_t f0, std::size_t f1) {
+    for (std::size_t fi = f0; fi < f1; ++fi) {
+      const Fold& fold = folds_[fi];
+      const std::size_t kt = fold.train.size(), ke = fold.test.size();
+      vb1[fi].assign(kt, 0.0);
+      a1[fi].assign(ke, 0.0);
+      if (mu_zero) continue;
       linalg::Vector b1(kt);
       for (std::size_t i = 0; i < kt; ++i)
         b1[i] = row_dot(*g_, fold.train[i], mu);
-      vb1 = linalg::gemv_t(fold.eig.vectors, b1);
+      vb1[fi] = linalg::gemv_t(fold.eig.vectors, b1);
       for (std::size_t i = 0; i < ke; ++i)
-        a1[i] = row_dot(*g_, fold.test[i], mu);
+        a1[fi][i] = row_dot(*g_, fold.test[i], mu);
     }
+  });
 
-    linalg::Vector s(kt), pred(ke);
-    for (std::size_t ti = 0; ti < taus_.size(); ++ti) {
+  // Every (fold, tau) grid cell is independent given the cached fold data;
+  // each writes its error into a preassigned slot, and the slots are
+  // reduced in fold order afterwards — so the curve is bit-identical at any
+  // thread count.
+  std::vector<double> cell(nf * nt, 0.0);
+  parallel::parallel_for(0, nf * nt, 0, [&](std::size_t c0, std::size_t c1) {
+    for (std::size_t c = c0; c < c1; ++c) {
+      const std::size_t fi = c / nt, ti = c % nt;
+      const Fold& fold = folds_[fi];
+      const std::size_t kt = fold.train.size(), ke = fold.test.size();
       const double inv_tau = 1.0 / taus_[ti];
+      linalg::Vector s(kt), pred(ke);
       for (std::size_t i = 0; i < kt; ++i)
-        s[i] = (vb1[i] + inv_tau * fold.vb2[i]) /
+        s[i] = (vb1[fi][i] + inv_tau * fold.vb2[i]) /
                (1.0 + inv_tau * fold.eig.values[i]);
       for (std::size_t i = 0; i < ke; ++i) {
         const double* ci = fold.c_hat.row_ptr(i);
         double cs = 0.0;
         for (std::size_t j = 0; j < kt; ++j) cs += ci[j] * s[j];
-        pred[i] = a1[i] + inv_tau * (fold.a2[i] - cs);
+        pred[i] = a1[fi][i] + inv_tau * (fold.a2[i] - cs);
       }
-      curve.errors[ti] += stats::relative_error(pred, fold.f_test);
+      cell[c] = stats::relative_error(pred, fold.f_test);
     }
-  }
-  const double inv_folds = 1.0 / static_cast<double>(folds_.size());
+  });
+  for (std::size_t fi = 0; fi < nf; ++fi)
+    for (std::size_t ti = 0; ti < nt; ++ti)
+      curve.errors[ti] += cell[fi * nt + ti];
+  const double inv_folds = 1.0 / static_cast<double>(nf);
   for (double& e : curve.errors) e *= inv_folds;
   return curve;
 }

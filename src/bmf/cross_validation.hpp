@@ -19,6 +19,7 @@
 #include "bmf/prior.hpp"
 #include "linalg/eigen_sym.hpp"
 #include "linalg/matrix.hpp"
+#include "stats/kfold.hpp"
 
 namespace bmf::core {
 
@@ -77,6 +78,10 @@ class CvEngine {
     linalg::Vector a2;            // G_te diag(1/q) gt_f (size K_te)
     linalg::Matrix c_hat;         // (G_te diag(1/q) G_tr^T) V (K_te x K_tr)
   };
+
+  /// Build the cached quantities of fold `fi` into folds_[fi]. Called from
+  /// a parallel loop in the constructor — folds are fully independent.
+  void build_fold(const stats::KFold& kfold, std::size_t fi);
 
   const linalg::Matrix* g_;
   const linalg::Vector* f_;

@@ -74,8 +74,10 @@ MapPosterior map_posterior(const linalg::Matrix& g, const linalg::Vector& f,
   linalg::Cholesky chol(a);
   MapPosterior post;
   post.mean = chol.solve(build_rhs(g, f, prior, tau));
-  // Sigma_L = sigma_0^2 (G^T G + tau D)^{-1}  (Eq. 28 rescaled by tau).
-  post.covariance = chol.solve(linalg::Matrix::identity(a.rows()));
+  // Sigma_L = sigma_0^2 (G^T G + tau D)^{-1}  (Eq. 28 rescaled by tau),
+  // via the explicit triangular inverse L^{-T} L^{-1} rather than M dense
+  // solves against identity columns.
+  post.covariance = chol.inverse();
   post.covariance *= sigma0_sq;
   return post;
 }

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "parallel/thread_pool.hpp"
+
 namespace bmf::circuit {
 
 namespace {
@@ -121,16 +123,26 @@ Dataset VirtualSilicon::sample(std::size_t n, const linalg::Vector& truth,
   Dataset d;
   d.points.assign(n, r);
   d.f.resize(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    double f = truth[0];
-    double* row = d.points.row_ptr(i);
-    for (std::size_t v = 0; v < r; ++v) {
-      const double x = rng.normal();
-      row[v] = x;
-      f += truth[1 + v] * x;
+  // Counter-seeded streams: the caller's generator contributes one draw
+  // (advancing its state so successive calls differ), and chunk c of
+  // kSampleChunk samples runs its own Rng(base + c). The chunk grid is
+  // fixed — never derived from the thread count — so a sampled dataset is
+  // a pure function of the caller's RNG state at any parallelism level.
+  const std::uint64_t base = rng.next();
+  parallel::parallel_for(0, n, kSampleChunk, [&](std::size_t i0,
+                                                 std::size_t i1) {
+    stats::Rng chunk_rng(base + i0 / kSampleChunk);
+    for (std::size_t i = i0; i < i1; ++i) {
+      double f = truth[0];
+      double* row = d.points.row_ptr(i);
+      for (std::size_t v = 0; v < r; ++v) {
+        const double x = chunk_rng.normal();
+        row[v] = x;
+        f += truth[1 + v] * x;
+      }
+      d.f[i] = f + chunk_rng.normal(0.0, noise_sd_);
     }
-    d.f[i] = f + rng.normal(0.0, noise_sd_);
-  }
+  });
   return d;
 }
 

@@ -64,6 +64,11 @@ struct Dataset {
 
 class VirtualSilicon {
  public:
+  /// Samples per counter-seeded RNG stream in sample_late/sample_early.
+  /// Fixed (not thread-count dependent) so sampled datasets are identical
+  /// at any parallelism level; see VirtualSilicon::sample.
+  static constexpr std::size_t kSampleChunk = 64;
+
   explicit VirtualSilicon(const TestcaseSpec& spec);
 
   const TestcaseSpec& spec() const { return spec_; }

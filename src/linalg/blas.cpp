@@ -3,7 +3,28 @@
 #include <algorithm>
 #include <cmath>
 
+#include "parallel/thread_pool.hpp"
+
 namespace bmf::linalg {
+
+namespace {
+// Below this many inner-loop flops a kernel runs serially: the dispatch
+// cost of a parallel region would dominate. Parallel partitions are always
+// over disjoint *output rows*, and every output element accumulates its
+// terms in the same order as the serial code, so results are bit-identical
+// at any thread count.
+constexpr std::size_t kParallelFlopCutoff = 1u << 16;
+
+void maybe_parallel_rows(std::size_t rows, std::size_t flops_total,
+                         std::size_t grain,
+                         const parallel::RangeBody& body) {
+  if (flops_total < kParallelFlopCutoff) {
+    body(0, rows);
+    return;
+  }
+  parallel::parallel_for(0, rows, grain, body);
+}
+}  // namespace
 
 double dot(const Vector& a, const Vector& b) {
   LINALG_REQUIRE(a.size() == b.size(), "dot size mismatch");
@@ -91,13 +112,18 @@ Matrix gemm(const Matrix& a, const Matrix& b) {
   LINALG_REQUIRE(a.cols() == b.rows(), "gemm shape mismatch");
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
   Matrix c(m, n, 0.0);
-  for (std::size_t i0 = 0; i0 < m; i0 += kBlock)
-    for (std::size_t p0 = 0; p0 < k; p0 += kBlock)
-      for (std::size_t j0 = 0; j0 < n; j0 += kBlock)
-        gemm_block(a.data() + i0 * k + p0, b.data() + p0 * n + j0,
-                   c.data() + i0 * n + j0, std::min(kBlock, m - i0),
-                   std::min(kBlock, k - p0), std::min(kBlock, n - j0), k, n,
-                   n);
+  // Threads own disjoint row blocks of C; grain = kBlock keeps the thread
+  // partition aligned with the cache blocking.
+  maybe_parallel_rows(m, m * n * k, kBlock, [&](std::size_t r0,
+                                                std::size_t r1) {
+    for (std::size_t i0 = r0; i0 < r1; i0 += kBlock)
+      for (std::size_t p0 = 0; p0 < k; p0 += kBlock)
+        for (std::size_t j0 = 0; j0 < n; j0 += kBlock)
+          gemm_block(a.data() + i0 * k + p0, b.data() + p0 * n + j0,
+                     c.data() + i0 * n + j0, std::min(kBlock, r1 - i0),
+                     std::min(kBlock, k - p0), std::min(kBlock, n - j0), k,
+                     n, n);
+  });
   return c;
 }
 
@@ -106,17 +132,21 @@ Matrix gemm_tn(const Matrix& a, const Matrix& b) {
   const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
   Matrix c(m, n, 0.0);
   // Accumulate rank-1 updates row-by-row of A and B: cache friendly for
-  // row-major inputs, no explicit transpose needed.
-  for (std::size_t p = 0; p < k; ++p) {
-    const double* ap = a.row_ptr(p);
-    const double* bp = b.row_ptr(p);
-    for (std::size_t i = 0; i < m; ++i) {
-      const double api = ap[i];
-      if (api == 0.0) continue;
-      double* ci = c.row_ptr(i);
-      for (std::size_t j = 0; j < n; ++j) ci[j] += api * bp[j];
+  // row-major inputs, no explicit transpose needed. Each thread applies all
+  // rank-1 updates to its own block of C rows, so the per-element
+  // accumulation order (p ascending) matches the serial loop exactly.
+  maybe_parallel_rows(m, m * n * k, 0, [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t p = 0; p < k; ++p) {
+      const double* ap = a.row_ptr(p);
+      const double* bp = b.row_ptr(p);
+      for (std::size_t i = r0; i < r1; ++i) {
+        const double api = ap[i];
+        if (api == 0.0) continue;
+        double* ci = c.row_ptr(i);
+        for (std::size_t j = 0; j < n; ++j) ci[j] += api * bp[j];
+      }
     }
-  }
+  });
   return c;
 }
 
@@ -124,31 +154,40 @@ Matrix gemm_nt(const Matrix& a, const Matrix& b) {
   LINALG_REQUIRE(a.cols() == b.cols(), "gemm_nt shape mismatch");
   const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
   Matrix c(m, n, 0.0);
-  for (std::size_t i = 0; i < m; ++i) {
-    const double* ai = a.row_ptr(i);
-    double* ci = c.row_ptr(i);
-    for (std::size_t j = 0; j < n; ++j) {
-      const double* bj = b.row_ptr(j);
-      double s = 0.0;
-      for (std::size_t p = 0; p < k; ++p) s += ai[p] * bj[p];
-      ci[j] = s;
+  maybe_parallel_rows(m, m * n * k, 0, [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t i = r0; i < r1; ++i) {
+      const double* ai = a.row_ptr(i);
+      double* ci = c.row_ptr(i);
+      for (std::size_t j = 0; j < n; ++j) {
+        const double* bj = b.row_ptr(j);
+        double s = 0.0;
+        for (std::size_t p = 0; p < k; ++p) s += ai[p] * bj[p];
+        ci[j] = s;
+      }
     }
-  }
+  });
   return c;
 }
 
 Matrix gram(const Matrix& g) {
   const std::size_t k = g.rows(), m = g.cols();
   Matrix c(m, m, 0.0);
-  for (std::size_t p = 0; p < k; ++p) {
-    const double* gp = g.row_ptr(p);
-    for (std::size_t i = 0; i < m; ++i) {
-      const double gpi = gp[i];
-      if (gpi == 0.0) continue;
-      double* ci = c.row_ptr(i);
-      for (std::size_t j = i; j < m; ++j) ci[j] += gpi * gp[j];
+  // Upper-triangle rows are partitioned across threads; every thread sweeps
+  // all K samples over its own rows (accumulation order per element is
+  // unchanged). The symmetric-fill epilogue stays serial — it is O(M^2)
+  // copies against the O(K M^2) accumulation.
+  maybe_parallel_rows(m, k * m * m / 2, 0,
+                      [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t p = 0; p < k; ++p) {
+      const double* gp = g.row_ptr(p);
+      for (std::size_t i = r0; i < r1; ++i) {
+        const double gpi = gp[i];
+        if (gpi == 0.0) continue;
+        double* ci = c.row_ptr(i);
+        for (std::size_t j = i; j < m; ++j) ci[j] += gpi * gp[j];
+      }
     }
-  }
+  });
   for (std::size_t i = 0; i < m; ++i)
     for (std::size_t j = 0; j < i; ++j) c(i, j) = c(j, i);
   return c;
@@ -158,15 +197,18 @@ Matrix outer_gram_weighted(const Matrix& g, const Vector& d) {
   LINALG_REQUIRE(g.cols() == d.size(), "outer_gram_weighted size mismatch");
   const std::size_t k = g.rows(), m = g.cols();
   Matrix c(k, k, 0.0);
-  for (std::size_t i = 0; i < k; ++i) {
-    const double* gi = g.row_ptr(i);
-    for (std::size_t j = i; j < k; ++j) {
-      const double* gj = g.row_ptr(j);
-      double s = 0.0;
-      for (std::size_t p = 0; p < m; ++p) s += gi[p] * d[p] * gj[p];
-      c(i, j) = s;
+  maybe_parallel_rows(k, k * k * m / 2, 0,
+                      [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t i = r0; i < r1; ++i) {
+      const double* gi = g.row_ptr(i);
+      for (std::size_t j = i; j < k; ++j) {
+        const double* gj = g.row_ptr(j);
+        double s = 0.0;
+        for (std::size_t p = 0; p < m; ++p) s += gi[p] * d[p] * gj[p];
+        c(i, j) = s;
+      }
     }
-  }
+  });
   for (std::size_t i = 0; i < k; ++i)
     for (std::size_t j = 0; j < i; ++j) c(i, j) = c(j, i);
   return c;

@@ -1,0 +1,239 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace bmf::parallel {
+
+namespace {
+
+// Set for worker threads (their whole life) and for the calling thread
+// while it participates in a job or runs the serial fallback; nested
+// parallel calls check it and degrade to serial execution.
+thread_local bool t_in_parallel = false;
+
+struct ScopedParallelFlag {
+  bool saved = t_in_parallel;
+  ScopedParallelFlag() { t_in_parallel = true; }
+  ~ScopedParallelFlag() { t_in_parallel = saved; }
+};
+
+std::size_t default_num_threads() {
+  if (const char* env = std::getenv("BMF_NUM_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && v >= 1) return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+// One dispatched parallel_for: workers and the caller pull chunk indices
+// from `next` until exhausted. Heap-allocated and shared so that a slow
+// worker waking up after the job completed still sees a live (drained)
+// object rather than a recycled one.
+struct Job {
+  const RangeBody* body = nullptr;
+  std::size_t begin = 0, end = 0, grain = 1;
+  std::size_t num_chunks = 0;
+  std::uint64_t id = 0;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex mu;                  // guards error; done_cv waits on it
+  std::condition_variable done_cv;
+  std::exception_ptr error;
+};
+
+class ThreadPool {
+ public:
+  static ThreadPool& instance() {
+    static ThreadPool pool;
+    return pool;
+  }
+
+  ~ThreadPool() { stop_workers(); }
+
+  std::size_t size() {
+    std::lock_guard<std::mutex> g(config_mu_);
+    return threads_;
+  }
+
+  void resize(std::size_t n) {
+    if (t_in_parallel)
+      throw std::logic_error(
+          "set_num_threads: cannot resize from inside a parallel region");
+    std::lock_guard<std::mutex> dispatch(dispatch_mu_);
+    std::lock_guard<std::mutex> g(config_mu_);
+    threads_ = n == 0 ? default_num_threads() : n;
+    stop_workers_locked();
+  }
+
+  void run(std::size_t begin, std::size_t end, std::size_t grain,
+           const RangeBody& body) {
+    const std::size_t count = end - begin;
+    const std::size_t chunks = (count + grain - 1) / grain;
+    std::size_t threads;
+    {
+      std::lock_guard<std::mutex> g(config_mu_);
+      threads = threads_;
+    }
+    if (threads <= 1 || chunks <= 1 || t_in_parallel) {
+      run_serial(begin, end, grain, body);
+      return;
+    }
+
+    // One job at a time; nested calls never reach here (flag above).
+    std::lock_guard<std::mutex> dispatch(dispatch_mu_);
+    ensure_workers(threads - 1);
+
+    auto job = std::make_shared<Job>();
+    job->body = &body;
+    job->begin = begin;
+    job->end = end;
+    job->grain = grain;
+    job->num_chunks = chunks;
+    {
+      std::lock_guard<std::mutex> g(wake_mu_);
+      job->id = ++job_counter_;
+      current_ = job;
+    }
+    wake_cv_.notify_all();
+
+    {
+      ScopedParallelFlag flag;
+      participate(*job);
+    }
+    {
+      std::unique_lock<std::mutex> g(job->mu);
+      job->done_cv.wait(g, [&] {
+        return job->done.load(std::memory_order_acquire) == job->num_chunks;
+      });
+    }
+    {
+      std::lock_guard<std::mutex> g(wake_mu_);
+      if (current_ == job) current_.reset();
+    }
+    if (job->error) std::rethrow_exception(job->error);
+  }
+
+ private:
+  ThreadPool() : threads_(default_num_threads()) {}
+
+  static void run_serial(std::size_t begin, std::size_t end,
+                         std::size_t grain, const RangeBody& body) {
+    // Same chunk boundaries as the threaded path so chunk-id-derived state
+    // (e.g. per-chunk RNG streams) is thread-count invariant.
+    ScopedParallelFlag flag;
+    for (std::size_t i0 = begin; i0 < end; i0 += grain)
+      body(i0, std::min(end, i0 + grain));
+  }
+
+  static void participate(Job& job) {
+    while (true) {
+      const std::size_t c = job.next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= job.num_chunks) return;
+      const std::size_t i0 = job.begin + c * job.grain;
+      const std::size_t i1 = std::min(job.end, i0 + job.grain);
+      try {
+        (*job.body)(i0, i1);
+      } catch (...) {
+        std::lock_guard<std::mutex> g(job.mu);
+        if (!job.error) job.error = std::current_exception();
+      }
+      if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          job.num_chunks) {
+        std::lock_guard<std::mutex> g(job.mu);
+        job.done_cv.notify_all();
+      }
+    }
+  }
+
+  // Callers hold dispatch_mu_.
+  void ensure_workers(std::size_t want) {
+    if (workers_.size() == want) return;
+    std::lock_guard<std::mutex> g(config_mu_);
+    stop_workers_locked();
+    stop_ = false;
+    workers_.reserve(want);
+    for (std::size_t i = 0; i < want; ++i)
+      workers_.emplace_back([this] { worker_loop(); });
+  }
+
+  void worker_loop() {
+    t_in_parallel = true;  // nested calls inside bodies stay serial
+    std::uint64_t last_id = 0;
+    while (true) {
+      std::shared_ptr<Job> job;
+      {
+        std::unique_lock<std::mutex> g(wake_mu_);
+        wake_cv_.wait(g, [&] {
+          return stop_ || (current_ && current_->id != last_id);
+        });
+        if (stop_) return;
+        job = current_;
+        last_id = job->id;
+      }
+      participate(*job);
+    }
+  }
+
+  void stop_workers() {
+    std::lock_guard<std::mutex> dispatch(dispatch_mu_);
+    std::lock_guard<std::mutex> g(config_mu_);
+    stop_workers_locked();
+  }
+
+  // Callers hold config_mu_ (and dispatch_mu_, so no job is in flight).
+  void stop_workers_locked() {
+    if (workers_.empty()) return;
+    {
+      std::lock_guard<std::mutex> g(wake_mu_);
+      stop_ = true;
+    }
+    wake_cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+    workers_.clear();
+    stop_ = false;
+  }
+
+  std::mutex config_mu_;    // guards threads_ and worker lifecycle
+  std::mutex dispatch_mu_;  // serializes jobs
+  std::size_t threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex wake_mu_;  // guards current_/stop_/job_counter_
+  std::condition_variable wake_cv_;
+  std::shared_ptr<Job> current_;
+  std::uint64_t job_counter_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace
+
+std::size_t num_threads() { return ThreadPool::instance().size(); }
+
+void set_num_threads(std::size_t n) { ThreadPool::instance().resize(n); }
+
+bool in_parallel_region() { return t_in_parallel; }
+
+std::size_t resolve_grain(std::size_t count, std::size_t grain) {
+  if (grain > 0) return grain;
+  // Aim for ~4 chunks per thread so faster threads can rebalance.
+  const std::size_t target = num_threads() * 4;
+  return std::max<std::size_t>(1, count / std::max<std::size_t>(1, target));
+}
+
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                  const RangeBody& body) {
+  if (end <= begin) return;
+  const std::size_t g = resolve_grain(end - begin, grain);
+  ThreadPool::instance().run(begin, end, g, body);
+}
+
+}  // namespace bmf::parallel

@@ -1,0 +1,81 @@
+// Chunked thread-pool parallelism for the BMF numerics.
+//
+// Design goals, in priority order:
+//   1. *Determinism*: every parallel kernel in the repo must produce
+//      bit-identical results at any thread count. parallel_for therefore
+//      partitions the index range into chunks whose boundaries depend only
+//      on (begin, end, grain) when an explicit grain is given — never on
+//      the number of threads — and parallel_reduce combines per-chunk
+//      partials in chunk order.
+//   2. *Zero-risk serial fallback*: with one thread (BMF_NUM_THREADS=1 or a
+//      single-core host) no worker threads exist and the loop body runs
+//      inline on the caller, preserving the pre-parallel behavior exactly.
+//   3. *Safety*: exceptions thrown by loop bodies are captured and rethrown
+//      on the calling thread; nested parallel_for calls (from inside a loop
+//      body) degrade to serial execution instead of deadlocking.
+//
+// The pool is a process-wide singleton sized from BMF_NUM_THREADS (falling
+// back to std::thread::hardware_concurrency) and resizable at runtime via
+// set_num_threads(). Workers are lazy: nothing is spawned until the first
+// parallel call with more than one thread configured.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace bmf::parallel {
+
+/// Loop body operating on the half-open index range [i0, i1).
+using RangeBody = std::function<void(std::size_t, std::size_t)>;
+
+/// Number of threads parallel calls may use (workers + calling thread).
+/// Reads BMF_NUM_THREADS on first use; >= 1.
+std::size_t num_threads();
+
+/// Resize the pool. n == 0 restores the default (BMF_NUM_THREADS or
+/// hardware concurrency); n == 1 stops all workers (pure serial mode).
+/// Must not be called from inside a parallel region.
+void set_num_threads(std::size_t n);
+
+/// True while the calling thread is executing inside a parallel region
+/// (loop bodies see this; nested parallel calls run serially).
+bool in_parallel_region();
+
+/// Run body over [begin, end) split into chunks of `grain` indices (the
+/// last chunk may be short). grain == 0 picks a thread-count-dependent
+/// chunk size automatically — use an explicit grain whenever the body
+/// derives state from the chunk id (e.g. counter-seeded RNG streams), so
+/// chunk boundaries are identical at every thread count.
+///
+/// The caller participates in the work. The first exception thrown by any
+/// chunk is rethrown here after all chunks finish or are abandoned.
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                  const RangeBody& body);
+
+/// Chunk grid used by parallel_for for the given grain: returns the
+/// effective grain (resolving grain == 0 to the automatic choice).
+std::size_t resolve_grain(std::size_t count, std::size_t grain);
+
+/// Deterministic map-reduce: chunk_fn maps each chunk [i0, i1) to a partial
+/// value; partials are combined *in chunk order* starting from init, so the
+/// result does not depend on the thread count when `grain` is explicit.
+template <typename T, typename ChunkFn, typename Combine>
+T parallel_reduce(std::size_t begin, std::size_t end, std::size_t grain,
+                  T init, ChunkFn&& chunk_fn, Combine&& combine) {
+  if (end <= begin) return init;
+  const std::size_t count = end - begin;
+  const std::size_t g = resolve_grain(count, grain);
+  const std::size_t chunks = (count + g - 1) / g;
+  std::vector<T> partials(chunks);
+  parallel_for(begin, end, g, [&](std::size_t i0, std::size_t i1) {
+    partials[(i0 - begin) / g] = chunk_fn(i0, i1);
+  });
+  T acc = std::move(init);
+  for (std::size_t c = 0; c < chunks; ++c)
+    acc = combine(std::move(acc), std::move(partials[c]));
+  return acc;
+}
+
+}  // namespace bmf::parallel
