@@ -1,7 +1,9 @@
 #!/usr/bin/env sh
 # Machine-readable perf trajectory for the MAP solvers.
 #
-# Runs the google-benchmark solver-scaling ablation with JSON output so
+# Configures + builds the benchmark in Release mode, verifies the resolved
+# build type (benchmarking a Debug build silently produces garbage numbers),
+# then runs the google-benchmark solver-scaling ablation with JSON output so
 # successive PRs can diff wall-clock numbers. Usage:
 #
 #   bench/run_bench.sh [build-dir] [extra google-benchmark args...]
@@ -10,16 +12,46 @@
 # Thread count is controlled by BMF_NUM_THREADS (default: all cores).
 set -eu
 
+src_dir="$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"
 build_dir="${1:-build}"
 [ $# -gt 0 ] && shift
 
+# Refuse to touch a build dir already configured as something other than
+# Release (passing -DCMAKE_BUILD_TYPE=Release would silently flip the
+# cache and rebuild the user's Debug tree as Release).
+cache="$build_dir/CMakeCache.txt"
+if [ -f "$cache" ]; then
+  existing="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$cache")"
+  if [ "$existing" != "Release" ]; then
+    echo "error: $build_dir is configured as '${existing:-<empty>}', not Release." >&2
+    echo "Refusing to benchmark a non-optimized build; use a fresh build dir." >&2
+    exit 1
+  fi
+fi
+
+# Configure (or re-configure) pinning the build type, then verify what the
+# cache actually resolved to.
+cmake -S "$src_dir" -B "$build_dir" -DCMAKE_BUILD_TYPE=Release >/dev/null
+build_type="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$cache")"
+if [ "$build_type" != "Release" ]; then
+  echo "error: $build_dir resolved CMAKE_BUILD_TYPE='${build_type:-<empty>}'," >&2
+  echo "expected Release. Refusing to benchmark a non-optimized build." >&2
+  exit 1
+fi
+
+cmake --build "$build_dir" -j --target ablation_solver_scaling >/dev/null
+
 bin="$build_dir/bench/ablation_solver_scaling"
 if [ ! -x "$bin" ]; then
-  echo "error: $bin not found — build first: cmake --build $build_dir -j" >&2
+  echo "error: $bin not found after build" >&2
   exit 1
 fi
 
 out="$build_dir/BENCH_solver.json"
+# Note: the JSON context's "library_build_type" reflects how the *system*
+# google-benchmark library was compiled, not this project; our build type is
+# recorded explicitly below.
 "$bin" --benchmark_format=json --benchmark_out="$out" \
-       --benchmark_out_format=json "$@"
-echo "wrote $out (BMF_NUM_THREADS=${BMF_NUM_THREADS:-auto})"
+       --benchmark_out_format=json \
+       --benchmark_context=bmf_build_type="$build_type" "$@"
+echo "wrote $out (CMAKE_BUILD_TYPE=$build_type, BMF_NUM_THREADS=${BMF_NUM_THREADS:-auto})"

@@ -1,0 +1,32 @@
+#!/usr/bin/env sh
+# Local CI gate: the checks a PR must pass before merging.
+#
+#   1. Release build + full test suite (the configuration users run, and the
+#      one bench/run_bench.sh benchmarks).
+#   2. Debug build with AddressSanitizer + full test suite (catches memory
+#      errors the optimized build can hide).
+#   3. Smoke-run of the solver-scaling benchmark (tiny min-time) so bench
+#      bit-rot is caught without paying for a full measurement run.
+#
+# Usage: ci.sh [jobs]   (default: all cores)
+set -eu
+
+src_dir="$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)"
+jobs="${1:-$(nproc)}"
+
+echo "== Release build + tests =="
+cmake -S "$src_dir" -B "$src_dir/build-ci-release" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$src_dir/build-ci-release" -j "$jobs"
+ctest --test-dir "$src_dir/build-ci-release" --output-on-failure
+
+echo "== Debug + AddressSanitizer build + tests =="
+cmake -S "$src_dir" -B "$src_dir/build-ci-asan" \
+      -DCMAKE_BUILD_TYPE=Debug -DBMF_SANITIZE=address
+cmake --build "$src_dir/build-ci-asan" -j "$jobs"
+ctest --test-dir "$src_dir/build-ci-asan" --output-on-failure
+
+echo "== Benchmark smoke run =="
+"$src_dir/build-ci-release/bench/ablation_solver_scaling" \
+    --benchmark_min_time=0.01
+
+echo "== CI passed =="

@@ -177,15 +177,24 @@ CvCurve CvEngine::evaluate(const linalg::Vector& mu) const {
   // Every (fold, tau) grid cell is independent given the cached fold data;
   // each writes its error into a preassigned slot, and the slots are
   // reduced in fold order afterwards — so the curve is bit-identical at any
-  // thread count.
+  // thread count. The s/pred scratch vectors are hoisted out of the cell
+  // loop into per-chunk buffers sized to the largest fold, so the grid loop
+  // performs no per-cell allocations.
+  std::size_t max_kt = 0, max_ke = 0;
+  for (const Fold& fold : folds_) {
+    max_kt = std::max(max_kt, fold.train.size());
+    max_ke = std::max(max_ke, fold.test.size());
+  }
   std::vector<double> cell(nf * nt, 0.0);
   parallel::parallel_for(0, nf * nt, 0, [&](std::size_t c0, std::size_t c1) {
+    linalg::Vector s(max_kt), pred(max_ke);
     for (std::size_t c = c0; c < c1; ++c) {
       const std::size_t fi = c / nt, ti = c % nt;
       const Fold& fold = folds_[fi];
       const std::size_t kt = fold.train.size(), ke = fold.test.size();
       const double inv_tau = 1.0 / taus_[ti];
-      linalg::Vector s(kt), pred(ke);
+      s.resize(kt);    // never exceeds the reserved max -> no reallocation
+      pred.resize(ke);
       for (std::size_t i = 0; i < kt; ++i)
         s[i] = (vb1[fi][i] + inv_tau * fold.vb2[i]) /
                (1.0 + inv_tau * fold.eig.values[i]);

@@ -74,6 +74,8 @@ void BmfFitter::set_design(linalg::Matrix g, linalg::Vector f) {
   engine_.reset();
   zm_curve_.reset();
   nzm_curve_.reset();
+  workspace_.reset();
+  nzm_mean_.reset();
 }
 
 void BmfFitter::require_data() const {
@@ -102,10 +104,30 @@ const CoefficientPrior& BmfFitter::prior_for(PriorKind kind) const {
   return kind == PriorKind::kZeroMean ? zm_prior_ : nzm_prior_;
 }
 
+const MapSolverWorkspace& BmfFitter::workspace() const {
+  if (!workspace_) {
+    // The ZM and NZM priors share the precision scale q, so the workspace is
+    // built from the ZM prior (mean zero) and the NZM mean is projected once
+    // and cached alongside.
+    workspace_ = std::make_unique<MapSolverWorkspace>(g_, f_, zm_prior_);
+    nzm_mean_ = workspace_->project_mean(nzm_prior_.mean());
+  }
+  return *workspace_;
+}
+
 basis::PerformanceModel BmfFitter::fit_at(PriorKind kind, double tau) const {
   require_data();
-  return basis::PerformanceModel(
-      late_basis_, map_solve(g_, f_, prior_for(kind), tau, options_.solver));
+  if (options_.solver == SolverKind::kDirect)
+    return basis::PerformanceModel(
+        late_basis_, map_solve_direct(g_, f_, prior_for(kind), tau));
+  // Fast solver: amortize the tau-independent kernel across every query on
+  // this design matrix (tau sweeps, BMF-PS trying both priors, the final
+  // fit) — each solve is O(K^2 + K M) after the first.
+  const MapSolverWorkspace& ws = workspace();
+  return basis::PerformanceModel(late_basis_,
+                                 kind == PriorKind::kZeroMean
+                                     ? ws.solve(tau)
+                                     : ws.solve(tau, *nzm_mean_));
 }
 
 FusionResult BmfFitter::fit(PriorSelection selection) {

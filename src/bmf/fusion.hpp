@@ -13,7 +13,11 @@
 //      or the direct Cholesky solver.
 //
 // The CV engine — the expensive part — is built lazily and shared between
-// the two priors.
+// the two priors. When the fast solver is selected (the default), the MAP
+// solves likewise share one lazily-built MapSolverWorkspace: the ZM and NZM
+// priors use the same precision scale q, so one tau-independent kernel
+// serves every fit_at(kind, tau) query and the final fit at O(K^2 + K M)
+// per solve.
 #pragma once
 
 #include <memory>
@@ -87,6 +91,8 @@ class BmfFitter {
   const CoefficientPrior& prior_for(PriorKind kind) const;
   void require_data() const;
   CvEngine& engine();
+  /// Lazily-built amortized solver over (g_, f_, q); shared by both priors.
+  const MapSolverWorkspace& workspace() const;
 
   basis::BasisSet late_basis_;
   FusionOptions options_;
@@ -98,6 +104,10 @@ class BmfFitter {
   std::unique_ptr<CvEngine> engine_;
   std::optional<CvCurve> zm_curve_;
   std::optional<CvCurve> nzm_curve_;
+  // Amortized MAP solver state, built on first fit_at with the fast solver
+  // (mutable: fit_at is logically const — the cache only changes cost).
+  mutable std::unique_ptr<MapSolverWorkspace> workspace_;
+  mutable std::optional<MapSolverWorkspace::ProjectedMean> nzm_mean_;
 };
 
 /// One-call convenience wrapper: construct, bind, fit.

@@ -62,6 +62,18 @@ linalg::Vector map_solve(const linalg::Matrix& g, const linalg::Vector& f,
                                      : map_solve_fast(g, f, prior, tau);
 }
 
+std::vector<linalg::Vector> map_solve_tau_grid(const linalg::Matrix& g,
+                                               const linalg::Vector& f,
+                                               const CoefficientPrior& prior,
+                                               const linalg::Vector& taus) {
+  for (double tau : taus) validate(g, f, prior, tau);
+  MapSolverWorkspace workspace(g, f, prior);
+  std::vector<linalg::Vector> out;
+  out.reserve(taus.size());
+  for (double tau : taus) out.push_back(workspace.solve(tau));
+  return out;
+}
+
 MapPosterior map_posterior(const linalg::Matrix& g, const linalg::Vector& f,
                            const CoefficientPrior& prior, double tau,
                            double sigma0_sq) {

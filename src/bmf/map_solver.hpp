@@ -10,9 +10,18 @@
 // Both solve the same normal equations
 //   (tau * D + G^T G) alpha = tau * D * mu + G^T f
 // exactly (no approximation), so their results agree to solver tolerance.
+//
+// For repeated solves on the same (G, f, prior) — hyper-parameter sweeps,
+// BMF-PS evaluating both priors — use MapSolverWorkspace
+// (bmf/solver_workspace.hpp), which pays the factorization once and then
+// solves each tau in O(K^2 + K M); map_solve_tau_grid below is the
+// convenience wrapper.
 #pragma once
 
+#include <vector>
+
 #include "bmf/prior.hpp"
+#include "bmf/solver_workspace.hpp"
 #include "linalg/matrix.hpp"
 
 namespace bmf::core {
@@ -37,6 +46,15 @@ linalg::Vector map_solve_fast(const linalg::Matrix& g,
 linalg::Vector map_solve(const linalg::Matrix& g, const linalg::Vector& f,
                          const CoefficientPrior& prior, double tau,
                          SolverKind kind);
+
+/// MAP coefficients for every tau in `taus`, amortizing the tau-independent
+/// kernel across the grid via MapSolverWorkspace: one O(K^2 M + K^3) build,
+/// then O(K^2 + K M) per grid point — instead of a full fresh solve each.
+/// Results match per-tau map_solve_fast to solver tolerance.
+std::vector<linalg::Vector> map_solve_tau_grid(const linalg::Matrix& g,
+                                               const linalg::Vector& f,
+                                               const CoefficientPrior& prior,
+                                               const linalg::Vector& taus);
 
 /// Full Gaussian posterior (mean and covariance, Eq. 28/29 resp. 31/32),
 /// for diagnostics and small-M analysis. `sigma0_sq` sets the absolute

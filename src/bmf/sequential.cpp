@@ -24,6 +24,9 @@ SequentialFusion::SequentialFusion(basis::BasisSet basis,
 FusionResult SequentialFusion::advance(const linalg::Matrix& points,
                                        const linalg::Vector& f,
                                        PriorSelection selection) {
+  // One fitter per stage: its CvEngine and MapSolverWorkspace amortize the
+  // stage's design matrix across both priors and every MAP solve — the
+  // tau-independent factorizations are paid once per advance, not per query.
   BmfFitter fitter(basis_, coeffs_, informative_, options_);
   fitter.set_data(points, f);
   FusionResult result = fitter.fit(selection);

@@ -1,0 +1,91 @@
+#include "bmf/solver_workspace.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "linalg/blas.hpp"
+
+namespace bmf::core {
+
+MapSolverWorkspace::MapSolverWorkspace(const linalg::Matrix& g,
+                                       const linalg::Vector& f,
+                                       const CoefficientPrior& prior)
+    : g_(&g) {
+  LINALG_REQUIRE(g.rows() == f.size(),
+                 "MapSolverWorkspace: rhs size mismatch");
+  LINALG_REQUIRE(g.cols() == prior.size(),
+                 "MapSolverWorkspace: prior size must match basis count");
+  const std::size_t m = g.cols();
+  const linalg::Vector& q = prior.precision_scale();
+  inv_q_.resize(m);
+  for (std::size_t p = 0; p < m; ++p) inv_q_[p] = 1.0 / q[p];
+
+  // Kernel B = G D^{-1} G^T and its eigendecomposition — the only
+  // super-quadratic work; everything tau-dependent happens in the
+  // eigenbasis afterwards.
+  eig_ = linalg::eigen_symmetric(linalg::outer_gram_weighted(g, inv_q_));
+  for (double& w : eig_.values) w = std::max(w, 0.0);  // PSD clamp
+
+  // u0 = D^{-1} G^T f and vb2 = V^T (B f) = V^T (G u0).
+  linalg::Vector gt_f = linalg::gemv_t(g, f);
+  u0_.resize(m);
+  for (std::size_t p = 0; p < m; ++p) u0_[p] = inv_q_[p] * gt_f[p];
+  vb2_ = linalg::gemv_t(eig_.vectors, linalg::gemv(g, u0_));
+
+  own_mean_ = project_mean(prior.mean());
+}
+
+MapSolverWorkspace::ProjectedMean MapSolverWorkspace::project_mean(
+    const linalg::Vector& mu) const {
+  LINALG_REQUIRE(mu.size() == num_bases(),
+                 "MapSolverWorkspace: mean size must match basis count");
+  ProjectedMean mean;
+  bool zero = true;
+  for (double v : mu)
+    if (v != 0.0) {
+      zero = false;
+      break;
+    }
+  if (zero) return mean;  // empty mu/vb1 encode the zero mean
+  mean.mu = mu;
+  mean.vb1 = linalg::gemv_t(eig_.vectors, linalg::gemv(*g_, mu));
+  return mean;
+}
+
+linalg::Vector MapSolverWorkspace::solve(double tau) const {
+  return solve(tau, own_mean_);
+}
+
+linalg::Vector MapSolverWorkspace::solve(double tau,
+                                         const linalg::Vector& mu) const {
+  return solve(tau, project_mean(mu));
+}
+
+linalg::Vector MapSolverWorkspace::solve(double tau,
+                                         const ProjectedMean& mean) const {
+  if (tau <= 0.0)
+    throw std::invalid_argument("MapSolverWorkspace: tau must be positive");
+  const std::size_t k = num_samples(), m = num_bases();
+  const double inv_tau = 1.0 / tau;
+
+  // Capacitance solve in the eigenbasis:
+  //   s = (I + B/tau)^{-1} (G mu + B f / tau)  via  V diag(1/(1 + w/tau)) V^T.
+  linalg::Vector s(k);
+  const bool has_mean = !mean.vb1.empty();
+  for (std::size_t i = 0; i < k; ++i) {
+    const double rhs = (has_mean ? mean.vb1[i] : 0.0) + inv_tau * vb2_[i];
+    s[i] = rhs / (1.0 + inv_tau * eig_.values[i]);
+  }
+  linalg::Vector t = linalg::gemv(eig_.vectors, s);
+
+  // alpha = mu + (u0 - D^{-1} G^T t) / tau.
+  linalg::Vector gt = linalg::gemv_t(*g_, t);
+  linalg::Vector x(m);
+  for (std::size_t p = 0; p < m; ++p) {
+    const double mu_p = mean.mu.empty() ? 0.0 : mean.mu[p];
+    x[p] = mu_p + inv_tau * (u0_[p] - inv_q_[p] * gt[p]);
+  }
+  return x;
+}
+
+}  // namespace bmf::core

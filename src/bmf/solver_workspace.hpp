@@ -1,0 +1,81 @@
+// Amortized MAP solver: one tau-independent factorization, O(K^2 + K M)
+// per hyper-parameter afterwards.
+//
+// Every MAP solve in the pipeline shares the normal equations
+//   (tau * D + G^T G) alpha = tau * D * mu + G^T f,   D = diag(q),
+// and the fusion pipeline solves them dozens of times on the *same*
+// (G, f, q): the tau sweep of the CV grid refit, BMF-PS evaluating both
+// priors, every SequentialFusion stage. map_solve_direct rebuilds an
+// O(K M^2) Gram and an O(M^3) Cholesky per call; map_solve_fast rebuilds an
+// O(K^2 M) Woodbury capacitance and an O(K^3) factorization per call — all
+// of it tau-independent work.
+//
+// MapSolverWorkspace hoists that work out of the tau loop. Writing the
+// Woodbury identity with A = tau * D and the kernel B = G D^{-1} G^T:
+//
+//   alpha(tau, mu) = mu + D^{-1} G^T f / tau
+//                  - D^{-1} G^T (I + B/tau)^{-1} (G mu + B f / tau) / tau
+//
+// B (K x K) is independent of tau and of the prior mean, and it is
+// *identical for the zero-mean and nonzero-mean priors* (both use
+// q_m = 1/alpha_E,m^2, paper Section III-A). The workspace computes B, its
+// symmetric eigendecomposition B = V diag(w) V^T, and the projected right-
+// hand sides once; afterwards (I + B/tau)^{-1} is a diagonal rescale in the
+// eigenbasis and each solve(tau) costs O(K^2 + K M) — the same trick
+// CvEngine::build_fold uses per fold, promoted to the full-data solver.
+// The solves are exact (no approximation): results match map_solve_direct /
+// map_solve_fast to solver tolerance.
+#pragma once
+
+#include "bmf/prior.hpp"
+#include "linalg/eigen_sym.hpp"
+#include "linalg/matrix.hpp"
+
+namespace bmf::core {
+
+class MapSolverWorkspace {
+ public:
+  /// Builds the tau-independent state from the design matrix `g` (K x M),
+  /// responses `f` (K), and `prior` (supplies the precision scale q and the
+  /// default mean). `g` must outlive the workspace; `f` and the prior are
+  /// only read during construction. Cost: O(K^2 M + K^3).
+  MapSolverWorkspace(const linalg::Matrix& g, const linalg::Vector& f,
+                     const CoefficientPrior& prior);
+
+  /// Tau-independent projection of one prior mean; build once with
+  /// project_mean(), reuse across the whole tau grid.
+  struct ProjectedMean {
+    linalg::Vector mu;   // the mean itself (M entries; empty means mu == 0)
+    linalg::Vector vb1;  // V^T (G mu) (K entries; empty when mu == 0)
+  };
+
+  /// Projects a prior mean into the eigenbasis (O(K M + K^2); detects an
+  /// all-zero mean and short-circuits). The mean must share the workspace's
+  /// precision scale q — i.e. come from the ZM/NZM pair of the same early
+  /// model, which the pipeline guarantees.
+  ProjectedMean project_mean(const linalg::Vector& mu) const;
+
+  /// MAP coefficients at `tau` with the construction prior's own mean.
+  /// O(K^2 + K M).
+  linalg::Vector solve(double tau) const;
+
+  /// MAP coefficients at `tau` with an explicit mean (projected on the fly).
+  linalg::Vector solve(double tau, const linalg::Vector& mu) const;
+
+  /// MAP coefficients at `tau` reusing a cached mean projection — the
+  /// cheapest repeated-query path.
+  linalg::Vector solve(double tau, const ProjectedMean& mean) const;
+
+  std::size_t num_samples() const { return g_->rows(); }  // K
+  std::size_t num_bases() const { return g_->cols(); }    // M
+
+ private:
+  const linalg::Matrix* g_;     // not owned; must outlive the workspace
+  linalg::Vector inv_q_;        // D^{-1} diagonal (M)
+  linalg::SymmetricEigen eig_;  // of B = G D^{-1} G^T (values clamped >= 0)
+  linalg::Vector u0_;           // D^{-1} G^T f (M)
+  linalg::Vector vb2_;          // V^T (B f) = V^T (G u0) (K)
+  ProjectedMean own_mean_;      // projection of the construction prior mean
+};
+
+}  // namespace bmf::core

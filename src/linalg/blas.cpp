@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "parallel/thread_pool.hpp"
 
@@ -11,8 +12,8 @@ namespace {
 // Below this many inner-loop flops a kernel runs serially: the dispatch
 // cost of a parallel region would dominate. Parallel partitions are always
 // over disjoint *output rows*, and every output element accumulates its
-// terms in the same order as the serial code, so results are bit-identical
-// at any thread count.
+// terms in an order that depends only on the problem shape — never on the
+// thread count — so results are bit-identical at any thread count.
 constexpr std::size_t kParallelFlopCutoff = 1u << 16;
 
 void maybe_parallel_rows(std::size_t rows, std::size_t flops_total,
@@ -24,13 +25,29 @@ void maybe_parallel_rows(std::size_t rows, std::size_t flops_total,
   }
   parallel::parallel_for(0, rows, grain, body);
 }
+
+// Four-lane unrolled inner product over raw arrays. The lane structure —
+// and hence the FP accumulation order — depends only on the length n, so
+// every caller gets the same rounding for the same operands regardless of
+// which thread (or tile) issued the call.
+double dot_n(const double* a, const double* b, std::size_t n) {
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += a[i] * b[i];
+    s1 += a[i + 1] * b[i + 1];
+    s2 += a[i + 2] * b[i + 2];
+    s3 += a[i + 3] * b[i + 3];
+  }
+  double s = (s0 + s1) + (s2 + s3);
+  for (; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
 }  // namespace
 
 double dot(const Vector& a, const Vector& b) {
   LINALG_REQUIRE(a.size() == b.size(), "dot size mismatch");
-  double s = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
-  return s;
+  return dot_n(a.data(), b.data(), a.size());
 }
 
 void axpy(double alpha, const Vector& x, Vector& y) {
@@ -66,45 +83,102 @@ Vector add(const Vector& a, const Vector& b) {
 
 Vector gemv(const Matrix& a, const Vector& x) {
   LINALG_REQUIRE(a.cols() == x.size(), "gemv shape mismatch");
-  Vector y(a.rows(), 0.0);
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const double* row = a.row_ptr(i);
-    double s = 0.0;
-    for (std::size_t j = 0; j < a.cols(); ++j) s += row[j] * x[j];
-    y[i] = s;
-  }
+  const std::size_t m = a.rows(), n = a.cols();
+  Vector y(m, 0.0);
+  maybe_parallel_rows(m, m * n, 64, [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t i = r0; i < r1; ++i)
+      y[i] = dot_n(a.row_ptr(i), x.data(), n);
+  });
   return y;
 }
 
 Vector gemv_t(const Matrix& a, const Vector& x) {
   LINALG_REQUIRE(a.rows() == x.size(), "gemv_t shape mismatch");
-  Vector y(a.cols(), 0.0);
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const double* row = a.row_ptr(i);
-    const double xi = x[i];
-    if (xi == 0.0) continue;
-    for (std::size_t j = 0; j < a.cols(); ++j) y[j] += xi * row[j];
-  }
+  const std::size_t k = a.rows(), n = a.cols();
+  Vector y(n, 0.0);
+  // Threads own disjoint column ranges of y; every thread sweeps all rows in
+  // ascending order, so each y[j] accumulates its terms in the serial order.
+  maybe_parallel_rows(n, k * n, 64, [&](std::size_t c0, std::size_t c1) {
+    for (std::size_t i = 0; i < k; ++i) {
+      const double* row = a.row_ptr(i);
+      const double xi = x[i];
+      if (xi == 0.0) continue;
+      for (std::size_t j = c0; j < c1; ++j) y[j] += xi * row[j];
+    }
+  });
   return y;
 }
 
 namespace {
-// Register-friendly blocked kernel: C(mxn) += A(mxk) * B(kxn), row-major.
-constexpr std::size_t kBlock = 64;
+// Register-blocked microkernel geometry. Every macro tile is zero-padded to
+// the full kMr x kNr accumulator grid, so all of GEMM runs through one code
+// path: a tile's FP accumulation order (p ascending within each p-block,
+// p-blocks ascending) depends only on the problem shape, never on where
+// thread-chunk or tile boundaries fall.
+constexpr std::size_t kMr = 4;   // rows per register tile
+constexpr std::size_t kNr = 8;   // columns per register tile
+constexpr std::size_t kKc = 512; // p-block depth (A panel stays cache-hot)
+// Thread grain over output rows: a multiple of kMr, so row tiles line up
+// with chunk boundaries identically at every thread count.
+constexpr std::size_t kRowGrain = 64;
 
-void gemm_block(const double* a, const double* b, double* c, std::size_t m,
-                std::size_t k, std::size_t n, std::size_t lda,
-                std::size_t ldb, std::size_t ldc) {
-  for (std::size_t i = 0; i < m; ++i) {
-    const double* ai = a + i * lda;
-    double* ci = c + i * ldc;
-    for (std::size_t p = 0; p < k; ++p) {
-      const double aip = ai[p];
-      if (aip == 0.0) continue;
-      const double* bp = b + p * ldb;
-      for (std::size_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
+// kc steps of the fixed-size rank-1 update acc += ap_p (x) bp_p, where both
+// panels are packed p-major: ap holds kMr values per step, bp holds kNr.
+inline void micro_4x8(const double* ap, const double* bp, std::size_t kc,
+                      double acc[kMr][kNr]) {
+  for (std::size_t p = 0; p < kc; ++p, ap += kMr, bp += kNr)
+    for (std::size_t ir = 0; ir < kMr; ++ir) {
+      const double av = ap[ir];
+      for (std::size_t jr = 0; jr < kNr; ++jr) acc[ir][jr] += av * bp[jr];
     }
-  }
+}
+
+// Pack `count` logical rows [r0, r0+count) over p in [p0, p0+kc) into a
+// p-major panel of width w, zero-padding rows beyond `count`.
+// src(r, p) supplies the element.
+template <typename Src>
+void pack_pmajor(const Src& src, std::size_t p0, std::size_t kc,
+                 std::size_t r0, std::size_t count, std::size_t w,
+                 double* out) {
+  for (std::size_t p = 0; p < kc; ++p)
+    for (std::size_t r = 0; r < w; ++r)
+      out[p * w + r] = r < count ? src(r0 + r, p0 + p) : 0.0;
+}
+
+// Shared blocked driver: C(m x n) += sum_p asrc(i, p) * bsrc(j, p).
+// B is packed once into p-major kNr panels; each thread packs the A tiles
+// of its own row range. Tail tiles are zero-padded, so the 4x8 microkernel
+// is the only accumulation path.
+template <typename ASrc, typename BSrc>
+void gemm_driver(std::size_t m, std::size_t n, std::size_t k,
+                 const ASrc& asrc, const BSrc& bsrc, Matrix& c) {
+  if (m == 0 || n == 0 || k == 0) return;
+  const std::size_t npanels = (n + kNr - 1) / kNr;
+  std::vector<double> bpack(npanels * k * kNr);
+  for (std::size_t jp = 0; jp < npanels; ++jp)
+    pack_pmajor(bsrc, 0, k, jp * kNr, std::min(kNr, n - jp * kNr), kNr,
+                bpack.data() + jp * k * kNr);
+  maybe_parallel_rows(m, m * n * k, kRowGrain, [&](std::size_t r0,
+                                                   std::size_t r1) {
+    std::vector<double> apack(std::min(k, kKc) * kMr);
+    for (std::size_t i0 = r0; i0 < r1; i0 += kMr) {
+      const std::size_t mr = std::min(kMr, r1 - i0);
+      for (std::size_t p0 = 0; p0 < k; p0 += kKc) {
+        const std::size_t kc = std::min(kKc, k - p0);
+        pack_pmajor(asrc, p0, kc, i0, mr, kMr, apack.data());
+        for (std::size_t jp = 0; jp < npanels; ++jp) {
+          double acc[kMr][kNr] = {};
+          micro_4x8(apack.data(), bpack.data() + jp * k * kNr + p0 * kNr,
+                    kc, acc);
+          const std::size_t j0 = jp * kNr, nr = std::min(kNr, n - j0);
+          for (std::size_t ir = 0; ir < mr; ++ir) {
+            double* ci = c.row_ptr(i0 + ir) + j0;
+            for (std::size_t jr = 0; jr < nr; ++jr) ci[jr] += acc[ir][jr];
+          }
+        }
+      }
+    }
+  });
 }
 }  // namespace
 
@@ -112,18 +186,9 @@ Matrix gemm(const Matrix& a, const Matrix& b) {
   LINALG_REQUIRE(a.cols() == b.rows(), "gemm shape mismatch");
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
   Matrix c(m, n, 0.0);
-  // Threads own disjoint row blocks of C; grain = kBlock keeps the thread
-  // partition aligned with the cache blocking.
-  maybe_parallel_rows(m, m * n * k, kBlock, [&](std::size_t r0,
-                                                std::size_t r1) {
-    for (std::size_t i0 = r0; i0 < r1; i0 += kBlock)
-      for (std::size_t p0 = 0; p0 < k; p0 += kBlock)
-        for (std::size_t j0 = 0; j0 < n; j0 += kBlock)
-          gemm_block(a.data() + i0 * k + p0, b.data() + p0 * n + j0,
-                     c.data() + i0 * n + j0, std::min(kBlock, r1 - i0),
-                     std::min(kBlock, k - p0), std::min(kBlock, n - j0), k,
-                     n, n);
-  });
+  gemm_driver(
+      m, n, k, [&](std::size_t i, std::size_t p) { return a(i, p); },
+      [&](std::size_t j, std::size_t p) { return b(p, j); }, c);
   return c;
 }
 
@@ -131,22 +196,9 @@ Matrix gemm_tn(const Matrix& a, const Matrix& b) {
   LINALG_REQUIRE(a.rows() == b.rows(), "gemm_tn shape mismatch");
   const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
   Matrix c(m, n, 0.0);
-  // Accumulate rank-1 updates row-by-row of A and B: cache friendly for
-  // row-major inputs, no explicit transpose needed. Each thread applies all
-  // rank-1 updates to its own block of C rows, so the per-element
-  // accumulation order (p ascending) matches the serial loop exactly.
-  maybe_parallel_rows(m, m * n * k, 0, [&](std::size_t r0, std::size_t r1) {
-    for (std::size_t p = 0; p < k; ++p) {
-      const double* ap = a.row_ptr(p);
-      const double* bp = b.row_ptr(p);
-      for (std::size_t i = r0; i < r1; ++i) {
-        const double api = ap[i];
-        if (api == 0.0) continue;
-        double* ci = c.row_ptr(i);
-        for (std::size_t j = 0; j < n; ++j) ci[j] += api * bp[j];
-      }
-    }
-  });
+  gemm_driver(
+      m, n, k, [&](std::size_t i, std::size_t p) { return a(p, i); },
+      [&](std::size_t j, std::size_t p) { return b(p, j); }, c);
   return c;
 }
 
@@ -154,18 +206,9 @@ Matrix gemm_nt(const Matrix& a, const Matrix& b) {
   LINALG_REQUIRE(a.cols() == b.cols(), "gemm_nt shape mismatch");
   const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
   Matrix c(m, n, 0.0);
-  maybe_parallel_rows(m, m * n * k, 0, [&](std::size_t r0, std::size_t r1) {
-    for (std::size_t i = r0; i < r1; ++i) {
-      const double* ai = a.row_ptr(i);
-      double* ci = c.row_ptr(i);
-      for (std::size_t j = 0; j < n; ++j) {
-        const double* bj = b.row_ptr(j);
-        double s = 0.0;
-        for (std::size_t p = 0; p < k; ++p) s += ai[p] * bj[p];
-        ci[j] = s;
-      }
-    }
-  });
+  gemm_driver(
+      m, n, k, [&](std::size_t i, std::size_t p) { return a(i, p); },
+      [&](std::size_t j, std::size_t p) { return b(j, p); }, c);
   return c;
 }
 
@@ -199,14 +242,14 @@ Matrix outer_gram_weighted(const Matrix& g, const Vector& d) {
   Matrix c(k, k, 0.0);
   maybe_parallel_rows(k, k * k * m / 2, 0,
                       [&](std::size_t r0, std::size_t r1) {
+    // Per-chunk scratch: the diag-scaled row g_i .* d is formed once per
+    // output row i and reused across all j >= i inner products.
+    std::vector<double> scaled(m);
     for (std::size_t i = r0; i < r1; ++i) {
       const double* gi = g.row_ptr(i);
-      for (std::size_t j = i; j < k; ++j) {
-        const double* gj = g.row_ptr(j);
-        double s = 0.0;
-        for (std::size_t p = 0; p < m; ++p) s += gi[p] * d[p] * gj[p];
-        c(i, j) = s;
-      }
+      for (std::size_t p = 0; p < m; ++p) scaled[p] = gi[p] * d[p];
+      for (std::size_t j = i; j < k; ++j)
+        c(i, j) = dot_n(scaled.data(), g.row_ptr(j), m);
     }
   });
   for (std::size_t i = 0; i < k; ++i)
@@ -217,13 +260,24 @@ Matrix outer_gram_weighted(const Matrix& g, const Vector& d) {
 Vector gemv_scaled(const Matrix& g, const Vector& d, const Vector& z) {
   LINALG_REQUIRE(g.cols() == d.size() && d.size() == z.size(),
                  "gemv_scaled size mismatch");
-  Vector y(g.rows(), 0.0);
-  for (std::size_t i = 0; i < g.rows(); ++i) {
-    const double* gi = g.row_ptr(i);
-    double s = 0.0;
-    for (std::size_t p = 0; p < d.size(); ++p) s += gi[p] * d[p] * z[p];
-    y[i] = s;
-  }
+  const std::size_t k = g.rows(), m = g.cols();
+  Vector y(k, 0.0);
+  maybe_parallel_rows(k, k * m, 64, [&](std::size_t r0, std::size_t r1) {
+    for (std::size_t i = r0; i < r1; ++i) {
+      const double* gi = g.row_ptr(i);
+      double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+      std::size_t p = 0;
+      for (; p + 4 <= m; p += 4) {
+        s0 += gi[p] * d[p] * z[p];
+        s1 += gi[p + 1] * d[p + 1] * z[p + 1];
+        s2 += gi[p + 2] * d[p + 2] * z[p + 2];
+        s3 += gi[p + 3] * d[p + 3] * z[p + 3];
+      }
+      double s = (s0 + s1) + (s2 + s3);
+      for (; p < m; ++p) s += gi[p] * d[p] * z[p];
+      y[i] = s;
+    }
+  });
   return y;
 }
 

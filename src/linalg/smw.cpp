@@ -8,20 +8,38 @@
 namespace bmf::linalg {
 
 WoodburySolver::WoodburySolver(const Matrix& g, const Vector& diag, double c)
-    : g_(&g), inv_diag_(diag.size()), c_(c) {
+    : g_(&g), base_inv_diag_(diag.size()), c_(c) {
   LINALG_REQUIRE(g.cols() == diag.size(),
                  "WoodburySolver: diag size must equal G columns");
   LINALG_REQUIRE(c > 0.0, "WoodburySolver: c must be positive");
   for (std::size_t i = 0; i < diag.size(); ++i) {
     LINALG_REQUIRE(diag[i] > 0.0,
                    "WoodburySolver: diagonal entries must be positive");
-    inv_diag_[i] = 1.0 / diag[i];
+    base_inv_diag_[i] = 1.0 / diag[i];
   }
-  // Capacitance matrix: c^{-1} I + G A^{-1} G^T  (K x K, SPD).
-  Matrix cap = outer_gram_weighted(g, inv_diag_);
-  const double cinv = 1.0 / c;
+  inv_diag_ = base_inv_diag_;
+  // tau-independent kernel: B = G diag(a)^{-1} G^T (K x K, PSD). Any later
+  // uniform diagonal rescale only scales B, so it is computed exactly once.
+  base_outer_ = outer_gram_weighted(g, base_inv_diag_);
+  factor_capacitance();
+}
+
+void WoodburySolver::factor_capacitance() {
+  // Capacitance matrix: c^{-1} I + G (s a)^{-1} G^T = c^{-1} I + B / s.
+  Matrix cap = base_outer_;
+  cap *= 1.0 / scale_;
+  const double cinv = 1.0 / c_;
   for (std::size_t i = 0; i < cap.rows(); ++i) cap(i, i) += cinv;
   cap_l_ = Cholesky(cap).factor();
+}
+
+void WoodburySolver::rescale_diag(double scale) {
+  LINALG_REQUIRE(scale > 0.0, "WoodburySolver: scale must be positive");
+  scale_ = scale;
+  const double inv_scale = 1.0 / scale;
+  for (std::size_t i = 0; i < base_inv_diag_.size(); ++i)
+    inv_diag_[i] = base_inv_diag_[i] * inv_scale;
+  factor_capacitance();
 }
 
 Vector WoodburySolver::solve(const Vector& b) const {

@@ -118,5 +118,77 @@ TEST(Blas, GemvScaled) {
   EXPECT_EQ(gemv_scaled(g, d, z), (Vector{4, 3}));
 }
 
+// --- Microkernel tail handling -------------------------------------------
+//
+// The register-blocked gemm family packs into fixed 4x8 tiles with
+// zero-padding; these sizes deliberately miss every tile boundary (odd
+// primes, just-below and just-above multiples of 4/8, and a k spanning
+// several 512-wide p-blocks via the k=1050 case).
+
+Matrix fill(std::size_t r, std::size_t c, double phase) {
+  Matrix m(r, c);
+  for (std::size_t i = 0; i < r; ++i)
+    for (std::size_t j = 0; j < c; ++j)
+      m(i, j) = std::sin(phase + static_cast<double>(i * c + j));
+  return m;
+}
+
+Matrix naive_gemm(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      double s = 0.0;
+      for (std::size_t p = 0; p < a.cols(); ++p) s += a(i, p) * b(p, j);
+      c(i, j) = s;
+    }
+  return c;
+}
+
+class GemmTails
+    : public ::testing::TestWithParam<
+          std::tuple<std::size_t, std::size_t, std::size_t>> {};
+
+TEST_P(GemmTails, AllVariantsMatchNaive) {
+  const auto [m, n, k] = GetParam();
+  Matrix a = fill(m, k, 0.1), b = fill(k, n, 0.7);
+  Matrix expect = naive_gemm(a, b);
+  const double tol = 1e-12 * (static_cast<double>(k) + 1.0);
+  EXPECT_LT(max_abs_diff(gemm(a, b), expect), tol);
+  EXPECT_LT(max_abs_diff(gemm_tn(a.transposed(), b), expect), tol);
+  EXPECT_LT(max_abs_diff(gemm_nt(a, b.transposed()), expect), tol);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Tails, GemmTails,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(3, 7, 5),
+                      std::make_tuple(5, 9, 13), std::make_tuple(4, 8, 16),
+                      std::make_tuple(13, 17, 31), std::make_tuple(67, 3, 129),
+                      std::make_tuple(31, 33, 1050)));
+
+TEST(Blas, GemvFamilyMatchesNaiveAboveParallelCutoff) {
+  // 300x300 exceeds the parallel flop cutoff, exercising the threaded rows
+  // path; spot-check against a scalar loop.
+  const std::size_t n = 300;
+  Matrix g = fill(n, n, 0.3);
+  Vector x(n), d(n), z(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::cos(0.2 + static_cast<double>(i));
+    d[i] = 1.0 + 0.5 * std::sin(static_cast<double>(i));
+    z[i] = std::sin(1.1 * static_cast<double>(i));
+  }
+  Vector y = gemv(g, x), yt = gemv_t(g, x), ys = gemv_scaled(g, d, z);
+  for (std::size_t i = 0; i < n; i += 41) {
+    double s = 0.0, st = 0.0, ss = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      s += g(i, j) * x[j];
+      st += g(j, i) * x[j];
+      ss += g(i, j) * d[j] * z[j];
+    }
+    EXPECT_NEAR(y[i], s, 1e-10);
+    EXPECT_NEAR(yt[i], st, 1e-10);
+    EXPECT_NEAR(ys[i], ss, 1e-10);
+  }
+}
+
 }  // namespace
 }  // namespace bmf::linalg

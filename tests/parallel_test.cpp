@@ -13,6 +13,7 @@
 #include "basis/basis_set.hpp"
 #include "bmf/cross_validation.hpp"
 #include "bmf/prior.hpp"
+#include "bmf/solver_workspace.hpp"
 #include "circuit/virtual_silicon.hpp"
 #include "linalg/blas.hpp"
 #include "stats/rng.hpp"
@@ -179,6 +180,58 @@ TEST(BitIdentity, GramAndGemmMatchSerial) {
   expect_bitwise_equal(linalg::gemm_tn(g, g), tn1);
   expect_bitwise_equal(linalg::gemm_nt(b, b), nt1);
   expect_bitwise_equal(linalg::outer_gram_weighted(g, d), outer1);
+}
+
+TEST(BitIdentity, GemvFamilyMatchesSerial) {
+  // 300x300 = 9e4 flops per product, above the parallel flop cutoff
+  // (2^16), so the 4-thread run actually splits the row/column ranges.
+  stats::Rng rng(1618);
+  const linalg::Matrix g = random_matrix(300, 300, rng);
+  linalg::Vector x(300), d(300), z(300);
+  for (double& v : x) v = rng.normal();
+  for (double& v : d) v = 0.5 + rng.uniform();
+  for (double& v : z) v = rng.normal();
+
+  linalg::Vector y1, yt1, ys1;
+  {
+    ScopedThreads threads(1);
+    y1 = linalg::gemv(g, x);
+    yt1 = linalg::gemv_t(g, x);
+    ys1 = linalg::gemv_scaled(g, d, z);
+  }
+  ScopedThreads threads(4);
+  EXPECT_EQ(linalg::gemv(g, x), y1);
+  EXPECT_EQ(linalg::gemv_t(g, x), yt1);
+  EXPECT_EQ(linalg::gemv_scaled(g, d, z), ys1);
+}
+
+TEST(BitIdentity, SolverWorkspaceMatchesSerial) {
+  // End-to-end over the amortized MAP path: workspace construction uses
+  // the threaded outer_gram/gemm kernels, so the solutions must still be
+  // thread-count invariant.
+  stats::Rng rng(4242);
+  const std::size_t k = 60, m = 200;
+  const linalg::Matrix g = random_matrix(k, m, rng);
+  linalg::Vector early(m), f(k);
+  for (double& e : early) e = rng.normal();
+  for (std::size_t i = 0; i < k; ++i) {
+    double v = 0.0;
+    for (std::size_t j = 0; j < m; ++j) v += early[j] * g(i, j);
+    f[i] = v + rng.normal(0.0, 0.1);
+  }
+  const auto prior = core::CoefficientPrior::nonzero_mean(early);
+
+  linalg::Vector lo, hi;
+  {
+    ScopedThreads threads(1);
+    core::MapSolverWorkspace ws(g, f, prior);
+    lo = ws.solve(0.5);
+    hi = ws.solve(50.0);
+  }
+  ScopedThreads threads(4);
+  core::MapSolverWorkspace ws(g, f, prior);
+  EXPECT_EQ(ws.solve(0.5), lo);
+  EXPECT_EQ(ws.solve(50.0), hi);
 }
 
 TEST(BitIdentity, DesignMatrixMatchesSerial) {

@@ -89,6 +89,38 @@ TEST(Woodbury, RepeatedSolvesReuseFactorization) {
   }
 }
 
+TEST(Woodbury, RescaleDiagMatchesFreshSolver) {
+  // rescale_diag(s) must behave exactly like a solver built on s * diag,
+  // while reusing the cached base kernel B = G diag^{-1} G^T.
+  stats::Rng rng(23);
+  const std::size_t k = 6, m = 20;
+  Matrix g(k, m);
+  for (std::size_t i = 0; i < k; ++i)
+    for (std::size_t j = 0; j < m; ++j) g(i, j) = rng.normal();
+  Vector diag(m);
+  for (double& d : diag) d = 0.2 + rng.uniform();
+  Vector b = rng.normal_vector(m);
+
+  WoodburySolver solver(g, diag, 1.0);
+  EXPECT_EQ(solver.diag_scale(), 1.0);
+  for (double s : {0.25, 1.0, 8.0, 300.0}) {
+    solver.rescale_diag(s);
+    EXPECT_EQ(solver.diag_scale(), s);
+    Vector scaled = diag;
+    for (double& d : scaled) d *= s;
+    Vector fresh = WoodburySolver(g, scaled, 1.0).solve(b);
+    Vector ref = dense_reference(g, scaled, 1.0, b);
+    Vector x = solver.solve(b);
+    const double tol = 1e-9 * (norm_inf(ref) + 1.0);
+    for (std::size_t i = 0; i < m; ++i) {
+      EXPECT_NEAR(x[i], ref[i], tol) << "s=" << s;
+      EXPECT_NEAR(x[i], fresh[i], tol) << "s=" << s;
+    }
+  }
+  EXPECT_THROW(solver.rescale_diag(0.0), std::invalid_argument);
+  EXPECT_THROW(solver.rescale_diag(-2.0), std::invalid_argument);
+}
+
 TEST(Woodbury, RejectsBadInputs) {
   Matrix g(2, 3);
   EXPECT_THROW(WoodburySolver(g, {1, 1}, 1.0), std::invalid_argument);

@@ -1,0 +1,172 @@
+#include "bmf/solver_workspace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bmf/cross_validation.hpp"
+#include "bmf/fusion.hpp"
+#include "bmf/map_solver.hpp"
+#include "linalg/blas.hpp"
+#include "stats/rng.hpp"
+
+namespace bmf::core {
+namespace {
+
+struct Problem {
+  linalg::Matrix g;
+  linalg::Vector f;
+  linalg::Vector early;
+};
+
+Problem make_problem(std::size_t k, std::size_t m, stats::Rng& rng) {
+  Problem p;
+  p.g.assign(k, m);
+  for (std::size_t i = 0; i < k; ++i)
+    for (std::size_t j = 0; j < m; ++j) p.g(i, j) = rng.normal();
+  p.early.resize(m);
+  for (double& e : p.early) e = rng.normal(0.0, 1.0);
+  p.f.resize(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    double v = 0.0;
+    for (std::size_t j = 0; j < m; ++j) v += p.early[j] * p.g(i, j);
+    p.f[i] = v + rng.normal(0.0, 0.05);
+  }
+  return p;
+}
+
+void expect_close(const linalg::Vector& got, const linalg::Vector& want,
+                  double rel, const char* what) {
+  ASSERT_EQ(got.size(), want.size());
+  const double scale = linalg::norm_inf(want) + 1.0;
+  for (std::size_t j = 0; j < want.size(); ++j)
+    EXPECT_NEAR(got[j], want[j], rel * scale) << what << " j=" << j;
+}
+
+TEST(SolverWorkspace, MatchesHandSolvedTinyCase) {
+  // One sample, one coefficient: (tau q + g^2) a = tau q mu + g f.
+  // q = 1, tau = 4: (4 + 4) a = 4*1 + 2*6 = 16 -> a = 2.
+  linalg::Matrix g{{2.0}};
+  linalg::Vector f{6.0};
+  auto prior = CoefficientPrior::nonzero_mean({1.0});
+  MapSolverWorkspace ws(g, f, prior);
+  linalg::Vector a = ws.solve(4.0);
+  EXPECT_NEAR(a[0], 2.0, 1e-12);
+}
+
+class WorkspaceVsDirect
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t,
+                                                 PriorKind>> {};
+
+TEST_P(WorkspaceVsDirect, AgreeAcrossTauGrid) {
+  const auto [k, m, kind] = GetParam();
+  stats::Rng rng(k * 37 + m);
+  Problem p = make_problem(k, m, rng);
+  auto prior = kind == PriorKind::kZeroMean
+                   ? CoefficientPrior::zero_mean(p.early)
+                   : CoefficientPrior::nonzero_mean(p.early);
+  MapSolverWorkspace ws(p.g, p.f, prior);
+  EXPECT_EQ(ws.num_samples(), k);
+  EXPECT_EQ(ws.num_bases(), m);
+  linalg::Vector taus = log_grid(1e-3, 1e3, 13);
+  for (double tau : taus) {
+    linalg::Vector direct = map_solve_direct(p.g, p.f, prior, tau);
+    expect_close(ws.solve(tau), direct, 1e-7, "workspace-vs-direct");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, WorkspaceVsDirect,
+    ::testing::Combine(::testing::Values<std::size_t>(5, 20),
+                       ::testing::Values<std::size_t>(8, 40, 120),
+                       ::testing::Values(PriorKind::kZeroMean,
+                                         PriorKind::kNonzeroMean)));
+
+TEST(SolverWorkspace, MissingPriorEntriesMatchDirect) {
+  // Flat-prior (missing) columns get a wide variance in q; the workspace
+  // must reproduce the direct solution for those too.
+  stats::Rng rng(11);
+  Problem p = make_problem(25, 12, rng);
+  std::vector<char> informative(12, 1);
+  informative[3] = informative[7] = informative[11] = 0;
+  auto prior = CoefficientPrior::nonzero_mean(p.early, informative);
+  MapSolverWorkspace ws(p.g, p.f, prior);
+  for (double tau : {1e-2, 1.0, 1e2}) {
+    linalg::Vector direct = map_solve_direct(p.g, p.f, prior, tau);
+    expect_close(ws.solve(tau), direct, 1e-7, "missing-prior");
+  }
+}
+
+TEST(SolverWorkspace, ProjectedMeanReuseMatchesOnTheFlyProjection) {
+  stats::Rng rng(12);
+  Problem p = make_problem(15, 30, rng);
+  auto zm = CoefficientPrior::zero_mean(p.early);
+  auto nzm = CoefficientPrior::nonzero_mean(p.early);
+  // Workspace built from the ZM prior (same q), NZM mean projected once.
+  MapSolverWorkspace ws(p.g, p.f, zm);
+  MapSolverWorkspace::ProjectedMean mean = ws.project_mean(nzm.mean());
+  for (double tau : {1e-1, 1.0, 10.0}) {
+    linalg::Vector cached = ws.solve(tau, mean);
+    linalg::Vector fly = ws.solve(tau, nzm.mean());
+    EXPECT_EQ(cached, fly) << "tau=" << tau;
+    expect_close(cached, map_solve_direct(p.g, p.f, nzm, tau), 1e-7,
+                 "cached-mean");
+  }
+}
+
+TEST(SolverWorkspace, ZeroMeanProjectionShortCircuits) {
+  stats::Rng rng(13);
+  Problem p = make_problem(10, 6, rng);
+  auto prior = CoefficientPrior::zero_mean(p.early);
+  MapSolverWorkspace ws(p.g, p.f, prior);
+  auto mean = ws.project_mean(linalg::Vector(6, 0.0));
+  EXPECT_TRUE(mean.mu.empty());
+  EXPECT_TRUE(mean.vb1.empty());
+  EXPECT_EQ(ws.solve(2.0, mean), ws.solve(2.0));
+}
+
+TEST(SolverWorkspace, TauGridHelperMatchesPerTauSolves) {
+  stats::Rng rng(14);
+  Problem p = make_problem(20, 15, rng);
+  auto prior = CoefficientPrior::zero_mean(p.early);
+  linalg::Vector taus = log_grid(1e-2, 1e2, 7);
+  std::vector<linalg::Vector> grid = map_solve_tau_grid(p.g, p.f, prior, taus);
+  ASSERT_EQ(grid.size(), taus.size());
+  MapSolverWorkspace ws(p.g, p.f, prior);
+  for (std::size_t t = 0; t < taus.size(); ++t)
+    EXPECT_EQ(grid[t], ws.solve(taus[t])) << "t=" << t;
+}
+
+TEST(SolverWorkspace, Validation) {
+  stats::Rng rng(15);
+  Problem p = make_problem(8, 4, rng);
+  auto prior = CoefficientPrior::zero_mean(p.early);
+  MapSolverWorkspace ws(p.g, p.f, prior);
+  EXPECT_THROW(ws.solve(0.0), std::invalid_argument);
+  EXPECT_THROW(ws.solve(-1.0), std::invalid_argument);
+  EXPECT_THROW(ws.project_mean(linalg::Vector(3, 1.0)), std::invalid_argument);
+  EXPECT_THROW(map_solve_tau_grid(p.g, p.f, prior, {1.0, -1.0}),
+               std::invalid_argument);
+}
+
+TEST(SolverWorkspace, FitterFastPathMatchesDirectSolver) {
+  // BmfFitter::fit_at with the (default) fast solver routes through the
+  // shared workspace; it must agree with the direct solver for both priors.
+  stats::Rng rng(16);
+  Problem p = make_problem(30, 10, rng);
+  FusionOptions fast, direct;
+  fast.solver = SolverKind::kFast;
+  direct.solver = SolverKind::kDirect;
+  // A moderately wrong prior keeps the problem well-conditioned.
+  BmfFitter ff(basis::BasisSet::total_degree(1, 9), p.early, {}, fast);
+  BmfFitter fd(basis::BasisSet::total_degree(1, 9), p.early, {}, direct);
+  ff.set_design(p.g, p.f);
+  fd.set_design(p.g, p.f);
+  for (double tau : {1e-1, 1.0, 10.0})
+    for (PriorKind kind : {PriorKind::kZeroMean, PriorKind::kNonzeroMean}) {
+      auto a = ff.fit_at(kind, tau);
+      auto b = fd.fit_at(kind, tau);
+      expect_close(a.coefficients(), b.coefficients(), 1e-7, "fit_at");
+    }
+}
+
+}  // namespace
+}  // namespace bmf::core
