@@ -3,9 +3,13 @@
 #
 #   1. Release build + full test suite (the configuration users run, and the
 #      one bench/run_bench.sh benchmarks).
-#   2. Debug build with AddressSanitizer + full test suite (catches memory
-#      errors the optimized build can hide).
-#   3. Smoke-run of the solver-scaling benchmark (tiny min-time) so bench
+#   2. Repo-invariant lint + static analysis (clang-tidy when available,
+#      GCC strict-warning fallback otherwise), reusing the Release build's
+#      compile_commands.json so no extra configure is paid.
+#   3. Checked Debug build with Address+UndefinedBehaviorSanitizer + full
+#      test suite: one build dir covers memory errors, UB, and the
+#      BMF_CHECKED contract layer (contract_test's throwing half) at once.
+#   4. Smoke-run of the solver-scaling benchmark (tiny min-time) so bench
 #      bit-rot is caught without paying for a full measurement run.
 #
 # Usage: ci.sh [jobs]   (default: all cores)
@@ -19,11 +23,16 @@ cmake -S "$src_dir" -B "$src_dir/build-ci-release" -DCMAKE_BUILD_TYPE=Release
 cmake --build "$src_dir/build-ci-release" -j "$jobs"
 ctest --test-dir "$src_dir/build-ci-release" --output-on-failure
 
-echo "== Debug + AddressSanitizer build + tests =="
-cmake -S "$src_dir" -B "$src_dir/build-ci-asan" \
-      -DCMAKE_BUILD_TYPE=Debug -DBMF_SANITIZE=address
-cmake --build "$src_dir/build-ci-asan" -j "$jobs"
-ctest --test-dir "$src_dir/build-ci-asan" --output-on-failure
+echo "== Lint + static analysis =="
+"$src_dir/scripts/lint.sh"
+BMF_ANALYZE_BUILD_DIR="$src_dir/build-ci-release" "$src_dir/scripts/analyze.sh"
+
+echo "== Checked Debug + Address/UB sanitizers + tests =="
+cmake -S "$src_dir" -B "$src_dir/build-ci-checked" \
+      -DCMAKE_BUILD_TYPE=Debug -DBMF_CHECKED=ON \
+      -DBMF_SANITIZE=address,undefined
+cmake --build "$src_dir/build-ci-checked" -j "$jobs"
+ctest --test-dir "$src_dir/build-ci-checked" --output-on-failure
 
 echo "== Benchmark smoke run =="
 "$src_dir/build-ci-release/bench/ablation_solver_scaling" \

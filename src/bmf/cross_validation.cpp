@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "check/contracts.hpp"
 #include "linalg/blas.hpp"
 #include "parallel/thread_pool.hpp"
 #include "stats/descriptive.hpp"
@@ -68,6 +69,16 @@ CvEngine::CvEngine(const linalg::Matrix& g, const linalg::Vector& f,
   const std::size_t k = g.rows(), m = g.cols();
   if (options.folds < 2 || k < options.folds)
     throw std::invalid_argument("CvEngine: need folds >= 2 and K >= folds");
+  BMF_EXPECTS_DIMS(check::all_finite(g) && check::all_finite(f),
+                   "CvEngine: design matrix and responses must be finite",
+                   {"g.rows", k}, {"g.cols", m});
+  BMF_EXPECTS_DIMS(check::all_positive(prior.precision_scale()),
+                   "CvEngine: prior variances must be positive and finite",
+                   {"prior.size", prior.size()});
+  BMF_EXPECTS(check::is_finite(options.grid_lo_rel) &&
+                  check::is_finite(options.grid_hi_rel) &&
+                  options.grid_lo_rel > 0.0 && options.grid_hi_rel > 0.0,
+              "CvEngine: tau grid bounds must be positive and finite");
 
   inv_q_.resize(m);
   for (std::size_t p = 0; p < m; ++p)
@@ -143,6 +154,9 @@ void CvEngine::build_fold(const stats::KFold& kfold, std::size_t fi) {
 
 CvCurve CvEngine::evaluate(const linalg::Vector& mu) const {
   LINALG_REQUIRE(mu.size() == g_->cols(), "CvEngine::evaluate: mu size");
+  BMF_EXPECTS_DIMS(check::all_finite(mu),
+                   "CvEngine::evaluate: prior mean must be finite",
+                   {"mu.size", mu.size()});
   bool mu_zero = true;
   for (double v : mu)
     if (v != 0.0) {
@@ -212,6 +226,11 @@ CvCurve CvEngine::evaluate(const linalg::Vector& mu) const {
       curve.errors[ti] += cell[fi * nt + ti];
   const double inv_folds = 1.0 / static_cast<double>(nf);
   for (double& e : curve.errors) e *= inv_folds;
+  // A NaN error would silently win (or lose) every min_element comparison
+  // in best_index(); surface it here, at the point of production.
+  BMF_ENSURES_DIMS(check::all_finite(curve.errors),
+                   "CvEngine::evaluate produced a non-finite CV error",
+                   {"folds", nf}, {"grid", nt});
   return curve;
 }
 

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "check/contracts.hpp"
+
 namespace bmf::core {
 
 const char* to_string(PriorSelection sel) {
@@ -68,6 +70,9 @@ void BmfFitter::set_design(linalg::Matrix g, linalg::Vector f) {
   LINALG_REQUIRE(g.cols() == late_basis_.size(),
                  "BmfFitter: design matrix column count mismatch");
   LINALG_REQUIRE(g.rows() == f.size(), "BmfFitter: rhs size mismatch");
+  BMF_EXPECTS_DIMS(check::all_finite(g) && check::all_finite(f),
+                   "BmfFitter: design matrix and responses must be finite",
+                   {"g.rows", g.rows()}, {"g.cols", g.cols()});
   g_ = std::move(g);
   f_ = std::move(f);
   has_data_ = true;
@@ -117,6 +122,8 @@ const MapSolverWorkspace& BmfFitter::workspace() const {
 
 basis::PerformanceModel BmfFitter::fit_at(PriorKind kind, double tau) const {
   require_data();
+  BMF_EXPECTS(tau > 0.0 && check::is_finite(tau),
+              "BmfFitter::fit_at: tau must be positive and finite");
   if (options_.solver == SolverKind::kDirect)
     return basis::PerformanceModel(
         late_basis_, map_solve_direct(g_, f_, prior_for(kind), tau));

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "check/contracts.hpp"
 #include "linalg/blas.hpp"
 #include "linalg/cholesky.hpp"
 #include "linalg/smw.hpp"
@@ -21,6 +22,14 @@ void validate(const linalg::Matrix& g, const linalg::Vector& f,
                  "map_solve: prior size must match basis count");
   if (tau <= 0.0)
     throw std::invalid_argument("map_solve: tau must be positive");
+  BMF_EXPECTS_DIMS(check::all_finite(g) && check::all_finite(f),
+                   "map_solve: design matrix and responses must be finite",
+                   {"g.rows", g.rows()}, {"g.cols", g.cols()});
+  BMF_EXPECTS(check::is_finite(tau), "map_solve: tau must be finite");
+  BMF_EXPECTS_DIMS(check::all_positive(prior.precision_scale()) &&
+                       check::all_finite(prior.mean()),
+                   "map_solve: prior variances must be positive and finite",
+                   {"prior.size", prior.size()});
 }
 
 /// rhs = tau * D * mu + G^T f.
@@ -43,7 +52,11 @@ linalg::Vector map_solve_direct(const linalg::Matrix& g,
   linalg::Matrix a = linalg::gram(g);
   const linalg::Vector& q = prior.precision_scale();
   for (std::size_t m = 0; m < a.rows(); ++m) a(m, m) += tau * q[m];
-  return linalg::Cholesky(a).solve(build_rhs(g, f, prior, tau));
+  linalg::Vector x = linalg::Cholesky(a).solve(build_rhs(g, f, prior, tau));
+  BMF_ENSURES_DIMS(check::all_finite(x),
+                   "map_solve_direct produced non-finite coefficients",
+                   {"m", x.size()});
+  return x;
 }
 
 linalg::Vector map_solve_fast(const linalg::Matrix& g,
@@ -52,7 +65,12 @@ linalg::Vector map_solve_fast(const linalg::Matrix& g,
   validate(g, f, prior, tau);
   linalg::Vector diag = prior.precision_scale();
   for (double& d : diag) d *= tau;
-  return linalg::woodbury_solve(g, diag, 1.0, build_rhs(g, f, prior, tau));
+  linalg::Vector x =
+      linalg::woodbury_solve(g, diag, 1.0, build_rhs(g, f, prior, tau));
+  BMF_ENSURES_DIMS(check::all_finite(x),
+                   "map_solve_fast produced non-finite coefficients",
+                   {"m", x.size()});
+  return x;
 }
 
 linalg::Vector map_solve(const linalg::Matrix& g, const linalg::Vector& f,
@@ -91,6 +109,11 @@ MapPosterior map_posterior(const linalg::Matrix& g, const linalg::Vector& f,
   // solves against identity columns.
   post.covariance = chol.inverse();
   post.covariance *= sigma0_sq;
+  BMF_ENSURES_DIMS(check::all_finite(post.mean) &&
+                       check::is_symmetric(post.covariance),
+                   "map_posterior must return a finite mean and a symmetric "
+                   "covariance",
+                   {"m", post.mean.size()});
   return post;
 }
 

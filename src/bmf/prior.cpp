@@ -4,6 +4,8 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "check/contracts.hpp"
+
 namespace bmf::core {
 
 const char* to_string(PriorKind kind) {
@@ -23,6 +25,11 @@ double coefficient_scale(const linalg::Vector& early,
                          const std::vector<char>& informative,
                          const PriorOptions& options) {
   if (options.scale) {
+    // Contract first (checked builds get the structured violation with the
+    // offending value context); the plain throw keeps the documented
+    // std::invalid_argument in unchecked builds.
+    BMF_EXPECTS(*options.scale > 0.0 && check::is_finite(*options.scale),
+                "prior coefficient scale must be positive and finite");
     if (*options.scale <= 0.0)
       throw std::invalid_argument(
           "CoefficientPrior: explicit scale must be positive");
@@ -41,9 +48,15 @@ double coefficient_scale(const linalg::Vector& early,
 linalg::Vector CoefficientPrior::build_precisions(
     const linalg::Vector& early, const std::vector<char>& informative,
     const PriorOptions& options) {
+  BMF_EXPECTS(options.clamp_rel > 0.0 && options.flat_sigma_rel > 0.0,
+              "prior width knobs (clamp_rel, flat_sigma_rel) must be "
+              "positive");
   if (options.clamp_rel <= 0.0 || options.flat_sigma_rel <= 0.0)
     throw std::invalid_argument(
         "CoefficientPrior: clamp_rel and flat_sigma_rel must be positive");
+  BMF_EXPECTS_DIMS(check::all_finite(early),
+                   "early-stage coefficients must be finite",
+                   {"early.size", early.size()});
   const double scale = coefficient_scale(early, informative, options);
   const double sigma_floor = options.clamp_rel * scale;
   const double sigma_flat = options.flat_sigma_rel * scale;
@@ -54,6 +67,11 @@ linalg::Vector CoefficientPrior::build_precisions(
         has_prior ? std::max(std::abs(early[m]), sigma_floor) : sigma_flat;
     q[m] = 1.0 / (sigma * sigma);
   }
+  // The prior-variance positivity invariant every downstream solver
+  // (Woodbury diagonal, CV engine 1/q, workspace D^{-1}) relies on.
+  BMF_ENSURES_DIMS(check::all_positive(q),
+                   "prior precisions must be positive and finite",
+                   {"q.size", q.size()});
   return q;
 }
 

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "check/contracts.hpp"
+
 namespace bmf::core {
 
 MultifingerMap::MultifingerMap(std::vector<unsigned> fingers,
@@ -40,6 +42,9 @@ MappedPrior MultifingerMap::map_linear_model(
   if (early.basis().dimension() != num_early_vars())
     throw std::invalid_argument(
         "MultifingerMap: early model dimension does not match finger spec");
+  BMF_EXPECTS_DIMS(check::all_finite(early.coefficients()),
+                   "MultifingerMap: early model coefficients must be finite",
+                   {"terms", early.num_terms()});
 
   MappedPrior out;
   out.late_basis = late_linear_basis();
@@ -72,6 +77,11 @@ MappedPrior MultifingerMap::map_linear_model(
     }
   }
   // Parasitic terms keep informative == 0 and coefficient 0 (flat prior).
+  BMF_ENSURES_DIMS(out.early_coeffs.size() == out.late_basis.size() &&
+                       out.informative.size() == out.late_basis.size(),
+                   "MappedPrior fields must agree with the late basis",
+                   {"late_basis.size", out.late_basis.size()},
+                   {"coeffs.size", out.early_coeffs.size()});
   return out;
 }
 

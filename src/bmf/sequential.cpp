@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "check/contracts.hpp"
+
 namespace bmf::core {
 
 SequentialFusion::SequentialFusion(basis::BasisSet basis,
@@ -30,6 +32,12 @@ FusionResult SequentialFusion::advance(const linalg::Matrix& points,
   BmfFitter fitter(basis_, coeffs_, informative_, options_);
   fitter.set_data(points, f);
   FusionResult result = fitter.fit(selection);
+  // The fused coefficients seed the next stage's prior: a non-finite entry
+  // here would poison every subsequent advance.
+  BMF_ENSURES_DIMS(check::all_finite(result.model.coefficients()),
+                   "SequentialFusion::advance produced non-finite fused "
+                   "coefficients",
+                   {"stage", stage_}, {"m", coeffs_.size()});
   coeffs_ = result.model.coefficients();
   // The fused model estimates every coefficient, so the next stage has
   // prior knowledge for all of them.

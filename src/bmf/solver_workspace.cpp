@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "check/contracts.hpp"
 #include "linalg/blas.hpp"
 
 namespace bmf::core {
@@ -15,6 +16,14 @@ MapSolverWorkspace::MapSolverWorkspace(const linalg::Matrix& g,
                  "MapSolverWorkspace: rhs size mismatch");
   LINALG_REQUIRE(g.cols() == prior.size(),
                  "MapSolverWorkspace: prior size must match basis count");
+  BMF_EXPECTS_DIMS(check::all_finite(g) && check::all_finite(f),
+                   "MapSolverWorkspace: design matrix and responses must be "
+                   "finite",
+                   {"g.rows", g.rows()}, {"g.cols", g.cols()});
+  BMF_EXPECTS_DIMS(check::all_positive(prior.precision_scale()),
+                   "MapSolverWorkspace: prior variances must be positive and "
+                   "finite",
+                   {"prior.size", prior.size()});
   const std::size_t m = g.cols();
   const linalg::Vector& q = prior.precision_scale();
   inv_q_.resize(m);
@@ -39,6 +48,9 @@ MapSolverWorkspace::ProjectedMean MapSolverWorkspace::project_mean(
     const linalg::Vector& mu) const {
   LINALG_REQUIRE(mu.size() == num_bases(),
                  "MapSolverWorkspace: mean size must match basis count");
+  BMF_EXPECTS_DIMS(check::all_finite(mu),
+                   "MapSolverWorkspace: prior mean must be finite",
+                   {"mu.size", mu.size()});
   ProjectedMean mean;
   bool zero = true;
   for (double v : mu)
@@ -65,6 +77,7 @@ linalg::Vector MapSolverWorkspace::solve(double tau,
                                          const ProjectedMean& mean) const {
   if (tau <= 0.0)
     throw std::invalid_argument("MapSolverWorkspace: tau must be positive");
+  BMF_EXPECTS(check::is_finite(tau), "MapSolverWorkspace: tau must be finite");
   const std::size_t k = num_samples(), m = num_bases();
   const double inv_tau = 1.0 / tau;
 
@@ -85,6 +98,10 @@ linalg::Vector MapSolverWorkspace::solve(double tau,
     const double mu_p = mean.mu.empty() ? 0.0 : mean.mu[p];
     x[p] = mu_p + inv_tau * (u0_[p] - inv_q_[p] * gt[p]);
   }
+  BMF_ENSURES_DIMS(check::all_finite(x),
+                   "MapSolverWorkspace::solve produced non-finite "
+                   "coefficients",
+                   {"k", k}, {"m", m});
   return x;
 }
 

@@ -1,0 +1,111 @@
+#include "check/contracts.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+
+#include "linalg/matrix.hpp"
+
+namespace bmf::check {
+
+namespace {
+
+std::string format_violation(
+    const char* function, const char* expression, const std::string& message,
+    const std::vector<std::pair<std::string, std::size_t>>& dims) {
+  std::ostringstream os;
+  os << "contract violation in " << function << ": " << message
+     << " (failed: " << expression << ")";
+  if (!dims.empty()) {
+    os << " [";
+    for (std::size_t i = 0; i < dims.size(); ++i) {
+      if (i) os << ", ";
+      os << dims[i].first << "=" << dims[i].second;
+    }
+    os << "]";
+  }
+  return os.str();
+}
+
+std::vector<std::pair<std::string, std::size_t>> to_dims(
+    std::initializer_list<Dim> dims) {
+  std::vector<std::pair<std::string, std::size_t>> out;
+  out.reserve(dims.size());
+  for (const Dim& d : dims) out.emplace_back(d.name, d.value);
+  return out;
+}
+
+}  // namespace
+
+ContractViolation::ContractViolation(const char* function,
+                                     const char* expression,
+                                     const std::string& message,
+                                     std::initializer_list<Dim> dims)
+    : std::invalid_argument(
+          format_violation(function, expression, message, to_dims(dims))),
+      function_(function),
+      expression_(expression),
+      message_(message),
+      dims_(to_dims(dims)) {}
+
+void contract_fail(const char* function, const char* expression,
+                   const std::string& message,
+                   std::initializer_list<Dim> dims) {
+  throw ContractViolation(function, expression, message, dims);
+}
+
+bool is_finite(double x) noexcept { return std::isfinite(x); }
+
+bool all_finite(const double* p, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i)
+    if (!std::isfinite(p[i])) return false;
+  return true;
+}
+
+bool all_finite(const std::vector<double>& v) noexcept {
+  return all_finite(v.data(), v.size());
+}
+
+bool all_finite(const linalg::Matrix& m) noexcept {
+  return all_finite(m.data(), m.size());
+}
+
+bool all_positive(const std::vector<double>& v) noexcept {
+  for (double x : v)
+    if (!(x > 0.0) || !std::isfinite(x)) return false;
+  return true;
+}
+
+bool no_overlap(const void* a, std::size_t a_bytes, const void* b,
+                std::size_t b_bytes) noexcept {
+  const auto a0 = reinterpret_cast<std::uintptr_t>(a);
+  const auto b0 = reinterpret_cast<std::uintptr_t>(b);
+  return a0 + a_bytes <= b0 || b0 + b_bytes <= a0;
+}
+
+bool is_symmetric(const linalg::Matrix& a, double rel_tol) noexcept {
+  if (a.rows() != a.cols()) return false;
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = i + 1; j < a.cols(); ++j) {
+      const double x = a(i, j), y = a(j, i);
+      const double scale = std::max(std::abs(x), std::abs(y));
+      if (std::abs(x - y) > rel_tol * std::max(scale, 1.0)) return false;
+    }
+  return true;
+}
+
+bool spd_precondition(const linalg::Matrix& a) noexcept {
+  if (a.rows() != a.cols()) return false;
+  if (!all_finite(a)) return false;
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    if (!(a(i, i) > 0.0)) return false;
+  return is_symmetric(a);
+}
+
+bool is_ascending(const std::vector<double>& v) noexcept {
+  for (std::size_t i = 1; i < v.size(); ++i)
+    if (v[i] < v[i - 1]) return false;
+  return true;
+}
+
+}  // namespace bmf::check

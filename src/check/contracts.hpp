@@ -1,0 +1,150 @@
+// Contract layer for the numeric core (BMF_CHECKED builds).
+//
+// The MAP/CV solvers are heavily optimized (register-blocked microkernels,
+// cached-kernel workspaces, a deterministic thread pool) and those
+// optimizations rely on contracts the type system cannot express: shape
+// agreement, no aliasing between packed tiles and outputs, SPD inputs to
+// Cholesky, finite coefficients, positive prior variances. This header
+// provides the macros that state those contracts at every public entry
+// point, plus the predicate helpers they use.
+//
+// In a BMF_CHECKED build (CMake -DBMF_CHECKED=ON; the default for Debug,
+// and what CI's sanitizer stage uses) a violated contract throws a
+// structured ContractViolation carrying the function, the failed
+// expression, and the offending dimensions. In an unchecked build the
+// macros expand to `(void)0` — the condition is not even compiled, so the
+// contract layer is exactly zero-cost in Release (verified by
+// tests/contract_test.cpp and the CI bench smoke).
+//
+// Contract conditions must therefore be side-effect free: they only run in
+// checked builds.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bmf::linalg {
+class Matrix;
+}  // namespace bmf::linalg
+
+namespace bmf::check {
+
+/// One named dimension attached to a violation, e.g. {"g.rows", 12}.
+struct Dim {
+  const char* name;
+  std::size_t value;
+};
+
+/// Thrown by a failed BMF_CONTRACT / BMF_EXPECTS / BMF_ENSURES.
+///
+/// Derives from std::invalid_argument so that call sites which documented
+/// std::invalid_argument on bad input keep that promise when the contract
+/// layer fires first.
+class ContractViolation : public std::invalid_argument {
+ public:
+  ContractViolation(const char* function, const char* expression,
+                    const std::string& message,
+                    std::initializer_list<Dim> dims);
+
+  /// Function the violated contract guards (__func__ at the call site).
+  const std::string& function() const noexcept { return function_; }
+  /// The contract expression that evaluated to false, verbatim.
+  const std::string& expression() const noexcept { return expression_; }
+  /// The human-readable contract description.
+  const std::string& description() const noexcept { return message_; }
+  /// Offending dimensions, in call-site order.
+  const std::vector<std::pair<std::string, std::size_t>>& dims()
+      const noexcept {
+    return dims_;
+  }
+
+ private:
+  std::string function_;
+  std::string expression_;
+  std::string message_;
+  std::vector<std::pair<std::string, std::size_t>> dims_;
+};
+
+/// Throws ContractViolation. Out-of-line so the (cold) formatting code is
+/// never inlined into numeric kernels.
+[[noreturn]] void contract_fail(const char* function, const char* expression,
+                                const std::string& message,
+                                std::initializer_list<Dim> dims = {});
+
+// ---- Predicate helpers -----------------------------------------------------
+// All are pure observers; checked builds call them from contract conditions,
+// unchecked builds never evaluate them.
+
+/// True iff x is neither NaN nor infinite.
+bool is_finite(double x) noexcept;
+
+/// True iff every entry of [p, p+n) is finite.
+bool all_finite(const double* p, std::size_t n) noexcept;
+bool all_finite(const std::vector<double>& v) noexcept;
+bool all_finite(const linalg::Matrix& m) noexcept;
+
+/// True iff every entry is strictly positive AND finite — the prior
+/// variance / precision invariant (a +inf "precision" silently degenerates
+/// the Woodbury diagonal, so it is rejected too).
+bool all_positive(const std::vector<double>& v) noexcept;
+
+/// True iff the byte ranges [a, a + a_bytes) and [b, b + b_bytes) are
+/// disjoint — the no-aliasing contract between packed tiles / scratch
+/// buffers and kernel outputs.
+bool no_overlap(const void* a, std::size_t a_bytes, const void* b,
+                std::size_t b_bytes) noexcept;
+
+/// True iff `a` is square and entrywise symmetric to a relative tolerance
+/// scaled by the largest |a_ij| on the compared pair.
+bool is_symmetric(const linalg::Matrix& a, double rel_tol = 1e-9) noexcept;
+
+/// Cheap necessary conditions for symmetric positive definiteness: square,
+/// finite, symmetric, strictly positive diagonal. (Sufficiency is decided
+/// by the factorization itself — a non-positive pivot.)
+bool spd_precondition(const linalg::Matrix& a) noexcept;
+
+/// True iff v is sorted ascending (the eigen_symmetric output contract).
+bool is_ascending(const std::vector<double>& v) noexcept;
+
+}  // namespace bmf::check
+
+// ---- Contract macros -------------------------------------------------------
+//
+// BMF_EXPECTS  — precondition at a public entry point.
+// BMF_ENSURES  — postcondition on a result about to be returned.
+// BMF_CONTRACT — any other internal invariant.
+//
+// All three behave identically; the distinct spellings document intent.
+// Conditions containing top-level commas must be parenthesized.
+
+#if defined(BMF_CHECKED) && BMF_CHECKED
+
+#define BMF_CONTRACT(cond, msg)                                         \
+  do {                                                                  \
+    if (!(cond)) ::bmf::check::contract_fail(__func__, #cond, (msg));   \
+  } while (0)
+
+// Variant that attaches named dimensions:
+//   BMF_CONTRACT_DIMS(g.rows() == f.size(), "rhs size mismatch",
+//                     {"g.rows", g.rows()}, {"f.size", f.size()});
+#define BMF_CONTRACT_DIMS(cond, msg, ...)                               \
+  do {                                                                  \
+    if (!(cond))                                                        \
+      ::bmf::check::contract_fail(__func__, #cond, (msg), {__VA_ARGS__}); \
+  } while (0)
+
+#else
+
+#define BMF_CONTRACT(cond, msg) static_cast<void>(0)
+#define BMF_CONTRACT_DIMS(cond, msg, ...) static_cast<void>(0)
+
+#endif
+
+#define BMF_EXPECTS(cond, msg) BMF_CONTRACT(cond, msg)
+#define BMF_ENSURES(cond, msg) BMF_CONTRACT(cond, msg)
+#define BMF_EXPECTS_DIMS(cond, msg, ...) BMF_CONTRACT_DIMS(cond, msg, __VA_ARGS__)
+#define BMF_ENSURES_DIMS(cond, msg, ...) BMF_CONTRACT_DIMS(cond, msg, __VA_ARGS__)

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "check/contracts.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace bmf::linalg {
@@ -52,6 +53,9 @@ double dot(const Vector& a, const Vector& b) {
 
 void axpy(double alpha, const Vector& x, Vector& y) {
   LINALG_REQUIRE(x.size() == y.size(), "axpy size mismatch");
+  BMF_EXPECTS(check::no_overlap(x.data(), x.size() * sizeof(double), y.data(),
+                                y.size() * sizeof(double)),
+              "axpy input and output must not alias");
   for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
 }
 
@@ -82,7 +86,13 @@ Vector add(const Vector& a, const Vector& b) {
 }
 
 Vector gemv(const Matrix& a, const Vector& x) {
+  BMF_EXPECTS_DIMS(a.cols() == x.size(),
+                   "gemv: matrix columns must match vector length",
+                   {"a.cols", a.cols()}, {"x.size", x.size()});
   LINALG_REQUIRE(a.cols() == x.size(), "gemv shape mismatch");
+  BMF_EXPECTS_DIMS(check::all_finite(a) && check::all_finite(x),
+                   "gemv operands must be finite", {"a.rows", a.rows()},
+                   {"a.cols", a.cols()});
   const std::size_t m = a.rows(), n = a.cols();
   Vector y(m, 0.0);
   maybe_parallel_rows(m, m * n, 64, [&](std::size_t r0, std::size_t r1) {
@@ -94,6 +104,9 @@ Vector gemv(const Matrix& a, const Vector& x) {
 
 Vector gemv_t(const Matrix& a, const Vector& x) {
   LINALG_REQUIRE(a.rows() == x.size(), "gemv_t shape mismatch");
+  BMF_EXPECTS_DIMS(check::all_finite(a) && check::all_finite(x),
+                   "gemv_t operands must be finite", {"a.rows", a.rows()},
+                   {"a.cols", a.cols()});
   const std::size_t k = a.rows(), n = a.cols();
   Vector y(n, 0.0);
   // Threads own disjoint column ranges of y; every thread sweeps all rows in
@@ -158,9 +171,20 @@ void gemm_driver(std::size_t m, std::size_t n, std::size_t k,
   for (std::size_t jp = 0; jp < npanels; ++jp)
     pack_pmajor(bsrc, 0, k, jp * kNr, std::min(kNr, n - jp * kNr), kNr,
                 bpack.data() + jp * k * kNr);
+  // The microkernel assumes the packed B panels and the output tiles are
+  // disjoint storage: an aliased C would feed half-accumulated values back
+  // through the panel reads.
+  BMF_CONTRACT(check::no_overlap(bpack.data(),
+                                 bpack.size() * sizeof(double), c.data(),
+                                 c.size() * sizeof(double)),
+               "packed B panels must not alias the GEMM output");
   maybe_parallel_rows(m, m * n * k, kRowGrain, [&](std::size_t r0,
                                                    std::size_t r1) {
     std::vector<double> apack(std::min(k, kKc) * kMr);
+    BMF_CONTRACT(check::no_overlap(apack.data(),
+                                   apack.size() * sizeof(double), c.data(),
+                                   c.size() * sizeof(double)),
+                 "packed A tile must not alias the GEMM output");
     for (std::size_t i0 = r0; i0 < r1; i0 += kMr) {
       const std::size_t mr = std::min(kMr, r1 - i0);
       for (std::size_t p0 = 0; p0 < k; p0 += kKc) {
@@ -213,6 +237,8 @@ Matrix gemm_nt(const Matrix& a, const Matrix& b) {
 }
 
 Matrix gram(const Matrix& g) {
+  BMF_EXPECTS_DIMS(check::all_finite(g), "gram operand must be finite",
+                   {"g.rows", g.rows()}, {"g.cols", g.cols()});
   const std::size_t k = g.rows(), m = g.cols();
   Matrix c(m, m, 0.0);
   // Upper-triangle rows are partitioned across threads; every thread sweeps
@@ -238,6 +264,9 @@ Matrix gram(const Matrix& g) {
 
 Matrix outer_gram_weighted(const Matrix& g, const Vector& d) {
   LINALG_REQUIRE(g.cols() == d.size(), "outer_gram_weighted size mismatch");
+  BMF_EXPECTS_DIMS(check::all_finite(g) && check::all_finite(d),
+                   "outer_gram_weighted operands must be finite",
+                   {"g.rows", g.rows()}, {"g.cols", g.cols()});
   const std::size_t k = g.rows(), m = g.cols();
   Matrix c(k, k, 0.0);
   maybe_parallel_rows(k, k * k * m / 2, 0,

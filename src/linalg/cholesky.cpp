@@ -3,15 +3,27 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "check/contracts.hpp"
+
 namespace bmf::linalg {
 
 Cholesky::Cholesky(const Matrix& a) {
+  // Definiteness is decided by the pivots below; symmetry and finiteness are
+  // contracts the factorization silently assumes (it only reads the lower
+  // triangle, so an asymmetric input would factor the wrong matrix).
+  BMF_EXPECTS_DIMS(a.rows() != a.cols() || check::all_finite(a),
+                   "Cholesky input must be finite", {"a.rows", a.rows()});
+  BMF_EXPECTS_DIMS(a.rows() != a.cols() || check::is_symmetric(a),
+                   "Cholesky input must be symmetric", {"a.rows", a.rows()});
   if (!factor_in_place(a))
     throw std::runtime_error(
         "Cholesky: matrix is not positive definite (non-positive pivot)");
 }
 
 std::optional<Cholesky> Cholesky::try_factor(const Matrix& a) {
+  BMF_EXPECTS_DIMS(a.rows() != a.cols() || check::is_symmetric(a),
+                   "Cholesky::try_factor input must be symmetric",
+                   {"a.rows", a.rows()});
   Cholesky c;
   if (!c.factor_in_place(a)) return std::nullopt;
   return c;
@@ -45,8 +57,14 @@ bool Cholesky::factor_in_place(const Matrix& a) {
 }
 
 Vector Cholesky::solve(const Vector& b) const {
+  BMF_EXPECTS_DIMS(check::all_finite(b), "Cholesky::solve rhs must be finite",
+                   {"b.size", b.size()});
   Vector y = forward_subst(l_, b);
-  return backward_subst_t(l_, y);
+  Vector x = backward_subst_t(l_, y);
+  BMF_ENSURES_DIMS(check::all_finite(x),
+                   "Cholesky::solve produced a non-finite solution",
+                   {"dim", dim()});
+  return x;
 }
 
 Matrix Cholesky::solve(const Matrix& b) const {
@@ -98,6 +116,9 @@ double Cholesky::log_det() const {
 Vector forward_subst(const Matrix& l, const Vector& b) {
   LINALG_REQUIRE(l.rows() == l.cols() && l.rows() == b.size(),
                  "forward_subst shape mismatch");
+  BMF_EXPECTS_DIMS(check::all_finite(l) && check::all_finite(b),
+                   "forward_subst operands must be finite",
+                   {"l.rows", l.rows()});
   const std::size_t n = b.size();
   Vector y(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -138,6 +159,11 @@ Vector backward_subst(const Matrix& u, const Vector& y) {
 }
 
 Vector spd_solve(const Matrix& a, const Vector& b) {
+  // Full SPD screen (square, finite, positive diagonal, symmetric) before
+  // the factorization decides definiteness from the pivots.
+  BMF_EXPECTS_DIMS(a.rows() != a.cols() || check::spd_precondition(a),
+                   "spd_solve input fails the SPD precondition",
+                   {"a.rows", a.rows()});
   return Cholesky(a).solve(b);
 }
 

@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "check/contracts.hpp"
+
 namespace bmf::linalg {
 
 namespace {
@@ -137,6 +139,11 @@ void ql_implicit(Vector& d, Vector& e, Matrix& z) {
 SymmetricEigen eigen_symmetric(const Matrix& a) {
   LINALG_REQUIRE(a.rows() == a.cols(),
                  "eigen_symmetric requires a square matrix");
+  // A NaN/Inf entry would spin the QL iteration to its sweep limit; reject
+  // it as a contract violation instead of a convergence failure.
+  BMF_EXPECTS_DIMS(check::all_finite(a),
+                   "eigen_symmetric input must be finite",
+                   {"a.rows", a.rows()});
   SymmetricEigen out;
   const std::size_t n = a.rows();
   if (n == 0) return out;
@@ -158,6 +165,11 @@ SymmetricEigen eigen_symmetric(const Matrix& a) {
     out.values[j] = d[order[j]];
     for (std::size_t i = 0; i < n; ++i) out.vectors(i, j) = z(i, order[j]);
   }
+  BMF_ENSURES_DIMS(check::is_ascending(out.values) &&
+                       check::all_finite(out.values) &&
+                       check::all_finite(out.vectors),
+                   "eigen_symmetric must return finite ascending eigenvalues",
+                   {"n", n});
   return out;
 }
 

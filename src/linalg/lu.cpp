@@ -3,10 +3,14 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "check/contracts.hpp"
+
 namespace bmf::linalg {
 
 Lu::Lu(const Matrix& a) : lu_(a), perm_(a.rows()) {
   LINALG_REQUIRE(a.rows() == a.cols(), "Lu requires a square matrix");
+  BMF_EXPECTS_DIMS(check::all_finite(a), "Lu input must be finite",
+                   {"a.rows", a.rows()});
   const std::size_t n = lu_.rows();
   for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
 
@@ -42,6 +46,8 @@ Lu::Lu(const Matrix& a) : lu_(a), perm_(a.rows()) {
 
 Vector Lu::solve(const Vector& b) const {
   LINALG_REQUIRE(b.size() == dim(), "Lu::solve size mismatch");
+  BMF_EXPECTS_DIMS(check::all_finite(b), "Lu::solve rhs must be finite",
+                   {"b.size", b.size()});
   const std::size_t n = dim();
   // Apply permutation, then forward (unit L) and backward (U) substitution.
   Vector y(n);

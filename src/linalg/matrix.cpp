@@ -3,6 +3,8 @@
 #include <cmath>
 #include <ostream>
 
+#include "check/contracts.hpp"
+
 namespace bmf::linalg {
 
 void throw_shape_error(const std::string& what) {
@@ -63,6 +65,9 @@ Vector Matrix::col(std::size_t j) const {
 
 void Matrix::set_row(std::size_t i, const Vector& v) {
   LINALG_REQUIRE(i < rows_ && v.size() == cols_, "set_row shape mismatch");
+  BMF_EXPECTS(check::no_overlap(v.data(), v.size() * sizeof(double),
+                                data_.data(), data_.size() * sizeof(double)),
+              "set_row source must not alias the matrix storage");
   std::copy(v.begin(), v.end(), row_ptr(i));
 }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "check/contracts.hpp"
 #include "linalg/blas.hpp"
 #include "linalg/cholesky.hpp"
 
@@ -11,6 +12,8 @@ namespace bmf::linalg {
 HouseholderQR::HouseholderQR(const Matrix& a) : qr_(a), beta_(a.cols(), 0.0) {
   LINALG_REQUIRE(a.rows() >= a.cols(),
                  "HouseholderQR requires rows >= cols");
+  BMF_EXPECTS_DIMS(check::all_finite(a), "HouseholderQR input must be finite",
+                   {"a.rows", a.rows()}, {"a.cols", a.cols()});
   const std::size_t m = qr_.rows(), n = qr_.cols();
   for (std::size_t j = 0; j < n; ++j) {
     // Build the Householder vector for column j from rows j..m-1.
@@ -64,6 +67,9 @@ Vector HouseholderQR::apply_qt(const Vector& b) const {
 }
 
 Vector HouseholderQR::solve(const Vector& b) const {
+  BMF_EXPECTS_DIMS(check::all_finite(b),
+                   "HouseholderQR::solve rhs must be finite",
+                   {"b.size", b.size()});
   const std::size_t n = qr_.cols();
   for (std::size_t i = 0; i < n; ++i)
     if (qr_(i, i) == 0.0)
@@ -103,6 +109,9 @@ IncrementalQR::IncrementalQR(std::size_t m) : m_(m) {}
 
 bool IncrementalQR::append_column(const Vector& v, double tol) {
   LINALG_REQUIRE(v.size() == m_, "append_column size mismatch");
+  BMF_EXPECTS_DIMS(check::all_finite(v),
+                   "append_column input must be finite", {"m", m_},
+                   {"ncols", ncols_});
   const double vnorm = norm2(v);
   Vector w = v;
   Vector rcol(ncols_ + 1, 0.0);

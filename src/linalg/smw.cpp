@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "check/contracts.hpp"
 #include "linalg/blas.hpp"
 #include "linalg/cholesky.hpp"
 
@@ -12,6 +13,12 @@ WoodburySolver::WoodburySolver(const Matrix& g, const Vector& diag, double c)
   LINALG_REQUIRE(g.cols() == diag.size(),
                  "WoodburySolver: diag size must equal G columns");
   LINALG_REQUIRE(c > 0.0, "WoodburySolver: c must be positive");
+  BMF_EXPECTS_DIMS(check::all_finite(g),
+                   "WoodburySolver: design matrix must be finite",
+                   {"g.rows", g.rows()}, {"g.cols", g.cols()});
+  BMF_EXPECTS_DIMS(check::all_positive(diag) && check::is_finite(c),
+                   "WoodburySolver: diagonal must be positive and finite",
+                   {"diag.size", diag.size()});
   for (std::size_t i = 0; i < diag.size(); ++i) {
     LINALG_REQUIRE(diag[i] > 0.0,
                    "WoodburySolver: diagonal entries must be positive");
@@ -35,6 +42,8 @@ void WoodburySolver::factor_capacitance() {
 
 void WoodburySolver::rescale_diag(double scale) {
   LINALG_REQUIRE(scale > 0.0, "WoodburySolver: scale must be positive");
+  BMF_EXPECTS(check::is_finite(scale),
+              "WoodburySolver: scale must be finite");
   scale_ = scale;
   const double inv_scale = 1.0 / scale;
   for (std::size_t i = 0; i < base_inv_diag_.size(); ++i)
@@ -44,6 +53,9 @@ void WoodburySolver::rescale_diag(double scale) {
 
 Vector WoodburySolver::solve(const Vector& b) const {
   LINALG_REQUIRE(b.size() == m(), "WoodburySolver::solve size mismatch");
+  BMF_EXPECTS_DIMS(check::all_finite(b),
+                   "WoodburySolver::solve rhs must be finite",
+                   {"b.size", b.size()});
   // u = A^{-1} b
   Vector u(b.size());
   for (std::size_t i = 0; i < b.size(); ++i) u[i] = inv_diag_[i] * b[i];
@@ -55,6 +67,9 @@ Vector WoodburySolver::solve(const Vector& b) const {
   Vector x(b.size());
   for (std::size_t i = 0; i < b.size(); ++i)
     x[i] = u[i] - inv_diag_[i] * gt[i];
+  BMF_ENSURES_DIMS(check::all_finite(x),
+                   "WoodburySolver::solve produced a non-finite solution",
+                   {"k", k()}, {"m", m()});
   return x;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "check/contracts.hpp"
 #include "linalg/blas.hpp"
 #include "stats/descriptive.hpp"
 #include "stats/rng.hpp"
@@ -107,6 +108,9 @@ ElasticNetResult elastic_net_solve(const linalg::Matrix& g,
   if (opt.path_size == 0 || opt.path_min_ratio <= 0.0 ||
       opt.path_min_ratio >= 1.0)
     throw std::invalid_argument("elastic_net: bad path parameters");
+  BMF_EXPECTS_DIMS(check::all_finite(g) && check::all_finite(f),
+                   "elastic_net: design matrix and responses must be finite",
+                   {"g.rows", g.rows()}, {"g.cols", g.cols()});
 
   ElasticNetResult result;
   const std::size_t k = g.rows(), m = g.cols();

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "check/contracts.hpp"
 #include "linalg/blas.hpp"
 #include "linalg/cholesky.hpp"
 #include "linalg/qr.hpp"
@@ -16,7 +17,15 @@ linalg::Vector least_squares_coefficients(const linalg::Matrix& g,
         "least_squares: underdetermined system (K < M); use sparse "
         "regression or BMF instead");
   LINALG_REQUIRE(g.rows() == f.size(), "least_squares: rhs size mismatch");
-  return linalg::HouseholderQR(g).solve(f);
+  BMF_EXPECTS_DIMS(check::all_finite(g) && check::all_finite(f),
+                   "least_squares: design matrix and responses must be "
+                   "finite",
+                   {"g.rows", g.rows()}, {"g.cols", g.cols()});
+  linalg::Vector x = linalg::HouseholderQR(g).solve(f);
+  BMF_ENSURES_DIMS(check::all_finite(x),
+                   "least_squares produced non-finite coefficients",
+                   {"m", x.size()});
+  return x;
 }
 
 basis::PerformanceModel least_squares_fit(const basis::BasisSet& basis,
@@ -31,6 +40,10 @@ linalg::Vector ridge_coefficients(const linalg::Matrix& g,
   if (lambda <= 0.0)
     throw std::invalid_argument("ridge: lambda must be positive");
   LINALG_REQUIRE(g.rows() == f.size(), "ridge: rhs size mismatch");
+  BMF_EXPECTS_DIMS(check::all_finite(g) && check::all_finite(f) &&
+                       check::is_finite(lambda),
+                   "ridge: operands must be finite", {"g.rows", g.rows()},
+                   {"g.cols", g.cols()});
   const std::size_t k = g.rows(), m = g.cols();
   const linalg::Vector gtf = linalg::gemv_t(g, f);
   if (k >= m) {

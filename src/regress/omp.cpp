@@ -5,6 +5,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "check/contracts.hpp"
 #include "linalg/blas.hpp"
 #include "linalg/qr.hpp"
 #include "stats/descriptive.hpp"
@@ -116,6 +117,9 @@ OmpResult omp_solve(const linalg::Matrix& g, const linalg::Vector& f,
   LINALG_REQUIRE(g.rows() == f.size(), "omp_solve: rhs size mismatch");
   const std::size_t k = g.rows(), m = g.cols();
   if (k == 0) throw std::invalid_argument("omp_solve: no samples");
+  BMF_EXPECTS_DIMS(check::all_finite(g) && check::all_finite(f),
+                   "omp_solve: design matrix and responses must be finite",
+                   {"g.rows", k}, {"g.cols", m});
 
   OmpResult result;
   result.coefficients.assign(m, 0.0);

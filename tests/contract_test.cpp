@@ -1,0 +1,171 @@
+// Contract-layer behavior in both build modes.
+//
+// In a BMF_CHECKED build every violated contract must throw a structured
+// ContractViolation carrying the function, expression and offending
+// dimensions. In an unchecked build the macros must expand to nothing:
+// conditions are not evaluated (zero cost, no side effects) and checked-only
+// preconditions do not throw.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "bmf/prior.hpp"
+#include "bmf/solver_workspace.hpp"
+#include "check/contracts.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/cholesky.hpp"
+#include "linalg/matrix.hpp"
+#include "regress/least_squares.hpp"
+
+namespace {
+
+using bmf::check::ContractViolation;
+using bmf::linalg::Matrix;
+using bmf::linalg::Vector;
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+// A small well-posed design (K=4, M=2) used as the healthy baseline.
+// [[maybe_unused]]: the helpers back the checked-build tests only.
+[[maybe_unused]] Matrix healthy_design() {
+  return Matrix{{1.0, 0.5}, {1.0, -0.25}, {1.0, 2.0}, {1.0, -1.5}};
+}
+
+[[maybe_unused]] Vector healthy_responses() {
+  return Vector{1.0, 2.0, 0.5, 1.5};
+}
+
+[[maybe_unused]] bmf::core::CoefficientPrior healthy_prior() {
+  return bmf::core::CoefficientPrior::zero_mean(Vector{1.0, 0.5});
+}
+
+TEST(ContractPredicates, FiniteAndPositive) {
+  EXPECT_TRUE(bmf::check::is_finite(1.0));
+  EXPECT_FALSE(bmf::check::is_finite(kNan));
+  EXPECT_FALSE(bmf::check::is_finite(std::numeric_limits<double>::infinity()));
+  EXPECT_TRUE(bmf::check::all_finite(std::vector<double>{1.0, -2.0}));
+  EXPECT_FALSE(bmf::check::all_finite(std::vector<double>{1.0, kNan}));
+  EXPECT_TRUE(bmf::check::all_positive(std::vector<double>{0.5, 2.0}));
+  EXPECT_FALSE(bmf::check::all_positive(std::vector<double>{0.5, 0.0}));
+  EXPECT_FALSE(bmf::check::all_positive(
+      std::vector<double>{0.5, std::numeric_limits<double>::infinity()}));
+}
+
+TEST(ContractPredicates, OverlapAndSymmetry) {
+  double buf[8] = {0.0};
+  EXPECT_FALSE(bmf::check::no_overlap(buf, 8 * sizeof(double), buf + 4,
+                                      4 * sizeof(double)));
+  EXPECT_TRUE(bmf::check::no_overlap(buf, 4 * sizeof(double), buf + 4,
+                                     4 * sizeof(double)));
+  EXPECT_TRUE(bmf::check::is_symmetric(Matrix{{2.0, 1.0}, {1.0, 3.0}}));
+  EXPECT_FALSE(bmf::check::is_symmetric(Matrix{{2.0, 1.0}, {-1.0, 3.0}}));
+}
+
+#if defined(BMF_CHECKED) && BMF_CHECKED
+
+TEST(ContractChecked, ShapeMismatchThrowsStructuredViolation) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Vector x{1.0, 2.0, 3.0};
+  try {
+    (void)bmf::linalg::gemv(a, x);
+    FAIL() << "gemv accepted a shape mismatch";
+  } catch (const ContractViolation& e) {
+    EXPECT_EQ(e.function(), "gemv");
+    EXPECT_NE(e.expression().find("a.cols() == x.size()"), std::string::npos);
+    ASSERT_EQ(e.dims().size(), 2u);
+    EXPECT_EQ(e.dims()[0].first, "a.cols");
+    EXPECT_EQ(e.dims()[0].second, 2u);
+    EXPECT_EQ(e.dims()[1].first, "x.size");
+    EXPECT_EQ(e.dims()[1].second, 3u);
+  }
+}
+
+TEST(ContractChecked, AliasedAxpyThrows) {
+  Vector v{1.0, 2.0, 3.0};
+  EXPECT_THROW(bmf::linalg::axpy(2.0, v, v), ContractViolation);
+}
+
+TEST(ContractChecked, AsymmetricCholeskyInputThrows) {
+  const Matrix a{{4.0, 1.0}, {-1.0, 3.0}};
+  EXPECT_THROW(bmf::linalg::Cholesky{a}, ContractViolation);
+}
+
+TEST(ContractChecked, NegativeDiagonalFailsSpdScreen) {
+  const Matrix a{{-4.0, 0.0}, {0.0, 3.0}};
+  EXPECT_THROW(bmf::linalg::spd_solve(a, Vector{1.0, 1.0}),
+               ContractViolation);
+}
+
+TEST(ContractChecked, NanDesignRejectedByWorkspace) {
+  Matrix g = healthy_design();
+  g(1, 1) = kNan;
+  EXPECT_THROW(
+      bmf::core::MapSolverWorkspace(g, healthy_responses(), healthy_prior()),
+      ContractViolation);
+}
+
+TEST(ContractChecked, NanResponsesRejectedByWorkspace) {
+  Vector f = healthy_responses();
+  f[2] = kNan;
+  EXPECT_THROW(
+      bmf::core::MapSolverWorkspace(healthy_design(), f, healthy_prior()),
+      ContractViolation);
+}
+
+TEST(ContractChecked, NonPositivePriorScaleThrows) {
+  bmf::core::PriorOptions options;
+  options.scale = -1.0;
+  EXPECT_THROW(
+      bmf::core::CoefficientPrior::zero_mean(Vector{1.0, 0.5}, {}, options),
+      ContractViolation);
+}
+
+TEST(ContractChecked, NanEarlyCoefficientsRejectedByPrior) {
+  EXPECT_THROW(bmf::core::CoefficientPrior::zero_mean(Vector{1.0, kNan}),
+               ContractViolation);
+}
+
+TEST(ContractChecked, NanDesignRejectedByLeastSquares) {
+  Matrix g = healthy_design();
+  g(0, 0) = kNan;
+  EXPECT_THROW(
+      bmf::regress::least_squares_coefficients(g, healthy_responses()),
+      ContractViolation);
+}
+
+TEST(ContractChecked, ViolationIsAnInvalidArgument) {
+  // Callers that documented std::invalid_argument on bad input keep that
+  // promise when the contract layer fires first.
+  Vector v{1.0};
+  EXPECT_THROW(bmf::linalg::axpy(1.0, v, v), std::invalid_argument);
+}
+
+#else  // unchecked build: the contract layer must be exactly zero-cost
+
+TEST(ContractUnchecked, ConditionsAreNotEvaluated) {
+  int evaluations = 0;
+  [[maybe_unused]] auto count = [&evaluations]() {
+    ++evaluations;
+    return false;
+  };
+  BMF_CONTRACT(count(), "never evaluated when unchecked");
+  BMF_EXPECTS(count(), "never evaluated when unchecked");
+  BMF_ENSURES(count(), "never evaluated when unchecked");
+  BMF_CONTRACT_DIMS(count(), "never evaluated", {"n", std::size_t{1}});
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(ContractUnchecked, CheckedOnlyPreconditionsDoNotThrow) {
+  // Aliased axpy violates only a checked-build contract; unchecked builds
+  // must run it (the loop is well-defined for x == y, just unchecked).
+  Vector v{1.0, 2.0};
+  EXPECT_NO_THROW(bmf::linalg::axpy(1.0, v, v));
+  EXPECT_DOUBLE_EQ(v[0], 2.0);
+  EXPECT_DOUBLE_EQ(v[1], 4.0);
+}
+
+#endif
+
+}  // namespace

@@ -137,7 +137,9 @@ TEST(ParallelReduce, SumsInChunkOrder) {
 TEST(ThreadPool, ResizeInsideRegionThrows) {
   ScopedThreads threads(2);
   parallel::parallel_for(0, 4, 1, [&](std::size_t i0, std::size_t) {
-    if (i0 == 0) EXPECT_THROW(parallel::set_num_threads(3), std::logic_error);
+    if (i0 == 0) {
+      EXPECT_THROW(parallel::set_num_threads(3), std::logic_error);
+    }
   });
 }
 
