@@ -1,15 +1,18 @@
 #!/usr/bin/env sh
-# Machine-readable perf trajectory for the MAP solvers.
+# Machine-readable perf trajectory for the MAP solvers and the serving
+# daemon.
 #
-# Configures + builds the benchmark in Release mode, verifies the resolved
+# Configures + builds the benchmarks in Release mode, verifies the resolved
 # build type (benchmarking a Debug build silently produces garbage numbers),
-# then runs the google-benchmark solver-scaling ablation with JSON output so
-# successive PRs can diff wall-clock numbers. Usage:
+# then runs the google-benchmark solver-scaling ablation and the serving
+# throughput bench with JSON output so successive PRs can diff wall-clock
+# numbers. Usage:
 #
 #   bench/run_bench.sh [build-dir] [extra google-benchmark args...]
 #
-# Writes <build-dir>/BENCH_solver.json (default build dir: ./build).
-# Thread count is controlled by BMF_NUM_THREADS (default: all cores).
+# Writes <build-dir>/BENCH_solver.json and <build-dir>/BENCH_serve.json
+# (default build dir: ./build). Extra arguments apply to the solver bench
+# only. Thread count is controlled by BMF_NUM_THREADS (default: all cores).
 set -eu
 
 src_dir="$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"
@@ -39,7 +42,8 @@ if [ "$build_type" != "Release" ]; then
   exit 1
 fi
 
-cmake --build "$build_dir" -j --target ablation_solver_scaling >/dev/null
+cmake --build "$build_dir" -j --target ablation_solver_scaling \
+      serve_throughput >/dev/null
 
 bin="$build_dir/bench/ablation_solver_scaling"
 if [ ! -x "$bin" ]; then
@@ -55,3 +59,10 @@ out="$build_dir/BENCH_solver.json"
        --benchmark_out_format=json \
        --benchmark_context=bmf_build_type="$build_type" "$@"
 echo "wrote $out (CMAKE_BUILD_TYPE=$build_type, BMF_NUM_THREADS=${BMF_NUM_THREADS:-auto})"
+
+serve_bin="$build_dir/bench/serve_throughput"
+if [ ! -x "$serve_bin" ]; then
+  echo "error: $serve_bin not found after build" >&2
+  exit 1
+fi
+"$serve_bin" --out "$build_dir/BENCH_serve.json"

@@ -1,0 +1,175 @@
+// Throughput/latency benchmark for the model-serving daemon.
+//
+// Starts an in-process Server on a background thread, publishes a linear
+// model, then drives batched Evaluate requests through a real UNIX-domain
+// socket round trip — framing, decode, design matrix, gemv, encode — the
+// same path a production client pays. Reports sustained single-point
+// evaluations per second plus p50/p99 request latency, and verifies that
+// responses are bit-identical with BMF_NUM_THREADS=1 and 4.
+//
+// Usage: serve_throughput [--batch 4096] [--dim 24] [--requests 300]
+//                         [--warmup 20] [--out BENCH_serve.json]
+//
+// Writes a flat JSON object (not google-benchmark format: the interesting
+// numbers here are end-to-end request statistics, which gbench's
+// per-iteration model does not express).
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "io/args.hpp"
+#include "parallel/thread_pool.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double percentile(std::vector<double> sorted_us, double p) {
+  if (sorted_us.empty()) return 0.0;
+  const double rank = p * static_cast<double>(sorted_us.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted_us.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_us[lo] * (1.0 - frac) + sorted_us[hi] * frac;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bmf;
+
+  const io::Args args(argc, argv);
+  const std::size_t batch = static_cast<std::size_t>(args.get_int("batch", 4096));
+  const std::size_t dim = static_cast<std::size_t>(args.get_int("dim", 24));
+  const std::size_t requests =
+      static_cast<std::size_t>(args.get_int("requests", 300));
+  const std::size_t warmup = static_cast<std::size_t>(args.get_int("warmup", 20));
+  const std::string out_path = args.get("out", "");
+
+  const char* tmpdir = std::getenv("TMPDIR");
+  const std::string socket_path = std::string(tmpdir ? tmpdir : "/tmp") +
+                                  "/bmf_serve_bench_" +
+                                  std::to_string(::getpid()) + ".sock";
+
+  serve::ServerOptions options;
+  options.socket_path = socket_path;
+  options.request_timeout_ms = 30000;
+  serve::Server server(options);
+  std::thread server_thread([&] { server.run(); });
+
+  double evals_per_sec = 0.0, p50 = 0.0, p99 = 0.0;
+  bool bit_identical = false;
+  int exit_code = 0;
+  try {
+    serve::Client client(socket_path, /*timeout_ms=*/30000);
+
+    // Linear model over `dim` variables with deterministic coefficients.
+    serve::FittedModel fitted;
+    {
+      auto b = basis::BasisSet::linear(dim);
+      stats::Rng rng(2013);
+      linalg::Vector coeffs(b.size());
+      for (double& c : coeffs) c = rng.normal();
+      fitted.model = basis::PerformanceModel(b, coeffs);
+      fitted.provenance = serve::PriorProvenance::kNonzeroMean;
+      fitted.tau = 0.05;
+      fitted.num_samples = 100;
+    }
+    client.publish("bench", fitted);
+
+    stats::Rng rng(7);
+    linalg::Matrix points(batch, dim);
+    for (std::size_t i = 0; i < points.size(); ++i)
+      points.data()[i] = rng.normal();
+
+    for (std::size_t i = 0; i < warmup; ++i)
+      (void)client.evaluate("bench", points);
+
+    std::vector<double> latencies_us;
+    latencies_us.reserve(requests);
+    const auto t0 = Clock::now();
+    for (std::size_t i = 0; i < requests; ++i) {
+      const auto r0 = Clock::now();
+      const auto result = client.evaluate("bench", points);
+      const auto r1 = Clock::now();
+      if (result.values.size() != batch) {
+        std::cerr << "serve_throughput: short response\n";
+        exit_code = 1;
+        break;
+      }
+      latencies_us.push_back(
+          std::chrono::duration<double, std::micro>(r1 - r0).count());
+    }
+    const auto t1 = Clock::now();
+    const double elapsed = std::chrono::duration<double>(t1 - t0).count();
+    evals_per_sec =
+        static_cast<double>(batch) * static_cast<double>(requests) / elapsed;
+    std::sort(latencies_us.begin(), latencies_us.end());
+    p50 = percentile(latencies_us, 0.50);
+    p99 = percentile(latencies_us, 0.99);
+
+    // Determinism gate: the served values must not depend on the server's
+    // thread count.
+    parallel::set_num_threads(1);
+    const auto single = client.evaluate("bench", points);
+    parallel::set_num_threads(4);
+    const auto quad = client.evaluate("bench", points);
+    parallel::set_num_threads(0);
+    bit_identical =
+        single.values.size() == quad.values.size() &&
+        std::memcmp(single.values.data(), quad.values.data(),
+                    single.values.size() * sizeof(double)) == 0;
+    if (!bit_identical) {
+      std::cerr << "serve_throughput: thread counts 1 and 4 disagree\n";
+      exit_code = 1;
+    }
+
+    client.shutdown_server();
+  } catch (const std::exception& e) {
+    std::cerr << "serve_throughput: " << e.what() << "\n";
+    server.request_stop();
+    exit_code = 1;
+  }
+  server_thread.join();
+  std::remove(socket_path.c_str());
+  if (exit_code != 0) return exit_code;
+
+  char json[512];
+  std::snprintf(json, sizeof(json),
+                "{\n"
+                "  \"bench\": \"serve_throughput\",\n"
+                "  \"batch_rows\": %zu,\n"
+                "  \"dimension\": %zu,\n"
+                "  \"requests\": %zu,\n"
+                "  \"evals_per_sec\": %.1f,\n"
+                "  \"p50_us\": %.2f,\n"
+                "  \"p99_us\": %.2f,\n"
+                "  \"bit_identical_threads_1_4\": %s\n"
+                "}\n",
+                batch, dim, requests, evals_per_sec, p50, p99,
+                bit_identical ? "true" : "false");
+  std::cout << json;
+  if (!out_path.empty()) {
+    std::ofstream os(out_path);
+    os << json;
+    if (!os) {
+      std::cerr << "serve_throughput: cannot write " << out_path << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << out_path << "\n";
+  }
+  return 0;
+}

@@ -11,6 +11,10 @@
 #      BMF_CHECKED contract layer (contract_test's throwing half) at once.
 #   4. Smoke-run of the solver-scaling benchmark (tiny min-time) so bench
 #      bit-rot is caught without paying for a full measurement run.
+#   5. Serving smoke test: start bmf_served on a temp socket, publish a
+#      tiny model with bmf_client, evaluate it, and shut the daemon down —
+#      proves the daemon/client binaries work end to end, not just the
+#      library they link.
 #
 # Usage: ci.sh [jobs]   (default: all cores)
 set -eu
@@ -37,5 +41,30 @@ ctest --test-dir "$src_dir/build-ci-checked" --output-on-failure
 echo "== Benchmark smoke run =="
 "$src_dir/build-ci-release/bench/ablation_solver_scaling" \
     --benchmark_min_time=0.01
+
+echo "== Serving smoke test =="
+serve_tmp="$(mktemp -d)"
+trap 'rm -rf "$serve_tmp"' EXIT INT TERM
+sock="$serve_tmp/bmf.sock"
+"$src_dir/build-ci-release/bin/bmf_served" --socket "$sock" --quiet &
+served_pid=$!
+# f(x) = 1.5 + 2*H1(x0) - 0.5*H1(x1); H1 is the identity, so the point
+# (0,0) must predict exactly 1.5 and (1,1) exactly 3.0.
+printf 'bmf-model v2\ndimension 2\nterms 3\nterm 1.5\nterm 2.0 0:1\nterm -0.5 1:1\nend\n' \
+    > "$serve_tmp/model.bmfmodel"
+printf '0.0,0.0\n1.0,1.0\n' > "$serve_tmp/points.csv"
+client="$src_dir/build-ci-release/bin/bmf_client"
+"$client" --socket "$sock" ping
+"$client" --socket "$sock" publish smoke "$serve_tmp/model.bmfmodel"
+"$client" --socket "$sock" eval smoke "$serve_tmp/points.csv" \
+    > "$serve_tmp/pred.txt"
+"$client" --socket "$sock" list
+"$client" --socket "$sock" shutdown
+wait "$served_pid"
+predictions="$(tr '\n' ' ' < "$serve_tmp/pred.txt")"
+if [ "$predictions" != "1.5 3 " ]; then
+  echo "error: serve smoke predictions were '$predictions', expected '1.5 3 '" >&2
+  exit 1
+fi
 
 echo "== CI passed =="

@@ -36,7 +36,7 @@ strip_comments() {
 
 all_sources=$(find "$src_dir/src" -name '*.cpp' -o -name '*.hpp' | sort)
 numeric_sources=$(find "$src_dir/src/linalg" "$src_dir/src/bmf" \
-  "$src_dir/src/regress" "$src_dir/src/stats" \
+  "$src_dir/src/regress" "$src_dir/src/stats" "$src_dir/src/serve" \
   -name '*.cpp' -o -name '*.hpp' | sort)
 
 # Rule 1: unseeded/global randomness.  `time(` must not match identifiers

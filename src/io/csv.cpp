@@ -1,5 +1,6 @@
 #include "io/csv.hpp"
 
+#include <cctype>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -7,6 +8,27 @@
 namespace bmf::io {
 
 namespace {
+
+// Files written on Windows (or fetched through tools that rewrite line
+// endings) arrive with CRLF; getline leaves the '\r' on the line, which
+// would otherwise end up glued onto the last cell of every row.
+void strip_trailing_cr(std::string& line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+}
+
+// Parse a numeric cell, tolerating surrounding whitespace (" 1.5\t") but
+// rejecting trailing garbage ("1.5abc") — std::stod alone would silently
+// accept the latter.
+double parse_cell(const std::string& cell) {
+  std::size_t pos = 0;
+  const double value = std::stod(cell, &pos);
+  while (pos < cell.size() &&
+         std::isspace(static_cast<unsigned char>(cell[pos])))
+    ++pos;
+  if (pos != cell.size())
+    throw std::invalid_argument("trailing characters");
+  return value;
+}
 
 std::vector<std::string> split_line(const std::string& line) {
   std::vector<std::string> cells;
@@ -61,6 +83,7 @@ linalg::Matrix read_csv(const std::string& path, bool has_header,
   std::size_t cols = 0;
   bool first = true;
   while (std::getline(is, line)) {
+    strip_trailing_cr(line);
     if (line.empty()) continue;
     if (first && has_header) {
       if (header) *header = split_line(line);
@@ -73,7 +96,7 @@ linalg::Matrix read_csv(const std::string& path, bool has_header,
     row.reserve(cells.size());
     for (const auto& cell : cells) {
       try {
-        row.push_back(std::stod(cell));
+        row.push_back(parse_cell(cell));
       } catch (const std::exception&) {
         throw std::runtime_error("read_csv: bad number '" + cell + "' in " +
                                  path);

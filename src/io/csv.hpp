@@ -19,8 +19,10 @@ void write_csv_columns(const std::string& path,
                        const std::vector<linalg::Vector>& columns);
 
 /// Read a CSV of doubles. If `has_header` the first line is returned in
-/// *header (when non-null) and skipped. Throws std::runtime_error on I/O or
-/// parse failure, including ragged rows.
+/// *header (when non-null) and skipped. CRLF line endings and whitespace
+/// around numeric fields are tolerated; trailing garbage in a field
+/// ("1.5abc") is not. Throws std::runtime_error on I/O or parse failure,
+/// including ragged rows.
 linalg::Matrix read_csv(const std::string& path, bool has_header = false,
                         std::vector<std::string>* header = nullptr);
 

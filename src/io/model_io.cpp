@@ -7,22 +7,31 @@
 namespace bmf::io {
 
 namespace {
-constexpr const char* kMagic = "bmf-model v1";
+constexpr const char* kMagicV1 = "bmf-model v1";
+constexpr const char* kMagicV2 = "bmf-model v2";
+
+// CRLF tolerance, mirroring read_csv: a model file that passed through a
+// Windows toolchain must not grow a '\r' inside its last token.
+void strip_trailing_cr(std::string& line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
 }
+}  // namespace
 
 void save_model(const std::string& path,
                 const basis::PerformanceModel& model) {
   std::ofstream os(path);
   if (!os) throw std::runtime_error("save_model: cannot open " + path);
   os.precision(17);
-  os << kMagic << "\n";
+  os << kMagicV2 << "\n";
   os << "dimension " << model.basis().dimension() << "\n";
+  os << "terms " << model.num_terms() << "\n";
   for (std::size_t m = 0; m < model.num_terms(); ++m) {
     os << "term " << model.coefficients()[m];
     for (const auto& f : model.basis().term(m).factors)
       os << ' ' << f.var << ':' << f.degree;
     os << "\n";
   }
+  os << "end\n";
   if (!os) throw std::runtime_error("save_model: write failed for " + path);
 }
 
@@ -30,7 +39,11 @@ basis::PerformanceModel load_model(const std::string& path) {
   std::ifstream is(path);
   if (!is) throw std::runtime_error("load_model: cannot open " + path);
   std::string line;
-  if (!std::getline(is, line) || line != kMagic)
+  if (!std::getline(is, line))
+    throw std::runtime_error("load_model: empty file " + path);
+  strip_trailing_cr(line);
+  const bool v2 = line == kMagicV2;
+  if (!v2 && line != kMagicV1)
     throw std::runtime_error("load_model: bad magic in " + path);
   std::size_t dimension = 0;
   {
@@ -39,11 +52,25 @@ basis::PerformanceModel load_model(const std::string& path) {
       throw std::runtime_error("load_model: missing dimension in " + path);
   }
   std::getline(is, line);  // consume rest of the dimension line
+  // v2 declares its term count up front so truncation is detectable.
+  std::size_t declared_terms = 0;
+  if (v2) {
+    std::string keyword;
+    if (!(is >> keyword >> declared_terms) || keyword != "terms")
+      throw std::runtime_error("load_model: missing terms count in " + path);
+    std::getline(is, line);
+  }
 
   std::vector<basis::BasisTerm> terms;
   linalg::Vector coeffs;
+  bool saw_end = false;
   while (std::getline(is, line)) {
+    strip_trailing_cr(line);
     if (line.empty()) continue;
+    if (v2 && line == "end") {
+      saw_end = true;
+      break;
+    }
     std::istringstream ls(line);
     std::string keyword;
     double coeff;
@@ -68,6 +95,20 @@ basis::PerformanceModel load_model(const std::string& path) {
     }
     terms.push_back(std::move(term));
     coeffs.push_back(coeff);
+  }
+  if (is.bad())
+    throw std::runtime_error("load_model: read failed for " + path);
+  if (v2) {
+    // A partial model must never load: better to fail a batch job loudly
+    // than to serve predictions from half a coefficient vector.
+    if (terms.size() != declared_terms)
+      throw std::runtime_error(
+          "load_model: truncated model in " + path + ": declared " +
+          std::to_string(declared_terms) + " term(s), found " +
+          std::to_string(terms.size()));
+    if (!saw_end)
+      throw std::runtime_error("load_model: truncated model in " + path +
+                               ": missing 'end' trailer");
   }
   try {
     return basis::PerformanceModel(basis::BasisSet(dimension, terms),

@@ -2,15 +2,25 @@
 //
 // A model file is a small line-oriented text format:
 //
-//   bmf-model v1
+//   bmf-model v2
 //   dimension <R>
+//   terms <M>
 //   term <coefficient> <var:degree> <var:degree> ...   (one per basis term;
 //                                                       no factors = constant)
+//   end
 //
 // Round-trips every BasisSet/coefficient combination exactly (coefficients
 // are written with 17 significant digits). This is what lets a schematic
 // team hand its early-stage model file to the layout team — the workflow
 // the paper's multi-stage flow assumes.
+//
+// The `terms <M>` count and the `end` trailer exist so a short read (a
+// partial download, a full disk, a killed writer) is *detected*: a v2 file
+// whose term count disagrees with its declared M, or that stops before
+// `end`, is rejected with a message saying how much arrived — it can never
+// silently load as a smaller model. Legacy v1 files (no count, no trailer)
+// are still read, without that protection. For a checksummed binary format
+// used by the serving layer, see src/serve/model_codec.hpp.
 #pragma once
 
 #include <string>
@@ -19,12 +29,15 @@
 
 namespace bmf::io {
 
-/// Write `model` to `path`. Throws std::runtime_error on I/O failure.
+/// Write `model` to `path` in the v2 format above. Throws
+/// std::runtime_error on I/O failure.
 void save_model(const std::string& path,
                 const basis::PerformanceModel& model);
 
-/// Read a model written by save_model. Throws std::runtime_error on I/O
-/// or format errors (wrong magic, malformed terms, out-of-range variables).
+/// Read a model written by save_model (v2, truncation-checked) or by older
+/// versions of it (v1, best effort). Throws std::runtime_error on I/O or
+/// format errors (wrong magic, malformed terms, out-of-range variables,
+/// truncated v2 files).
 basis::PerformanceModel load_model(const std::string& path);
 
 }  // namespace bmf::io

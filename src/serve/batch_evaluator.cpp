@@ -1,0 +1,47 @@
+#include "serve/batch_evaluator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "basis/basis_set.hpp"
+#include "check/contracts.hpp"
+#include "linalg/blas.hpp"
+
+namespace bmf::serve {
+
+BatchEvaluator::BatchEvaluator(std::size_t block_rows)
+    : block_rows_(block_rows) {
+  if (block_rows == 0)
+    throw std::invalid_argument("BatchEvaluator: block_rows must be >= 1");
+}
+
+linalg::Vector BatchEvaluator::evaluate(const basis::PerformanceModel& model,
+                                        const linalg::Matrix& points) const {
+  linalg::Vector out;
+  evaluate_into(model, points, out);
+  return out;
+}
+
+void BatchEvaluator::evaluate_into(const basis::PerformanceModel& model,
+                                   const linalg::Matrix& points,
+                                   linalg::Vector& out) const {
+  const std::size_t b = points.rows();
+  const std::size_t r = points.cols();
+  if (r != model.basis().dimension())
+    throw std::invalid_argument(
+        "BatchEvaluator: point dimension " + std::to_string(r) +
+        " does not match model dimension " +
+        std::to_string(model.basis().dimension()));
+  BMF_EXPECTS(check::all_finite(model.coefficients()),
+              "model coefficients must be finite");
+  out.resize(b);
+  for (std::size_t b0 = 0; b0 < b; b0 += block_rows_) {
+    const std::size_t nb = std::min(block_rows_, b - b0);
+    const linalg::Matrix tile =
+        basis::design_matrix(model.basis(), points.block(b0, 0, nb, r));
+    const linalg::Vector y = linalg::gemv(tile, model.coefficients());
+    std::copy(y.begin(), y.end(), out.begin() + static_cast<std::ptrdiff_t>(b0));
+  }
+}
+
+}  // namespace bmf::serve

@@ -1,0 +1,48 @@
+// Batched model evaluation: the hot path the daemon runs per request.
+//
+// A batch of B variation points (B x R, one sample per row) is evaluated
+// against a model with M basis terms by streaming fixed-size row blocks
+// through the repo's existing high-throughput kernels: each block is
+// expanded to a design-matrix tile via basis::design_matrix (shared-factor
+// evaluation plan, parallelized over rows) and reduced to predictions via
+// linalg::gemv (register-blocked, parallelized). Blocking bounds the
+// working set at block_rows x (R + M) doubles no matter how large B is.
+//
+// Determinism: the block size is a fixed constant independent of the
+// thread count, and both underlying kernels are bit-identical at any
+// thread count (see DESIGN.md "Threading model"), so a batch's result
+// bytes are identical for BMF_NUM_THREADS = 1, 4, or 64 — the property the
+// protocol's bit-exact response guarantee rests on.
+#pragma once
+
+#include <cstddef>
+
+#include "basis/model.hpp"
+#include "linalg/matrix.hpp"
+
+namespace bmf::serve {
+
+class BatchEvaluator {
+ public:
+  /// Rows per design-matrix tile; must be >= 1. The working set is
+  /// block_rows x (R + M) doubles regardless of batch size — with the
+  /// default, ~32 MB even for a linear model over R = 10^3 variables.
+  explicit BatchEvaluator(std::size_t block_rows = 2048);
+
+  /// f(x) for every row of `points` (B x R; R must match the model's
+  /// basis dimension). Returns B predictions in row order.
+  linalg::Vector evaluate(const basis::PerformanceModel& model,
+                          const linalg::Matrix& points) const;
+
+  /// As above, writing into `out` (resized to B). Reuses out's storage
+  /// across calls — the daemon's steady-state allocation-free path.
+  void evaluate_into(const basis::PerformanceModel& model,
+                     const linalg::Matrix& points, linalg::Vector& out) const;
+
+  std::size_t block_rows() const { return block_rows_; }
+
+ private:
+  std::size_t block_rows_;
+};
+
+}  // namespace bmf::serve

@@ -1,0 +1,142 @@
+// bmf_client — command-line client for bmf_served.
+//
+//   bmf_client --socket <path> ping
+//   bmf_client --socket <path> publish <name> <model-file>
+//   bmf_client --socket <path> eval <name> <points.csv> [--version N]
+//              [--out <pred.csv>]
+//   bmf_client --socket <path> list
+//   bmf_client --socket <path> shutdown
+//
+// publish accepts both model formats by content sniffing: the text format
+// of src/io/model_io ("bmf-model ...", provenance recorded as none) and
+// the binary BMFB format of src/serve/model_codec (provenance preserved).
+// eval reads a headerless CSV of points (one row per sample) and prints
+// one prediction per line at full precision, or writes them as a
+// single-column CSV with --out. Exit status 0 on success, 1 on any error
+// (server-side errors print their structured status/context/message).
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "io/args.hpp"
+#include "io/csv.hpp"
+#include "io/model_io.hpp"
+#include "serve/client.hpp"
+#include "serve/model_codec.hpp"
+
+namespace {
+
+int usage(const std::string& program) {
+  std::fprintf(
+      stderr,
+      "usage: %s --socket <path> [--timeout-ms N] <command>\n"
+      "commands:\n"
+      "  ping\n"
+      "  publish <name> <model-file>        (text bmf-model or binary BMFB)\n"
+      "  eval <name> <points.csv> [--version N] [--out <pred.csv>]\n"
+      "  list\n"
+      "  shutdown\n",
+      program.c_str());
+  return 1;
+}
+
+std::vector<std::uint8_t> read_file_bytes(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("cannot open " + path);
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(is)),
+                                  std::istreambuf_iterator<char>());
+  if (is.bad()) throw std::runtime_error("read failed for " + path);
+  return bytes;
+}
+
+int run_publish(bmf::serve::Client& client, const std::string& name,
+                const std::string& path) {
+  const std::vector<std::uint8_t> bytes = read_file_bytes(path);
+  std::uint64_t version = 0;
+  if (bmf::serve::looks_like_binary_model(bytes.data(), bytes.size())) {
+    version = client.publish_blob(name, bytes);
+  } else {
+    bmf::serve::FittedModel fitted;
+    fitted.model = bmf::io::load_model(path);
+    version = client.publish(name, fitted);
+  }
+  std::printf("published %s v%llu\n", name.c_str(),
+              static_cast<unsigned long long>(version));
+  return 0;
+}
+
+int run_eval(bmf::serve::Client& client, const bmf::io::Args& args,
+             const std::string& name, const std::string& csv_path) {
+  const bmf::linalg::Matrix points =
+      bmf::io::read_csv(csv_path, /*has_header=*/false);
+  const auto version =
+      static_cast<std::uint64_t>(args.get_int("version", 0));
+  const bmf::serve::Client::Evaluation result =
+      client.evaluate(name, points, version);
+  const std::string out = args.get("out");
+  if (!out.empty()) {
+    bmf::io::write_csv_columns(out, {"prediction"}, {result.values});
+  } else {
+    for (double v : result.values) std::printf("%.17g\n", v);
+  }
+  std::fprintf(stderr, "evaluated %zu point(s) against %s v%llu\n",
+               result.values.size(), name.c_str(),
+               static_cast<unsigned long long>(result.version));
+  return 0;
+}
+
+int run_list(bmf::serve::Client& client) {
+  const std::vector<bmf::serve::ModelInfo> models = client.list();
+  for (const auto& m : models)
+    std::printf("%s latest=v%llu retained=%llu dim=%llu terms=%llu\n",
+                m.name.c_str(),
+                static_cast<unsigned long long>(m.latest_version),
+                static_cast<unsigned long long>(m.retained),
+                static_cast<unsigned long long>(m.dimension),
+                static_cast<unsigned long long>(m.num_terms));
+  if (models.empty()) std::fprintf(stderr, "(registry is empty)\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bmf::io::Args args(argc, argv);
+  const std::string socket_path = args.get("socket");
+  const auto& positional = args.positional();
+  if (socket_path.empty() || positional.empty())
+    return usage(args.program());
+  const std::string& command = positional[0];
+  const int timeout_ms = static_cast<int>(args.get_int("timeout-ms", 5000));
+
+  try {
+    bmf::serve::Client client(socket_path, timeout_ms);
+    if (command == "ping" && positional.size() == 1) {
+      client.ping();
+      std::printf("ok\n");
+      return 0;
+    }
+    if (command == "publish" && positional.size() == 3)
+      return run_publish(client, positional[1], positional[2]);
+    if (command == "eval" && positional.size() == 3)
+      return run_eval(client, args, positional[1], positional[2]);
+    if (command == "list" && positional.size() == 1) return run_list(client);
+    if (command == "shutdown" && positional.size() == 1) {
+      client.shutdown_server();
+      std::printf("server shutting down\n");
+      return 0;
+    }
+    return usage(args.program());
+  } catch (const bmf::serve::ServeError& e) {
+    std::fprintf(stderr, "bmf_client: [%s] %s: %s\n",
+                 bmf::serve::to_string(e.status()), e.context().c_str(),
+                 e.message().c_str());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bmf_client: %s\n", e.what());
+    return 1;
+  }
+}

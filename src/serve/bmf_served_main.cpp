@@ -1,0 +1,69 @@
+// bmf_served — the model-serving daemon.
+//
+//   bmf_served --socket /tmp/bmf.sock [--capacity 64] [--timeout-ms 5000]
+//              [--block-rows 2048] [--quiet]
+//
+// Listens on a UNIX-domain socket for the length-prefixed binary protocol
+// (see src/serve/protocol.hpp): publish versioned models, evaluate batches,
+// list the registry, shut down. SIGINT/SIGTERM drain gracefully, as does a
+// client "shutdown" request. Exit status 0 on graceful shutdown, 1 on a
+// startup or fatal runtime error.
+#include <csignal>
+#include <cstdio>
+#include <exception>
+
+#include "io/args.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+bmf::serve::Server* g_server = nullptr;
+
+extern "C" void handle_signal(int) {
+  // request_stop only stores to an atomic<bool> — async-signal-safe.
+  if (g_server != nullptr) g_server->request_stop();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bmf::io::Args args(argc, argv);
+  const std::string socket_path = args.get("socket");
+  if (socket_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s --socket <path> [--capacity N] [--timeout-ms N]"
+                 " [--block-rows N] [--quiet]\n",
+                 args.program().c_str());
+    return 1;
+  }
+
+  bmf::serve::ServerOptions options;
+  options.socket_path = socket_path;
+  options.registry_capacity =
+      static_cast<std::size_t>(args.get_int("capacity", 64));
+  options.request_timeout_ms =
+      static_cast<int>(args.get_int("timeout-ms", 5000));
+  options.evaluator_block_rows =
+      static_cast<std::size_t>(args.get_int("block-rows", 2048));
+  const bool quiet = args.flag("quiet");
+
+  try {
+    bmf::serve::Server server(options);
+    g_server = &server;
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+    if (!quiet)
+      std::fprintf(stderr, "bmf_served: listening on %s\n",
+                   socket_path.c_str());
+    server.run();
+    g_server = nullptr;
+    if (!quiet)
+      std::fprintf(stderr, "bmf_served: shutdown after %llu request(s)\n",
+                   static_cast<unsigned long long>(server.requests_served()));
+  } catch (const std::exception& e) {
+    g_server = nullptr;
+    std::fprintf(stderr, "bmf_served: fatal: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

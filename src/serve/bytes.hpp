@@ -1,0 +1,158 @@
+// Little-endian byte packing shared by the model codec and the wire
+// protocol. Explicit shift-based packing (not memcpy of host integers)
+// keeps the formats byte-identical on any host endianness; doubles travel
+// as their IEEE-754 bit patterns via std::bit_cast, so encode/decode is a
+// bit-exact identity.
+//
+// ByteReader is bounds-checked: every read that would run past the buffer
+// throws a ServeError with the status the owning format considers
+// "truncated" (set at construction), so the codec reports kCorruptModel
+// while the protocol reports kBadRequest from the same helper.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/error.hpp"
+
+namespace bmf::serve {
+
+class ByteWriter {
+ public:
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+  std::size_t size() const { return bytes_.size(); }
+
+  void u8(std::uint8_t v) { bytes_.push_back(v); }
+
+  void u16(std::uint16_t v) {
+    for (int i = 0; i < 2; ++i)
+      bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i)
+      bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i)
+      bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+  void raw(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    bytes_.insert(bytes_.end(), p, p + n);
+  }
+
+  /// Length-prefixed (u16) string, the wire convention for names/messages.
+  void str16(const std::string& s) {
+    if (s.size() > 0xFFFF)
+      throw ServeError(Status::kTooLarge, "ByteWriter::str16",
+                       "string of " + std::to_string(s.size()) +
+                           " bytes exceeds the 65535-byte field limit");
+    u16(static_cast<std::uint16_t>(s.size()));
+    raw(s.data(), s.size());
+  }
+
+  /// Overwrite 4 bytes at `offset` with `v` (backpatching size fields).
+  void patch_u32(std::size_t offset, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i)
+      bytes_[offset + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(v >> (8 * i));
+  }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+class ByteReader {
+ public:
+  /// Reads from [data, data + size); a read past the end throws
+  /// ServeError(truncated_status, context, ...).
+  ByteReader(const std::uint8_t* data, std::size_t size,
+             Status truncated_status, std::string context)
+      : data_(data),
+        size_(size),
+        status_(truncated_status),
+        context_(std::move(context)) {}
+
+  std::size_t remaining() const { return size_ - pos_; }
+  bool done() const { return pos_ == size_; }
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+
+  std::uint16_t u16() {
+    need(2);
+    std::uint16_t v = 0;
+    for (int i = 0; i < 2; ++i)
+      v = static_cast<std::uint16_t>(v | (std::uint16_t{data_[pos_++]}
+                                          << (8 * i)));
+    return v;
+  }
+
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= std::uint32_t{data_[pos_++]} << (8 * i);
+    return v;
+  }
+
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= std::uint64_t{data_[pos_++]} << (8 * i);
+    return v;
+  }
+
+  double f64() { return std::bit_cast<double>(u64()); }
+
+  std::string str16() {
+    const std::uint16_t n = u16();
+    need(n);
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  const std::uint8_t* raw(std::size_t n) {
+    need(n);
+    const std::uint8_t* p = data_ + pos_;
+    pos_ += n;
+    return p;
+  }
+
+  /// Fails unless exactly the whole buffer was consumed (trailing garbage
+  /// means a malformed or mis-framed message).
+  void expect_done() const {
+    if (!done())
+      throw ServeError(status_, context_,
+                       std::to_string(remaining()) +
+                           " unexpected trailing byte(s)");
+  }
+
+ private:
+  void need(std::size_t n) const {
+    if (size_ - pos_ < n)
+      throw ServeError(status_, context_,
+                       "truncated: need " + std::to_string(n) +
+                           " byte(s) at offset " + std::to_string(pos_) +
+                           ", have " + std::to_string(size_ - pos_));
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  Status status_;
+  std::string context_;
+};
+
+}  // namespace bmf::serve

@@ -1,0 +1,67 @@
+#include "serve/client.hpp"
+
+#include "serve/model_codec.hpp"
+#include "serve/protocol.hpp"
+
+namespace bmf::serve {
+
+Client::Client(const std::string& socket_path, int timeout_ms,
+               std::size_t max_frame_bytes)
+    : fd_(connect_unix(socket_path, timeout_ms)),
+      timeout_ms_(timeout_ms),
+      max_frame_bytes_(max_frame_bytes) {}
+
+std::vector<std::uint8_t> Client::round_trip(
+    const std::vector<std::uint8_t>& frame) {
+  write_frame(fd_.get(), frame, timeout_ms_, max_frame_bytes_);
+  std::optional<std::vector<std::uint8_t>> reply =
+      read_frame(fd_.get(), timeout_ms_, max_frame_bytes_);
+  if (!reply)
+    throw ServeError(Status::kInternal, "Client::round_trip",
+                     "server closed the connection without replying");
+  auto [body, size] = expect_ok(*reply);
+  return std::vector<std::uint8_t>(body, body + size);
+}
+
+void Client::ping() { round_trip(encode_request(PingRequest{})); }
+
+std::uint64_t Client::publish(const std::string& name,
+                              const FittedModel& model) {
+  return publish_blob(name, serialize_model(model));
+}
+
+std::uint64_t Client::publish_blob(const std::string& name,
+                                   const std::vector<std::uint8_t>& blob) {
+  PublishRequest request;
+  request.name = name;
+  request.blob = blob;
+  const std::vector<std::uint8_t> body =
+      round_trip(encode_request(request));
+  return decode_publish_response(body.data(), body.size());
+}
+
+Client::Evaluation Client::evaluate(const std::string& name,
+                                    const linalg::Matrix& points,
+                                    std::uint64_t version) {
+  EvaluateRequest request;
+  request.name = name;
+  request.version = version;
+  request.points = points;
+  const std::vector<std::uint8_t> body =
+      round_trip(encode_request(request));
+  EvaluateResponse response =
+      decode_evaluate_response(body.data(), body.size());
+  return Evaluation{response.version, std::move(response.values)};
+}
+
+std::vector<ModelInfo> Client::list() {
+  const std::vector<std::uint8_t> body =
+      round_trip(encode_request(ListRequest{}));
+  return decode_list_response(body.data(), body.size());
+}
+
+void Client::shutdown_server() {
+  round_trip(encode_request(ShutdownRequest{}));
+}
+
+}  // namespace bmf::serve

@@ -1,0 +1,62 @@
+// Client library for the bmf_served protocol. One Client owns one
+// connection; requests are issued synchronously (send frame, await reply).
+// Server-side failures surface as the same ServeError the server threw —
+// status, context, and message cross the wire intact.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "serve/fitted_model.hpp"
+#include "serve/registry.hpp"
+#include "serve/wire.hpp"
+
+namespace bmf::serve {
+
+class Client {
+ public:
+  /// Connects (retrying until `timeout_ms` while the daemon comes up).
+  /// The same timeout is then the per-request deadline.
+  explicit Client(const std::string& socket_path, int timeout_ms = 5000,
+                  std::size_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+  /// Round-trip an empty request (liveness probe).
+  void ping();
+
+  /// Publish a model under `name`; returns the assigned version.
+  std::uint64_t publish(const std::string& name, const FittedModel& model);
+
+  /// Publish pre-serialized BMFB bytes (e.g. straight from a file) without
+  /// decoding them locally; the server validates.
+  std::uint64_t publish_blob(const std::string& name,
+                             const std::vector<std::uint8_t>& blob);
+
+  struct Evaluation {
+    std::uint64_t version = 0;  // version that produced the values
+    linalg::Vector values;      // one prediction per batch row
+  };
+
+  /// Evaluate a B x R batch against `name` (version 0 = latest).
+  Evaluation evaluate(const std::string& name, const linalg::Matrix& points,
+                      std::uint64_t version = 0);
+
+  /// Registry snapshot (sorted by name).
+  std::vector<ModelInfo> list();
+
+  /// Ask the daemon to drain and exit (acknowledged before it stops).
+  void shutdown_server();
+
+ private:
+  /// Send `request`, read the reply, and return the kOk body (throws the
+  /// rehydrated ServeError on an error reply).
+  std::vector<std::uint8_t> round_trip(const std::vector<std::uint8_t>& frame);
+
+  UniqueFd fd_;
+  int timeout_ms_;
+  std::size_t max_frame_bytes_;
+};
+
+}  // namespace bmf::serve

@@ -1,0 +1,43 @@
+#include "serve/error.hpp"
+
+namespace bmf::serve {
+
+const char* to_string(Status status) {
+  switch (status) {
+    case Status::kOk:
+      return "ok";
+    case Status::kBadRequest:
+      return "bad-request";
+    case Status::kNotFound:
+      return "not-found";
+    case Status::kVersionMismatch:
+      return "version-mismatch";
+    case Status::kCorruptModel:
+      return "corrupt-model";
+    case Status::kTooLarge:
+      return "too-large";
+    case Status::kTimeout:
+      return "timeout";
+    case Status::kShuttingDown:
+      return "shutting-down";
+    case Status::kInternal:
+      return "internal";
+  }
+  return "internal";
+}
+
+Status status_from_byte(std::uint8_t byte) {
+  if (byte > static_cast<std::uint8_t>(Status::kInternal))
+    throw std::invalid_argument("status_from_byte: unknown status code " +
+                                std::to_string(byte));
+  return static_cast<Status>(byte);
+}
+
+ServeError::ServeError(Status status, std::string context, std::string message)
+    : std::runtime_error(context + ": " + message + " [" + to_string(status) +
+                         "]"),
+      status_(status),
+      context_(std::move(context)),
+      message_(std::move(message)) {}
+
+}  // namespace bmf::serve

@@ -1,0 +1,58 @@
+// Structured errors for the serving layer.
+//
+// Every failure in src/serve — a corrupt model blob, an unknown registry
+// name, a timed-out socket read, an oversized frame — is reported as a
+// ServeError carrying a wire-encodable Status code, the operation that
+// failed, and a human-readable description. This mirrors the semantics of
+// bmf::check::ContractViolation (function + expression + message) so that
+// server-side failures cross the protocol boundary without losing
+// structure: the daemon maps a caught ServeError 1:1 onto an error reply
+// (status byte + context + message) and the client rethrows it verbatim.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace bmf::serve {
+
+/// Wire-stable error/status codes (one byte on the protocol).
+/// kOk is never thrown; it is the success status of a response frame.
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kBadRequest = 1,       // malformed frame or message body
+  kNotFound = 2,         // unknown model name or evicted version
+  kVersionMismatch = 3,  // model blob with an unsupported format version
+  kCorruptModel = 4,     // bad magic / CRC mismatch / truncated blob
+  kTooLarge = 5,         // frame exceeds the configured bound
+  kTimeout = 6,          // per-request deadline expired
+  kShuttingDown = 7,     // server rejected the request while draining
+  kInternal = 8,         // anything else (bug surface, not client error)
+};
+
+/// Stable lowercase token for a status, e.g. "not-found". Unknown values
+/// map to "internal".
+const char* to_string(Status status);
+
+/// Parse the token produced by to_string; throws std::invalid_argument on
+/// unknown input (used by tools, not the wire — the wire carries the byte).
+Status status_from_byte(std::uint8_t byte);
+
+/// Thrown throughout src/serve. what() is "context: message [status]".
+class ServeError : public std::runtime_error {
+ public:
+  ServeError(Status status, std::string context, std::string message);
+
+  Status status() const noexcept { return status_; }
+  /// The failing operation, e.g. "deserialize_model" or "read_frame".
+  const std::string& context() const noexcept { return context_; }
+  /// Human-readable description (no trailing newline).
+  const std::string& message() const noexcept { return message_; }
+
+ private:
+  Status status_;
+  std::string context_;
+  std::string message_;
+};
+
+}  // namespace bmf::serve

@@ -1,0 +1,29 @@
+#include "serve/fitted_model.hpp"
+
+namespace bmf::serve {
+
+const char* to_string(PriorProvenance provenance) {
+  switch (provenance) {
+    case PriorProvenance::kNone:
+      return "none";
+    case PriorProvenance::kZeroMean:
+      return "BMF-ZM";
+    case PriorProvenance::kNonzeroMean:
+      return "BMF-NZM";
+  }
+  return "none";
+}
+
+FittedModel from_fusion(const core::FusionResult& result,
+                        std::uint64_t num_samples) {
+  FittedModel fitted;
+  fitted.model = result.model;
+  fitted.provenance = result.report.chosen_kind == core::PriorKind::kZeroMean
+                          ? PriorProvenance::kZeroMean
+                          : PriorProvenance::kNonzeroMean;
+  fitted.tau = result.report.chosen_tau;
+  fitted.num_samples = num_samples;
+  return fitted;
+}
+
+}  // namespace bmf::serve

@@ -1,0 +1,46 @@
+// The unit the serving layer persists, versions, and evaluates.
+//
+// A FittedModel is a basis::PerformanceModel — coefficients over a sparse
+// multi-index basis, f(x) = sum_m alpha_m g_m(x) (paper Eq. 1/2) — plus the
+// fit provenance the paper's workflow cares about when a model is handed
+// across teams or design stages: which prior produced it (BMF-ZM /
+// BMF-NZM / none, i.e. a plain regression), the chosen hyper-parameter tau
+// (sigma_0^2 resp. eta, paper Eq. 30/35), and the number K of late-stage
+// samples it was fused from. Provenance travels with the model through the
+// binary codec (model_codec.hpp) and the registry so a consumer can always
+// answer "where did these coefficients come from?".
+#pragma once
+
+#include <cstdint>
+
+#include "basis/model.hpp"
+#include "bmf/fusion.hpp"
+
+namespace bmf::serve {
+
+/// Which prior produced the coefficients. Values are wire-stable: they are
+/// serialized as a single byte by model_codec.
+enum class PriorProvenance : std::uint8_t {
+  kNone = 0,         // plain LS/OMP fit, or unknown origin (legacy files)
+  kZeroMean = 1,     // BMF-ZM (paper Eq. 12-17)
+  kNonzeroMean = 2,  // BMF-NZM (paper Eq. 19-20)
+};
+
+/// Returns "none" / "BMF-ZM" / "BMF-NZM".
+const char* to_string(PriorProvenance provenance);
+
+struct FittedModel {
+  basis::PerformanceModel model;
+  PriorProvenance provenance = PriorProvenance::kNone;
+  /// Chosen likelihood-vs-prior weight; 0 when provenance is kNone.
+  double tau = 0.0;
+  /// Late-stage sample count K the model was fitted from; 0 if unknown.
+  std::uint64_t num_samples = 0;
+};
+
+/// Package a BmfFitter result (Algorithm 1 output) for serving.
+/// `num_samples` is the K of the design matrix the fit used.
+FittedModel from_fusion(const core::FusionResult& result,
+                        std::uint64_t num_samples);
+
+}  // namespace bmf::serve

@@ -1,0 +1,227 @@
+#include "serve/protocol.hpp"
+
+#include "serve/bytes.hpp"
+
+namespace bmf::serve {
+
+namespace {
+
+constexpr const char* kDecodeRequest = "decode_request";
+
+[[noreturn]] void bad_request(const std::string& message) {
+  throw ServeError(Status::kBadRequest, kDecodeRequest, message);
+}
+
+ByteReader request_reader(const std::uint8_t* data, std::size_t size) {
+  return ByteReader(data, size, Status::kBadRequest, kDecodeRequest);
+}
+
+ByteReader response_reader(const std::uint8_t* data, std::size_t size,
+                           const char* context) {
+  return ByteReader(data, size, Status::kBadRequest, context);
+}
+
+}  // namespace
+
+// ---- Request codecs --------------------------------------------------------
+
+std::vector<std::uint8_t> encode_request(const Request& request) {
+  ByteWriter w;
+  if (std::holds_alternative<PingRequest>(request)) {
+    w.u8(static_cast<std::uint8_t>(MessageType::kPing));
+  } else if (const auto* pub = std::get_if<PublishRequest>(&request)) {
+    w.u8(static_cast<std::uint8_t>(MessageType::kPublish));
+    w.str16(pub->name);
+    w.u32(static_cast<std::uint32_t>(pub->blob.size()));
+    w.raw(pub->blob.data(), pub->blob.size());
+  } else if (const auto* ev = std::get_if<EvaluateRequest>(&request)) {
+    w.u8(static_cast<std::uint8_t>(MessageType::kEvaluate));
+    w.str16(ev->name);
+    w.u64(ev->version);
+    w.u64(ev->points.rows());
+    w.u64(ev->points.cols());
+    for (std::size_t i = 0; i < ev->points.size(); ++i)
+      w.f64(ev->points.data()[i]);
+  } else if (std::holds_alternative<ListRequest>(request)) {
+    w.u8(static_cast<std::uint8_t>(MessageType::kList));
+  } else {
+    w.u8(static_cast<std::uint8_t>(MessageType::kShutdown));
+  }
+  return w.take();
+}
+
+Request decode_request(const std::uint8_t* data, std::size_t size) {
+  ByteReader r = request_reader(data, size);
+  const std::uint8_t type = r.u8();
+  switch (type) {
+    case static_cast<std::uint8_t>(MessageType::kPing): {
+      r.expect_done();
+      return PingRequest{};
+    }
+    case static_cast<std::uint8_t>(MessageType::kPublish): {
+      PublishRequest pub;
+      pub.name = r.str16();
+      if (pub.name.empty()) bad_request("publish with an empty model name");
+      const std::uint32_t blob_size = r.u32();
+      if (blob_size != r.remaining())
+        bad_request("publish blob size field says " +
+                    std::to_string(blob_size) + " byte(s), frame carries " +
+                    std::to_string(r.remaining()));
+      const std::uint8_t* blob = r.raw(blob_size);
+      pub.blob.assign(blob, blob + blob_size);
+      r.expect_done();
+      return pub;
+    }
+    case static_cast<std::uint8_t>(MessageType::kEvaluate): {
+      EvaluateRequest ev;
+      ev.name = r.str16();
+      if (ev.name.empty()) bad_request("evaluate with an empty model name");
+      ev.version = r.u64();
+      const std::uint64_t rows = r.u64();
+      const std::uint64_t cols = r.u64();
+      if (rows == 0) bad_request("evaluate with an empty batch");
+      // 8 bytes per entry must exactly fill the rest of the frame; this
+      // also rejects rows*cols overflows before the allocation below.
+      if (cols == 0 || rows > r.remaining() / 8 / cols ||
+          rows * cols * 8 != r.remaining())
+        bad_request("evaluate batch of " + std::to_string(rows) + " x " +
+                    std::to_string(cols) + " entries does not match the " +
+                    std::to_string(r.remaining()) + " remaining byte(s)");
+      ev.points.assign(rows, cols);
+      for (std::size_t i = 0; i < ev.points.size(); ++i)
+        ev.points.data()[i] = r.f64();
+      r.expect_done();
+      return ev;
+    }
+    case static_cast<std::uint8_t>(MessageType::kList): {
+      r.expect_done();
+      return ListRequest{};
+    }
+    case static_cast<std::uint8_t>(MessageType::kShutdown): {
+      r.expect_done();
+      return ShutdownRequest{};
+    }
+    default:
+      bad_request("unknown message type " + std::to_string(type));
+  }
+}
+
+Request decode_request(const std::vector<std::uint8_t>& frame) {
+  return decode_request(frame.data(), frame.size());
+}
+
+// ---- Response codecs -------------------------------------------------------
+
+std::vector<std::uint8_t> encode_ok() {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(Status::kOk));
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_publish_response(std::uint64_t version) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(Status::kOk));
+  w.u64(version);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_evaluate_response(
+    const EvaluateResponse& response) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(Status::kOk));
+  w.u64(response.version);
+  w.u64(response.values.size());
+  for (double v : response.values) w.f64(v);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_list_response(
+    const std::vector<ModelInfo>& models) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(Status::kOk));
+  w.u32(static_cast<std::uint32_t>(models.size()));
+  for (const ModelInfo& m : models) {
+    w.str16(m.name);
+    w.u64(m.latest_version);
+    w.u64(m.retained);
+    w.u64(m.dimension);
+    w.u64(m.num_terms);
+  }
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_error(const ServeError& error) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(error.status() == Status::kOk
+                                     ? Status::kInternal
+                                     : error.status()));
+  w.str16(error.context());
+  w.str16(error.message());
+  return w.take();
+}
+
+std::pair<const std::uint8_t*, std::size_t> expect_ok(
+    const std::vector<std::uint8_t>& frame) {
+  ByteReader r = response_reader(frame.data(), frame.size(), "expect_ok");
+  const std::uint8_t status_byte = r.u8();
+  Status status;
+  try {
+    status = status_from_byte(status_byte);
+  } catch (const std::invalid_argument& e) {
+    throw ServeError(Status::kBadRequest, "expect_ok", e.what());
+  }
+  if (status == Status::kOk)
+    return {frame.data() + 1, frame.size() - 1};
+  // Error reply: rehydrate the server-side ServeError.
+  const std::string context = r.str16();
+  const std::string message = r.str16();
+  r.expect_done();
+  throw ServeError(status, context, message);
+}
+
+std::uint64_t decode_publish_response(const std::uint8_t* body,
+                                      std::size_t size) {
+  ByteReader r = response_reader(body, size, "decode_publish_response");
+  const std::uint64_t version = r.u64();
+  r.expect_done();
+  return version;
+}
+
+EvaluateResponse decode_evaluate_response(const std::uint8_t* body,
+                                          std::size_t size) {
+  ByteReader r = response_reader(body, size, "decode_evaluate_response");
+  EvaluateResponse response;
+  response.version = r.u64();
+  const std::uint64_t count = r.u64();
+  if (count > r.remaining() / 8 || count * 8 != r.remaining())
+    throw ServeError(Status::kBadRequest, "decode_evaluate_response",
+                     "value count " + std::to_string(count) +
+                         " does not match the " +
+                         std::to_string(r.remaining()) +
+                         " remaining byte(s)");
+  response.values.resize(count);
+  for (std::uint64_t i = 0; i < count; ++i) response.values[i] = r.f64();
+  r.expect_done();
+  return response;
+}
+
+std::vector<ModelInfo> decode_list_response(const std::uint8_t* body,
+                                            std::size_t size) {
+  ByteReader r = response_reader(body, size, "decode_list_response");
+  const std::uint32_t count = r.u32();
+  std::vector<ModelInfo> models;
+  models.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ModelInfo m;
+    m.name = r.str16();
+    m.latest_version = r.u64();
+    m.retained = r.u64();
+    m.dimension = r.u64();
+    m.num_terms = r.u64();
+    models.push_back(std::move(m));
+  }
+  r.expect_done();
+  return models;
+}
+
+}  // namespace bmf::serve

@@ -1,0 +1,109 @@
+// Request/response message bodies and their binary codecs.
+//
+// Transport framing (see wire.hpp) is a u32 little-endian length prefix
+// followed by that many payload bytes. This header defines what goes
+// *inside* a frame:
+//
+//   request  = u8 message type, then the type-specific body
+//   response = u8 status (serve::Status), then
+//                kOk:   the request-specific result body
+//                else:  str16 context, str16 message   (a ServeError on
+//                       the wire — same structure it has in C++)
+//
+// Bodies (all integers little-endian, strings u16-length-prefixed):
+//
+//   kPing      ->  (empty)                      <-  (empty)
+//   kPublish   ->  str16 name, u32 blob size,   <-  u64 assigned version
+//                  blob (BMFB, model_codec.hpp)
+//   kEvaluate  ->  str16 name, u64 version       <-  u64 version evaluated,
+//                  (0 = latest), u64 B, u64 R,       u64 B, B x f64
+//                  B x R x f64 row-major              predictions
+//   kList      ->  (empty)                      <-  u32 count, then per
+//                                                   model: str16 name,
+//                                                   u64 latest version,
+//                                                   u64 retained, u64 R,
+//                                                   u64 M
+//   kShutdown  ->  (empty)                      <-  (empty; the server
+//                                                   drains and exits)
+//
+// Decoders throw ServeError(kBadRequest) on malformed bytes and never
+// return partially-populated messages. Encode/decode are exact inverses —
+// tested round-trip in tests/serve_protocol_test.cpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "serve/error.hpp"
+#include "serve/registry.hpp"
+
+namespace bmf::serve {
+
+enum class MessageType : std::uint8_t {
+  kPing = 0,
+  kPublish = 1,
+  kEvaluate = 2,
+  kList = 3,
+  kShutdown = 4,
+};
+
+struct PingRequest {};
+struct PublishRequest {
+  std::string name;
+  std::vector<std::uint8_t> blob;  // BMFB bytes, decoded by the server
+};
+struct EvaluateRequest {
+  std::string name;
+  std::uint64_t version = 0;  // 0 = latest
+  linalg::Matrix points;      // B x R
+};
+struct ListRequest {};
+struct ShutdownRequest {};
+
+using Request = std::variant<PingRequest, PublishRequest, EvaluateRequest,
+                             ListRequest, ShutdownRequest>;
+
+struct EvaluateResponse {
+  std::uint64_t version = 0;  // the version actually evaluated
+  linalg::Vector values;      // B predictions, row order
+};
+
+// ---- Request codecs --------------------------------------------------------
+
+std::vector<std::uint8_t> encode_request(const Request& request);
+Request decode_request(const std::uint8_t* data, std::size_t size);
+Request decode_request(const std::vector<std::uint8_t>& frame);
+
+// ---- Response codecs -------------------------------------------------------
+
+/// Success frames: status byte kOk + the result body.
+std::vector<std::uint8_t> encode_ok();
+std::vector<std::uint8_t> encode_publish_response(std::uint64_t version);
+std::vector<std::uint8_t> encode_evaluate_response(
+    const EvaluateResponse& response);
+std::vector<std::uint8_t> encode_list_response(
+    const std::vector<ModelInfo>& models);
+
+/// Error frame: non-kOk status + context + message.
+std::vector<std::uint8_t> encode_error(const ServeError& error);
+
+/// Client-side gate: if `frame` carries kOk, returns a reader positioned at
+/// the result body; otherwise rethrows the wire error as a ServeError.
+/// The returned pair is (body pointer, body size) into `frame`'s storage.
+std::pair<const std::uint8_t*, std::size_t> expect_ok(
+    const std::vector<std::uint8_t>& frame);
+
+/// Decoders for the kOk result bodies (inverses of the encoders above).
+std::uint64_t decode_publish_response(const std::uint8_t* body,
+                                      std::size_t size);
+EvaluateResponse decode_evaluate_response(const std::uint8_t* body,
+                                          std::size_t size);
+std::vector<ModelInfo> decode_list_response(const std::uint8_t* body,
+                                            std::size_t size);
+
+}  // namespace bmf::serve

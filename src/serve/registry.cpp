@@ -1,0 +1,98 @@
+#include "serve/registry.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace bmf::serve {
+
+ModelRegistry::ModelRegistry(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0)
+    throw std::invalid_argument("ModelRegistry: capacity must be >= 1");
+}
+
+std::uint64_t ModelRegistry::publish(const std::string& name,
+                                     FittedModel model) {
+  auto entry = std::make_shared<ModelEntry>();
+  entry->name = name;
+  entry->model = std::move(model);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  Record& record = records_[name];
+  entry->version = record.next_version++;
+  record.versions[entry->version] = Slot{entry, ++clock_};
+  ++entries_;
+  evict_locked(entry.get());
+  return entry->version;
+}
+
+std::shared_ptr<const ModelEntry> ModelRegistry::latest(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = records_.find(name);
+  if (it == records_.end() || it->second.versions.empty()) return nullptr;
+  Slot& slot = it->second.versions.rbegin()->second;
+  slot.last_used = ++clock_;
+  return slot.entry;
+}
+
+std::shared_ptr<const ModelEntry> ModelRegistry::at(
+    const std::string& name, std::uint64_t version) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = records_.find(name);
+  if (it == records_.end()) return nullptr;
+  auto vit = it->second.versions.find(version);
+  if (vit == it->second.versions.end()) return nullptr;
+  vit->second.last_used = ++clock_;
+  return vit->second.entry;
+}
+
+std::vector<ModelInfo> ModelRegistry::list() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ModelInfo> rows;
+  rows.reserve(records_.size());
+  for (const auto& [name, record] : records_) {
+    if (record.versions.empty()) continue;
+    const Slot& newest = record.versions.rbegin()->second;
+    ModelInfo info;
+    info.name = name;
+    info.latest_version = newest.entry->version;
+    info.retained = record.versions.size();
+    info.dimension = newest.entry->model.model.basis().dimension();
+    info.num_terms = newest.entry->model.model.num_terms();
+    rows.push_back(std::move(info));
+  }
+  return rows;
+}
+
+std::size_t ModelRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_;
+}
+
+void ModelRegistry::evict_locked(const ModelEntry* spare) {
+  while (entries_ > capacity_) {
+    std::map<std::string, Record>::iterator victim_record = records_.end();
+    std::map<std::uint64_t, Slot>::iterator victim_slot;
+    std::uint64_t oldest = 0;
+    bool found = false;
+    for (auto rit = records_.begin(); rit != records_.end(); ++rit) {
+      for (auto vit = rit->second.versions.begin();
+           vit != rit->second.versions.end(); ++vit) {
+        if (vit->second.entry.get() == spare) continue;
+        if (!found || vit->second.last_used < oldest) {
+          oldest = vit->second.last_used;
+          victim_record = rit;
+          victim_slot = vit;
+          found = true;
+        }
+      }
+    }
+    if (!found) return;  // only the just-published entry remains
+    victim_record->second.versions.erase(victim_slot);
+    --entries_;
+    // Keep the Record (and its next_version counter) even when empty so a
+    // republished name continues its monotonic version sequence.
+  }
+}
+
+}  // namespace bmf::serve

@@ -1,0 +1,96 @@
+// In-memory versioned model registry: the daemon's source of truth.
+//
+// Publication scheme: publishing under a name assigns the next monotonic
+// version for that name (1, 2, 3, ... — never reused, even after eviction)
+// and installs an immutable, refcounted ModelEntry. Readers resolve a name
+// (latest) or an exact (name, version) to a shared_ptr<const ModelEntry>
+// under a short critical section; evaluation then proceeds entirely on the
+// snapshot, so a concurrent publish hot-swaps the "latest" pointer without
+// ever invalidating an in-flight evaluation — an evicted or superseded
+// entry dies only when its last reader drops it.
+//
+// Memory bound: the registry retains at most `capacity` entries across all
+// names. On overflow the least-recently-*used* entry (resolved or
+// published longest ago) is evicted; the entry being published is never
+// the victim. An evicted (name, version) resolves to nullptr afterwards,
+// like a version that never existed — clients distinguish the two by the
+// monotonicity of published versions.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/fitted_model.hpp"
+
+namespace bmf::serve {
+
+/// An immutable published model. Handed out by shared_ptr; safe to read
+/// from any thread for as long as the pointer is held.
+struct ModelEntry {
+  std::string name;
+  std::uint64_t version = 0;
+  FittedModel model;
+};
+
+/// Snapshot row returned by list() (one per live name).
+struct ModelInfo {
+  std::string name;
+  std::uint64_t latest_version = 0;  // highest version currently retained
+  std::uint64_t retained = 0;        // number of retained versions
+  std::uint64_t dimension = 0;       // R of the latest retained version
+  std::uint64_t num_terms = 0;       // M of the latest retained version
+};
+
+class ModelRegistry {
+ public:
+  /// `capacity` >= 1 bounds the total retained entries (all names).
+  explicit ModelRegistry(std::size_t capacity = 64);
+
+  /// Publish a new version of `name`; returns the assigned version.
+  /// Evicts the LRU entry (never the new one) while over capacity.
+  std::uint64_t publish(const std::string& name, FittedModel model);
+
+  /// Highest retained version of `name`, or nullptr if the name is unknown
+  /// (or every version of it has been evicted).
+  std::shared_ptr<const ModelEntry> latest(const std::string& name) const;
+
+  /// Exact (name, version), or nullptr if unknown/evicted.
+  std::shared_ptr<const ModelEntry> at(const std::string& name,
+                                       std::uint64_t version) const;
+
+  /// One row per name that still retains at least one version, sorted by
+  /// name (std::map order — deterministic).
+  std::vector<ModelInfo> list() const;
+
+  /// Total retained entries across all names.
+  std::size_t size() const;
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct Slot {
+    std::shared_ptr<const ModelEntry> entry;
+    std::uint64_t last_used = 0;  // LRU clock stamp
+  };
+  struct Record {
+    std::uint64_t next_version = 1;  // survives eviction: versions never reuse
+    std::map<std::uint64_t, Slot> versions;
+  };
+
+  /// Drop LRU entries until size <= capacity, sparing `spare`. Caller holds
+  /// mu_.
+  void evict_locked(const ModelEntry* spare);
+
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  mutable std::uint64_t clock_ = 0;
+  // mutable: latest()/at() are logically const lookups but stamp last_used.
+  mutable std::map<std::string, Record> records_;
+  std::size_t entries_ = 0;
+};
+
+}  // namespace bmf::serve

@@ -1,0 +1,121 @@
+#include "serve/server.hpp"
+
+#include <exception>
+
+#include <unistd.h>
+
+#include "serve/model_codec.hpp"
+#include "serve/protocol.hpp"
+
+namespace bmf::serve {
+
+namespace {
+/// Accept-poll period: the latency bound on noticing request_stop().
+constexpr int kAcceptPollMs = 100;
+}  // namespace
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)),
+      registry_(options_.registry_capacity),
+      evaluator_(options_.evaluator_block_rows),
+      listen_fd_(listen_unix(options_.socket_path)) {}
+
+Server::~Server() { ::unlink(options_.socket_path.c_str()); }
+
+void Server::run() {
+  while (!stop_requested()) {
+    std::optional<UniqueFd> conn =
+        accept_connection(listen_fd_.get(), kAcceptPollMs);
+    if (!conn) continue;  // poll tick: re-check the stop flag
+    serve_connection(conn->get());
+  }
+}
+
+void Server::serve_connection(int fd) {
+  while (!stop_requested()) {
+    std::optional<std::vector<std::uint8_t>> frame;
+    try {
+      frame = read_frame(fd, options_.request_timeout_ms,
+                         options_.max_frame_bytes);
+    } catch (const ServeError& e) {
+      // Transport-level failure (timeout, oversized or truncated frame).
+      // Best-effort error reply, then drop the connection: the stream
+      // position is unknown, so it cannot carry further frames.
+      try {
+        write_frame(fd, encode_error(e), options_.request_timeout_ms,
+                    options_.max_frame_bytes);
+      } catch (const ServeError&) {
+      }
+      return;
+    }
+    if (!frame) return;  // clean EOF between frames
+    if (!handle_request(fd, *frame)) return;
+  }
+}
+
+bool Server::handle_request(int fd, const std::vector<std::uint8_t>& frame) {
+  std::vector<std::uint8_t> reply;
+  bool keep_open = true;
+  bool shutdown = false;
+  try {
+    const Request request = decode_request(frame);
+    if (std::holds_alternative<PingRequest>(request)) {
+      reply = encode_ok();
+    } else if (const auto* pub = std::get_if<PublishRequest>(&request)) {
+      FittedModel model = deserialize_model(pub->blob);
+      const std::uint64_t version = registry_.publish(pub->name,
+                                                      std::move(model));
+      reply = encode_publish_response(version);
+    } else if (const auto* ev = std::get_if<EvaluateRequest>(&request)) {
+      std::shared_ptr<const ModelEntry> entry =
+          ev->version == 0 ? registry_.latest(ev->name)
+                           : registry_.at(ev->name, ev->version);
+      if (!entry)
+        throw ServeError(Status::kNotFound, "evaluate",
+                         ev->version == 0
+                             ? "no model named '" + ev->name + "'"
+                             : "no version " + std::to_string(ev->version) +
+                                   " of model '" + ev->name +
+                                   "' (never published, or evicted)");
+      if (ev->points.cols() != entry->model.model.basis().dimension())
+        throw ServeError(
+            Status::kBadRequest, "evaluate",
+            "batch has " + std::to_string(ev->points.cols()) +
+                " column(s), model '" + ev->name + "' v" +
+                std::to_string(entry->version) + " expects " +
+                std::to_string(entry->model.model.basis().dimension()));
+      EvaluateResponse response;
+      response.version = entry->version;
+      evaluator_.evaluate_into(entry->model.model, ev->points,
+                               response.values);
+      reply = encode_evaluate_response(response);
+    } else if (std::holds_alternative<ListRequest>(request)) {
+      reply = encode_list_response(registry_.list());
+    } else {  // ShutdownRequest
+      reply = encode_ok();
+      shutdown = true;
+      keep_open = false;
+    }
+  } catch (const ServeError& e) {
+    reply = encode_error(e);
+  } catch (const std::exception& e) {
+    // Anything else (contract violation, bad_alloc, ...) is a server-side
+    // bug surface: report it structurally rather than dying silently.
+    reply = encode_error(
+        ServeError(Status::kInternal, "handle_request", e.what()));
+  }
+
+  // Count before replying so a client that has seen its reply is always
+  // included in the total, even when it reads the counter immediately.
+  requests_served_.fetch_add(1);
+  try {
+    write_frame(fd, reply, options_.request_timeout_ms,
+                options_.max_frame_bytes);
+  } catch (const ServeError&) {
+    return false;  // peer gone; nothing left to do for this connection
+  }
+  if (shutdown) request_stop();
+  return keep_open;
+}
+
+}  // namespace bmf::serve

@@ -1,0 +1,89 @@
+// The bmf_served daemon core: registry + evaluator behind the protocol.
+//
+// Lifecycle: construct (binds and listens on the UNIX socket immediately,
+// so a caller that sees the constructor return can connect), then run()
+// blocks in the accept loop until a kShutdown request arrives or
+// request_stop() is called (signal-handler safe: it only stores to an
+// atomic). Connections are served one at a time, each request end to end —
+// throughput comes from batching (one evaluate request carries thousands
+// of points through the parallel design-matrix/gemv path), not from
+// interleaving protocol state machines. Every request has a deadline; a
+// client that stalls mid-frame times out and is disconnected without
+// affecting the next connection. Request failures — corrupt model blob,
+// unknown name, malformed frame — produce a structured error reply
+// (status + context + message, the ServeError triple) and the connection
+// stays usable; only transport-level failures drop the connection.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/batch_evaluator.hpp"
+#include "serve/registry.hpp"
+#include "serve/wire.hpp"
+
+namespace bmf::serve {
+
+struct ServerOptions {
+  /// UNIX-domain socket path to listen on. Required.
+  std::string socket_path;
+  /// Registry LRU bound (total retained model versions).
+  std::size_t registry_capacity = 64;
+  /// Per-request deadline for reading a frame and writing its reply.
+  int request_timeout_ms = 5000;
+  /// Upper bound on a request/response frame payload.
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Rows per design-matrix tile in the evaluator.
+  std::size_t evaluator_block_rows = 2048;
+};
+
+class Server {
+ public:
+  /// Binds and listens; throws ServeError if the socket cannot be set up.
+  explicit Server(ServerOptions options);
+
+  /// Unlinks the socket path.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Accept/serve loop; returns after a graceful shutdown (kShutdown
+  /// request or request_stop()). Call from one thread only.
+  void run();
+
+  /// Ask run() to return at its next accept-poll tick (<= ~100 ms).
+  /// Async-signal-safe: only performs a relaxed atomic store.
+  void request_stop() noexcept { stop_.store(true, std::memory_order_relaxed); }
+
+  bool stop_requested() const noexcept {
+    return stop_.load(std::memory_order_relaxed);
+  }
+
+  const ModelRegistry& registry() const { return registry_; }
+  ModelRegistry& registry() { return registry_; }
+  const ServerOptions& options() const { return options_; }
+
+  /// Requests served since construction (for logs/tests; any thread).
+  std::uint64_t requests_served() const { return requests_served_.load(); }
+
+ private:
+  /// Serve one connection until EOF/stop/transport error.
+  void serve_connection(int fd);
+
+  /// Decode, dispatch, and reply to one request frame. Returns false when
+  /// the connection should close (shutdown request).
+  bool handle_request(int fd, const std::vector<std::uint8_t>& frame);
+
+  ServerOptions options_;
+  ModelRegistry registry_;
+  BatchEvaluator evaluator_;
+  UniqueFd listen_fd_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> requests_served_{0};
+};
+
+}  // namespace bmf::serve

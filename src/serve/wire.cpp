@@ -1,0 +1,234 @@
+#include "serve/wire.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "serve/error.hpp"
+
+namespace bmf::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[noreturn]] void sys_fail(const char* context, const std::string& what) {
+  throw ServeError(Status::kInternal, context,
+                   what + ": " + std::strerror(errno));
+}
+
+/// Milliseconds left before `deadline` (clamped to >= 0).
+int remaining_ms(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        deadline - Clock::now())
+                        .count();
+  return left > 0 ? static_cast<int>(left) : 0;
+}
+
+/// poll() for `events` on fd until the deadline; throws kTimeout if the
+/// deadline passes first. Retries EINTR with the remaining time.
+void wait_ready(int fd, short events, Clock::time_point deadline,
+                const char* context) {
+  for (;;) {
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = events;
+    pfd.revents = 0;
+    const int left = remaining_ms(deadline);
+    const int rc = ::poll(&pfd, 1, left);
+    if (rc > 0) return;  // readable/writable (or HUP/ERR: let the I/O fail)
+    if (rc == 0)
+      throw ServeError(Status::kTimeout, context,
+                       "deadline expired waiting for the peer");
+    if (errno != EINTR) sys_fail(context, "poll");
+  }
+}
+
+sockaddr_un make_unix_address(const std::string& path, const char* context) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path))
+    throw ServeError(Status::kInternal, context,
+                     "socket path '" + path + "' is empty or longer than " +
+                         std::to_string(sizeof(addr.sun_path) - 1) +
+                         " bytes");
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+void encode_length(std::uint8_t out[4], std::uint32_t n) {
+  for (int i = 0; i < 4; ++i)
+    out[i] = static_cast<std::uint8_t>(n >> (8 * i));
+}
+
+std::uint32_t decode_length(const std::uint8_t in[4]) {
+  std::uint32_t n = 0;
+  for (int i = 0; i < 4; ++i) n |= std::uint32_t{in[i]} << (8 * i);
+  return n;
+}
+
+/// Read exactly n bytes. Returns false on EOF at offset 0 when
+/// `eof_ok_at_start`; EOF anywhere else throws.
+bool read_exact(int fd, std::uint8_t* out, std::size_t n,
+                Clock::time_point deadline, bool eof_ok_at_start,
+                const char* context) {
+  std::size_t done = 0;
+  while (done < n) {
+    wait_ready(fd, POLLIN, deadline, context);
+    const ssize_t rc = ::read(fd, out + done, n - done);
+    if (rc > 0) {
+      done += static_cast<std::size_t>(rc);
+      continue;
+    }
+    if (rc == 0) {
+      if (done == 0 && eof_ok_at_start) return false;
+      throw ServeError(Status::kBadRequest, context,
+                       "connection closed mid-frame (" +
+                           std::to_string(done) + " of " + std::to_string(n) +
+                           " byte(s) received)");
+    }
+    if (errno != EINTR && errno != EAGAIN && errno != EWOULDBLOCK)
+      sys_fail(context, "read");
+  }
+  return true;
+}
+
+void write_exact(int fd, const std::uint8_t* data, std::size_t n,
+                 Clock::time_point deadline, const char* context) {
+  std::size_t done = 0;
+  while (done < n) {
+    wait_ready(fd, POLLOUT, deadline, context);
+    const ssize_t rc = ::send(fd, data + done, n - done, MSG_NOSIGNAL);
+    if (rc >= 0) {
+      done += static_cast<std::size_t>(rc);
+      continue;
+    }
+    if (errno == EPIPE || errno == ECONNRESET)
+      throw ServeError(Status::kInternal, context,
+                       "connection closed by the peer mid-write");
+    if (errno != EINTR && errno != EAGAIN && errno != EWOULDBLOCK)
+      sys_fail(context, "send");
+  }
+}
+
+Clock::time_point deadline_from(int timeout_ms) {
+  return Clock::now() + std::chrono::milliseconds(timeout_ms);
+}
+
+}  // namespace
+
+UniqueFd& UniqueFd::operator=(UniqueFd&& other) noexcept {
+  if (this != &other) reset(other.release());
+  return *this;
+}
+
+int UniqueFd::release() {
+  const int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+void UniqueFd::reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+UniqueFd listen_unix(const std::string& path, int backlog) {
+  const char* context = "listen_unix";
+  const sockaddr_un addr = make_unix_address(path, context);
+  UniqueFd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) sys_fail(context, "socket");
+  ::unlink(path.c_str());  // stale socket file from a previous run
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0)
+    sys_fail(context, "bind " + path);
+  if (::listen(fd.get(), backlog) != 0) sys_fail(context, "listen " + path);
+  return fd;
+}
+
+UniqueFd connect_unix(const std::string& path, int timeout_ms) {
+  const char* context = "connect_unix";
+  const auto deadline = deadline_from(timeout_ms);
+  const sockaddr_un addr = make_unix_address(path, context);
+  for (;;) {
+    UniqueFd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!fd.valid()) sys_fail(context, "socket");
+    if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0)
+      return fd;
+    // ECONNREFUSED/ENOENT while the daemon is still coming up: retry
+    // until the deadline so "start daemon; connect" scripts need no sleep.
+    if (errno != ECONNREFUSED && errno != ENOENT && errno != EINTR)
+      sys_fail(context, "connect " + path);
+    if (remaining_ms(deadline) == 0)
+      throw ServeError(Status::kTimeout, context,
+                       "no daemon accepted " + path + " within " +
+                           std::to_string(timeout_ms) + " ms");
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+std::optional<UniqueFd> accept_connection(int listen_fd, int timeout_ms) {
+  const char* context = "accept_connection";
+  const auto deadline = deadline_from(timeout_ms);
+  for (;;) {
+    try {
+      wait_ready(listen_fd, POLLIN, deadline, context);
+    } catch (const ServeError& e) {
+      if (e.status() == Status::kTimeout) return std::nullopt;
+      throw;
+    }
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) return UniqueFd(fd);
+    if (errno != EINTR && errno != ECONNABORTED && errno != EAGAIN &&
+        errno != EWOULDBLOCK)
+      sys_fail(context, "accept");
+  }
+}
+
+void write_frame(int fd, const std::uint8_t* data, std::size_t size,
+                 int timeout_ms, std::size_t max_frame) {
+  const char* context = "write_frame";
+  if (size > max_frame)
+    throw ServeError(Status::kTooLarge, context,
+                     "frame of " + std::to_string(size) +
+                         " byte(s) exceeds the " + std::to_string(max_frame) +
+                         "-byte bound");
+  const auto deadline = deadline_from(timeout_ms);
+  std::uint8_t prefix[4];
+  encode_length(prefix, static_cast<std::uint32_t>(size));
+  write_exact(fd, prefix, sizeof(prefix), deadline, context);
+  write_exact(fd, data, size, deadline, context);
+}
+
+void write_frame(int fd, const std::vector<std::uint8_t>& frame,
+                 int timeout_ms, std::size_t max_frame) {
+  write_frame(fd, frame.data(), frame.size(), timeout_ms, max_frame);
+}
+
+std::optional<std::vector<std::uint8_t>> read_frame(int fd, int timeout_ms,
+                                                    std::size_t max_frame) {
+  const char* context = "read_frame";
+  const auto deadline = deadline_from(timeout_ms);
+  std::uint8_t prefix[4];
+  if (!read_exact(fd, prefix, sizeof(prefix), deadline,
+                  /*eof_ok_at_start=*/true, context))
+    return std::nullopt;
+  const std::uint32_t size = decode_length(prefix);
+  if (size > max_frame)
+    throw ServeError(Status::kTooLarge, context,
+                     "length prefix announces " + std::to_string(size) +
+                         " byte(s), bound is " + std::to_string(max_frame));
+  std::vector<std::uint8_t> payload(size);
+  read_exact(fd, payload.data(), size, deadline, /*eof_ok_at_start=*/false,
+             context);
+  return payload;
+}
+
+}  // namespace bmf::serve

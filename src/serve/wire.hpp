@@ -1,0 +1,78 @@
+// POSIX-socket transport: length-prefixed frames with deadlines.
+//
+// A frame on the wire is a u32 little-endian payload length followed by
+// that many bytes. Both sides enforce a maximum frame size *before*
+// allocating (a hostile or corrupt length prefix cannot trigger a huge
+// allocation) and a per-operation deadline: every read/write is preceded
+// by poll() with the time remaining, so a stalled peer fails with
+// ServeError(kTimeout) instead of hanging the daemon. Partial reads and
+// writes (short recv/send, EINTR) are handled by looping.
+//
+// Sockets are AF_UNIX SOCK_STREAM — the serving story here is many local
+// clients (simulation jobs, optimization loops) hammering one daemon;
+// nothing in the framing is UNIX-specific, so a TCP listener would slot in
+// behind the same read_frame/write_frame.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace bmf::serve {
+
+/// Default bound on a single frame's payload (64 MiB: a 1M-point batch
+/// over 8 variables, or a ~4M-term model blob).
+inline constexpr std::size_t kDefaultMaxFrameBytes = std::size_t{64} << 20;
+
+/// Move-only RAII file descriptor (close on destruction; -1 = empty).
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept;
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+  ~UniqueFd() { reset(); }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release();
+  void reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Create, bind, and listen on a UNIX-domain stream socket. An existing
+/// socket file at `path` is unlinked first (stale leftover from a crashed
+/// daemon). Throws ServeError(kInternal) on failure.
+UniqueFd listen_unix(const std::string& path, int backlog = 16);
+
+/// Connect to a listening UNIX-domain socket, waiting up to `timeout_ms`
+/// for the connection to be accepted. Throws ServeError(kTimeout /
+/// kInternal).
+UniqueFd connect_unix(const std::string& path, int timeout_ms);
+
+/// Accept one connection, waiting up to `timeout_ms`. Returns an empty
+/// optional on timeout (the caller's chance to poll its stop flag).
+std::optional<UniqueFd> accept_connection(int listen_fd, int timeout_ms);
+
+/// Write one frame (length prefix + payload) within `timeout_ms`.
+/// Throws ServeError(kTooLarge) if size > max_frame, kTimeout on deadline,
+/// kInternal on a broken connection.
+void write_frame(int fd, const std::uint8_t* data, std::size_t size,
+                 int timeout_ms, std::size_t max_frame = kDefaultMaxFrameBytes);
+void write_frame(int fd, const std::vector<std::uint8_t>& frame,
+                 int timeout_ms, std::size_t max_frame = kDefaultMaxFrameBytes);
+
+/// Read one frame within `timeout_ms`. Returns an empty optional on a
+/// clean EOF *before any byte* (peer closed between frames); throws
+/// ServeError(kBadRequest) on EOF mid-frame, kTooLarge on an oversized
+/// length prefix, kTimeout on deadline.
+std::optional<std::vector<std::uint8_t>> read_frame(
+    int fd, int timeout_ms, std::size_t max_frame = kDefaultMaxFrameBytes);
+
+}  // namespace bmf::serve

@@ -75,6 +75,46 @@ TEST(Csv, Errors) {
     os << "1,abc\n";
   }
   EXPECT_THROW(read_csv(path), std::runtime_error);
+  {
+    // A number with trailing garbage must still be rejected...
+    std::ofstream os(path);
+    os << "1.5abc,2\n";
+  }
+  EXPECT_THROW(read_csv(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+// Files exported from Windows tools arrive with CRLF line endings and
+// often padded cells; both must parse identically to the clean file.
+TEST(Csv, ToleratesCrlfLineEndings) {
+  const std::string path = ::testing::TempDir() + "/bmf_csv_crlf.csv";
+  {
+    std::ofstream os(path, std::ios::binary);
+    os << "a,b\r\n1.5,-2.0\r\n3.25,4.0\r\n";
+  }
+  std::vector<std::string> header;
+  linalg::Matrix r = read_csv(path, true, &header);
+  ASSERT_EQ(header.size(), 2u);
+  EXPECT_EQ(header[1], "b") << "header cell must not keep the CR";
+  ASSERT_EQ(r.rows(), 2u);
+  ASSERT_EQ(r.cols(), 2u);
+  EXPECT_EQ(r(0, 1), -2.0);
+  EXPECT_EQ(r(1, 1), 4.0);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, ToleratesWhitespacePaddedCells) {
+  const std::string path = ::testing::TempDir() + "/bmf_csv_pad.csv";
+  {
+    std::ofstream os(path, std::ios::binary);
+    os << " 1.5 ,\t-2.0\t\r\n3.25 , 4.0\r\n";
+  }
+  linalg::Matrix r = read_csv(path, false);
+  ASSERT_EQ(r.rows(), 2u);
+  ASSERT_EQ(r.cols(), 2u);
+  EXPECT_EQ(r(0, 0), 1.5);
+  EXPECT_EQ(r(0, 1), -2.0);
+  EXPECT_EQ(r(1, 1), 4.0);
   std::remove(path.c_str());
 }
 

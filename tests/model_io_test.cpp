@@ -4,6 +4,8 @@
 
 #include <cstdio>
 #include <fstream>
+#include <iterator>
+#include <string>
 
 #include "stats/rng.hpp"
 
@@ -88,6 +90,94 @@ TEST(ModelIo, LoadRejectsOutOfRangeVariable) {
     os << "bmf-model v1\ndimension 2\nterm 1.0 5:1\n";
   }
   EXPECT_THROW(load_model(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+// The v2 format declares its term count and ends with an explicit
+// trailer, so a partially written or truncated file can never load as a
+// smaller-but-valid model.
+TEST(ModelIo, DetectsTruncatedFile) {
+  const std::string path = temp_path("trunc.bmfmodel");
+  basis::PerformanceModel m(basis::BasisSet::linear(3),
+                            {1.0, 2.0, 3.0, 4.0});
+  save_model(path, m);
+  std::string full;
+  {
+    std::ifstream is(path, std::ios::binary);
+    full.assign(std::istreambuf_iterator<char>(is),
+                std::istreambuf_iterator<char>());
+  }
+  ASSERT_NE(full.find("end"), std::string::npos);
+  // Cut the file after each complete line except the last: every prefix
+  // must be rejected, not loaded as a model with fewer terms.
+  for (std::size_t pos = full.find('\n');
+       pos != std::string::npos && pos + 1 < full.size();
+       pos = full.find('\n', pos + 1)) {
+    {
+      std::ofstream os(path, std::ios::binary | std::ios::trunc);
+      os << full.substr(0, pos + 1);
+    }
+    EXPECT_THROW(load_model(path), std::runtime_error)
+        << "prefix of " << pos + 1 << " bytes must not load";
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ModelIo, RejectsTermCountMismatch) {
+  const std::string path = temp_path("count.bmfmodel");
+  {
+    std::ofstream os(path);
+    os << "bmf-model v2\ndimension 2\nterms 3\nterm 1.0\nterm 2.0 0:1\nend\n";
+  }
+  try {
+    load_model(path);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("declared 3"), std::string::npos)
+        << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ModelIo, RejectsMissingEndTrailer) {
+  const std::string path = temp_path("noend.bmfmodel");
+  {
+    std::ofstream os(path);
+    os << "bmf-model v2\ndimension 2\nterms 2\nterm 1.0\nterm 2.0 0:1\n";
+  }
+  EXPECT_THROW(load_model(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(ModelIo, SavedFilesUseV2WithTrailer) {
+  const std::string path = temp_path("v2.bmfmodel");
+  basis::PerformanceModel m(basis::BasisSet::linear(2), {1.0, 2.0, 3.0});
+  save_model(path, m);
+  std::ifstream is(path);
+  std::string first;
+  std::getline(is, first);
+  EXPECT_EQ(first, "bmf-model v2");
+  std::string line, last;
+  bool saw_terms = false;
+  while (std::getline(is, line)) {
+    if (line.rfind("terms ", 0) == 0) saw_terms = true;
+    if (!line.empty()) last = line;
+  }
+  EXPECT_TRUE(saw_terms);
+  EXPECT_EQ(last, "end");
+  std::remove(path.c_str());
+}
+
+TEST(ModelIo, LoadToleratesCrlf) {
+  const std::string path = temp_path("crlf.bmfmodel");
+  {
+    std::ofstream os(path, std::ios::binary);
+    os << "bmf-model v2\r\ndimension 2\r\nterms 2\r\nterm 1.5\r\n"
+          "term -2.0 1:2\r\nend\r\n";
+  }
+  basis::PerformanceModel r = load_model(path);
+  EXPECT_EQ(r.num_terms(), 2u);
+  EXPECT_EQ(r.coefficients()[0], 1.5);
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,117 @@
+#include "serve/batch_evaluator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "parallel/thread_pool.hpp"
+#include "stats/rng.hpp"
+
+namespace bmf::serve {
+namespace {
+
+struct ScopedThreads {
+  explicit ScopedThreads(std::size_t n) { parallel::set_num_threads(n); }
+  ~ScopedThreads() { parallel::set_num_threads(0); }
+};
+
+basis::PerformanceModel make_model(std::size_t dim, unsigned degree,
+                                   std::uint64_t seed) {
+  auto b = degree <= 1 ? basis::BasisSet::linear(dim)
+                       : basis::BasisSet::linear_plus_diagonal_quadratic(dim);
+  stats::Rng rng(seed);
+  linalg::Vector coeffs(b.size());
+  for (double& c : coeffs) c = rng.normal();
+  return basis::PerformanceModel(b, coeffs);
+}
+
+linalg::Matrix make_points(std::size_t rows, std::size_t cols,
+                           std::uint64_t seed) {
+  stats::Rng rng(seed);
+  linalg::Matrix p(rows, cols);
+  for (std::size_t i = 0; i < p.size(); ++i) p.data()[i] = rng.normal();
+  return p;
+}
+
+TEST(BatchEvaluator, MatchesUnblockedDesignPathBitExact) {
+  const auto model = make_model(6, 2, 3);
+  const auto points = make_points(37, 6, 4);
+  const BatchEvaluator evaluator(8);  // forces several partial blocks
+  const linalg::Vector batched = evaluator.evaluate(model, points);
+  ASSERT_EQ(batched.size(), points.rows());
+  // Blocking must not change a single bit relative to one unblocked
+  // design-matrix + gemv pass over the whole batch.
+  const linalg::Vector whole =
+      model.predict_design(basis::design_matrix(model.basis(), points));
+  EXPECT_EQ(batched, whole);
+  // The scalar predict() path sums terms in a different order, so it is a
+  // numerical (not bitwise) reference: cancellation can amplify the
+  // reordering to ~1e-13 relative even though both sums are correct.
+  for (std::size_t i = 0; i < points.rows(); ++i) {
+    const double reference = model.predict(points.row(i));
+    EXPECT_NEAR(batched[i], reference,
+                1e-12 * std::max(1.0, std::abs(reference)))
+        << "row " << i;
+  }
+}
+
+TEST(BatchEvaluator, BlockSizeDoesNotChangeBits) {
+  const auto model = make_model(5, 1, 9);
+  const auto points = make_points(100, 5, 10);
+  const linalg::Vector a = BatchEvaluator(7).evaluate(model, points);
+  const linalg::Vector b = BatchEvaluator(100).evaluate(model, points);
+  const linalg::Vector c = BatchEvaluator(1).evaluate(model, points);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, c);
+}
+
+TEST(BatchEvaluator, BitIdenticalAcrossThreadCounts) {
+  const auto model = make_model(12, 2, 21);
+  const auto points = make_points(513, 12, 22);
+  const BatchEvaluator evaluator;
+  linalg::Vector reference;
+  {
+    ScopedThreads one(1);
+    reference = evaluator.evaluate(model, points);
+  }
+  for (std::size_t threads : {2u, 4u}) {
+    ScopedThreads n(threads);
+    const linalg::Vector got = evaluator.evaluate(model, points);
+    ASSERT_EQ(got.size(), reference.size());
+    EXPECT_EQ(0, std::memcmp(got.data(), reference.data(),
+                             got.size() * sizeof(double)))
+        << threads << " threads";
+  }
+}
+
+TEST(BatchEvaluator, EmptyBatch) {
+  const auto model = make_model(3, 1, 2);
+  const linalg::Matrix points(0, 3);
+  EXPECT_TRUE(BatchEvaluator().evaluate(model, points).empty());
+}
+
+TEST(BatchEvaluator, RejectsDimensionMismatch) {
+  const auto model = make_model(3, 1, 2);
+  const auto points = make_points(4, 5, 1);
+  EXPECT_THROW(BatchEvaluator().evaluate(model, points),
+               std::invalid_argument);
+}
+
+TEST(BatchEvaluator, RejectsZeroBlockRows) {
+  EXPECT_THROW(BatchEvaluator(0), std::invalid_argument);
+}
+
+TEST(BatchEvaluator, EvaluateIntoReusesStorage) {
+  const auto model = make_model(4, 1, 5);
+  const auto points = make_points(16, 4, 6);
+  const BatchEvaluator evaluator;
+  linalg::Vector out(999, 0.0);  // wrong size on purpose
+  evaluator.evaluate_into(model, points, out);
+  ASSERT_EQ(out.size(), 16u);
+  EXPECT_EQ(out, evaluator.evaluate(model, points));
+}
+
+}  // namespace
+}  // namespace bmf::serve

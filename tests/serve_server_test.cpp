@@ -1,0 +1,227 @@
+// End-to-end daemon tests over a real UNIX-domain socket: a Server on a
+// background thread, Clients in the test thread. Also the TSan proof that
+// the registry/evaluator stack is race-free under a live server.
+#include "serve/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <thread>
+
+#include "serve/client.hpp"
+#include "serve/model_codec.hpp"
+#include "serve/protocol.hpp"
+#include "stats/rng.hpp"
+
+namespace bmf::serve {
+namespace {
+
+FittedModel make_model(std::size_t dim, std::uint64_t seed) {
+  auto b = basis::BasisSet::linear(dim);
+  stats::Rng rng(seed);
+  linalg::Vector coeffs(b.size());
+  for (double& c : coeffs) c = rng.normal();
+  FittedModel fitted;
+  fitted.model = basis::PerformanceModel(b, coeffs);
+  fitted.provenance = PriorProvenance::kZeroMean;
+  fitted.tau = 0.5;
+  fitted.num_samples = 40;
+  return fitted;
+}
+
+linalg::Matrix make_points(std::size_t rows, std::size_t cols,
+                           std::uint64_t seed) {
+  stats::Rng rng(seed);
+  linalg::Matrix p(rows, cols);
+  for (std::size_t i = 0; i < p.size(); ++i) p.data()[i] = rng.normal();
+  return p;
+}
+
+/// Server on a background thread; joins on destruction (after stop).
+class ServerFixture {
+ public:
+  explicit ServerFixture(const char* tag, ServerOptions options = {}) {
+    path_ = ::testing::TempDir() + "/bmf_serve_" + tag + "_" +
+            std::to_string(::getpid()) + ".sock";
+    options.socket_path = path_;
+    server_ = std::make_unique<Server>(std::move(options));
+    thread_ = std::thread([this] { server_->run(); });
+  }
+
+  ~ServerFixture() {
+    server_->request_stop();
+    thread_.join();
+    std::remove(path_.c_str());
+  }
+
+  const std::string& path() const { return path_; }
+  Server& server() { return *server_; }
+
+ private:
+  std::string path_;
+  std::unique_ptr<Server> server_;
+  std::thread thread_;
+};
+
+TEST(ServeServer, PingPublishEvaluateList) {
+  ServerFixture fixture("basic");
+  Client client(fixture.path());
+  client.ping();
+
+  const FittedModel model = make_model(4, 1);
+  EXPECT_EQ(client.publish("ro_power", model), 1u);
+  EXPECT_EQ(client.publish("ro_power", model), 2u);
+
+  const auto points = make_points(50, 4, 2);
+  const auto result = client.evaluate("ro_power", points);
+  EXPECT_EQ(result.version, 2u);
+  ASSERT_EQ(result.values.size(), 50u);
+  const BatchEvaluator local;
+  EXPECT_EQ(result.values, local.evaluate(model.model, points));
+
+  // Version pinning addresses the older model even after the hot swap.
+  const auto pinned = client.evaluate("ro_power", points, 1);
+  EXPECT_EQ(pinned.version, 1u);
+
+  const auto models = client.list();
+  ASSERT_EQ(models.size(), 1u);
+  EXPECT_EQ(models[0].name, "ro_power");
+  EXPECT_EQ(models[0].latest_version, 2u);
+  EXPECT_EQ(models[0].retained, 2u);
+  EXPECT_EQ(models[0].dimension, 4u);
+}
+
+TEST(ServeServer, StructuredErrorsKeepTheConnectionUsable) {
+  ServerFixture fixture("errors");
+  Client client(fixture.path());
+
+  // Unknown model.
+  try {
+    client.evaluate("ghost", make_points(1, 3, 1));
+    FAIL() << "expected ServeError";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.status(), Status::kNotFound);
+    EXPECT_EQ(e.context(), "evaluate");
+    EXPECT_NE(e.message().find("ghost"), std::string::npos);
+  }
+
+  // Corrupt publish blob.
+  auto blob = serialize_model(make_model(3, 5));
+  blob[blob.size() / 2] ^= 0x01;
+  try {
+    client.publish_blob("bad", blob);
+    FAIL() << "expected ServeError";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.status(), Status::kCorruptModel);
+  }
+
+  // Dimension mismatch against a published model.
+  client.publish("dim3", make_model(3, 6));
+  try {
+    client.evaluate("dim3", make_points(2, 5, 7));
+    FAIL() << "expected ServeError";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.status(), Status::kBadRequest);
+  }
+
+  // Evicted version.
+  try {
+    client.evaluate("dim3", make_points(1, 3, 8), 99);
+    FAIL() << "expected ServeError";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.status(), Status::kNotFound);
+  }
+
+  // After all those failures the same connection still works.
+  client.ping();
+  EXPECT_EQ(client.evaluate("dim3", make_points(2, 3, 9)).values.size(), 2u);
+}
+
+TEST(ServeServer, GracefulShutdownViaProtocol) {
+  auto fixture = std::make_unique<ServerFixture>("shutdown");
+  const std::string path = fixture->path();
+  {
+    Client client(path);
+    client.publish("m", make_model(2, 3));
+    client.shutdown_server();  // acknowledged before the server exits
+  }
+  // The fixture destructor joins promptly because run() already returned.
+  fixture.reset();
+  // The daemon is gone: connecting now must time out quickly.
+  EXPECT_THROW(Client(path, /*timeout_ms=*/200), ServeError);
+}
+
+TEST(ServeServer, SequentialClientsAndReconnects) {
+  ServerFixture fixture("reconnect");
+  {
+    Client first(fixture.path());
+    first.publish("m", make_model(2, 4));
+  }  // connection closes cleanly
+  {
+    Client second(fixture.path());
+    const auto result = second.evaluate("m", make_points(3, 2, 5));
+    EXPECT_EQ(result.values.size(), 3u);
+  }
+  EXPECT_GE(fixture.server().requests_served(), 2u);
+}
+
+TEST(ServeServer, MalformedFrameGetsStructuredReply) {
+  ServerFixture fixture("malformed");
+  UniqueFd fd = connect_unix(fixture.path(), 2000);
+  const std::vector<std::uint8_t> garbage = {0x77, 0x01, 0x02};
+  write_frame(fd.get(), garbage, 1000);
+  const auto reply = read_frame(fd.get(), 2000);
+  ASSERT_TRUE(reply.has_value());
+  try {
+    expect_ok(*reply);
+    FAIL() << "expected ServeError";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.status(), Status::kBadRequest);
+    EXPECT_EQ(e.context(), "decode_request");
+  }
+}
+
+TEST(ServeServer, OversizedFrameIsRejected) {
+  ServerOptions options;
+  options.max_frame_bytes = 1024;
+  ServerFixture fixture("oversized", options);
+  UniqueFd fd = connect_unix(fixture.path(), 2000);
+  // Hand-write a raw length prefix beyond the server's bound; the server
+  // must reply kTooLarge before allocating anything (and then drop the
+  // connection, since the stream position is lost).
+  const std::uint32_t huge = 1 << 20;
+  std::uint8_t prefix[4];
+  for (int i = 0; i < 4; ++i)
+    prefix[i] = static_cast<std::uint8_t>(huge >> (8 * i));
+  ::ssize_t wrote = ::write(fd.get(), prefix, sizeof(prefix));
+  ASSERT_EQ(wrote, 4);
+  const auto reply = read_frame(fd.get(), 2000);
+  ASSERT_TRUE(reply.has_value());
+  try {
+    expect_ok(*reply);
+    FAIL() << "expected ServeError";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.status(), Status::kTooLarge);
+  }
+}
+
+TEST(ServeServer, ResponsesAreBitIdenticalAcrossConnections) {
+  ServerFixture fixture("bits");
+  const auto points = make_points(257, 8, 12);
+  Client::Evaluation a;
+  {
+    // The server handles one connection at a time, so close the first
+    // client before the second connects.
+    Client client(fixture.path());
+    client.publish("m", make_model(8, 11));
+    a = client.evaluate("m", points);
+  }
+  Client other(fixture.path());
+  const auto b = other.evaluate("m", points);
+  EXPECT_EQ(a.values, b.values);
+}
+
+}  // namespace
+}  // namespace bmf::serve
