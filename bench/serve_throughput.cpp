@@ -8,7 +8,7 @@
 // responses are bit-identical with BMF_NUM_THREADS=1 and 4.
 //
 // Usage: serve_throughput [--batch 4096] [--dim 24] [--requests 300]
-//                         [--warmup 20] [--out BENCH_serve.json]
+//                         [--warmup 20] [--workers 4] [--out BENCH_serve.json]
 //
 // Writes a flat JSON object (not google-benchmark format: the interesting
 // numbers here are end-to-end request statistics, which gbench's
@@ -57,6 +57,8 @@ int main(int argc, char** argv) {
   const std::size_t requests =
       static_cast<std::size_t>(args.get_int("requests", 300));
   const std::size_t warmup = static_cast<std::size_t>(args.get_int("warmup", 20));
+  const std::size_t workers =
+      static_cast<std::size_t>(args.get_int("workers", 4));
   const std::string out_path = args.get("out", "");
 
   const char* tmpdir = std::getenv("TMPDIR");
@@ -67,10 +69,12 @@ int main(int argc, char** argv) {
   serve::ServerOptions options;
   options.socket_path = socket_path;
   options.request_timeout_ms = 30000;
+  options.worker_threads = workers;
   serve::Server server(options);
   std::thread server_thread([&] { server.run(); });
 
   double evals_per_sec = 0.0, p50 = 0.0, p99 = 0.0;
+  serve::RetryStats retry_stats;
   bool bit_identical = false;
   int exit_code = 0;
   try {
@@ -137,6 +141,7 @@ int main(int argc, char** argv) {
       exit_code = 1;
     }
 
+    retry_stats = client.retry_stats();
     client.shutdown_server();
   } catch (const std::exception& e) {
     std::cerr << "serve_throughput: " << e.what() << "\n";
@@ -154,12 +159,17 @@ int main(int argc, char** argv) {
                 "  \"batch_rows\": %zu,\n"
                 "  \"dimension\": %zu,\n"
                 "  \"requests\": %zu,\n"
+                "  \"workers\": %zu,\n"
                 "  \"evals_per_sec\": %.1f,\n"
                 "  \"p50_us\": %.2f,\n"
                 "  \"p99_us\": %.2f,\n"
+                "  \"retries\": %llu,\n"
+                "  \"reconnects\": %llu,\n"
                 "  \"bit_identical_threads_1_4\": %s\n"
                 "}\n",
-                batch, dim, requests, evals_per_sec, p50, p99,
+                batch, dim, requests, workers, evals_per_sec, p50, p99,
+                static_cast<unsigned long long>(retry_stats.retries),
+                static_cast<unsigned long long>(retry_stats.reconnects),
                 bit_identical ? "true" : "false");
   std::cout << json;
   if (!out_path.empty()) {

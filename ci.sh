@@ -11,7 +11,14 @@
 #      BMF_CHECKED contract layer (contract_test's throwing half) at once.
 #   4. Smoke-run of the solver-scaling benchmark (tiny min-time) so bench
 #      bit-rot is caught without paying for a full measurement run.
-#   5. Serving smoke test: start bmf_served on a temp socket, publish a
+#   5. Chaos matrix: the seeded fault-injection suite re-runs under
+#      ASan/UBSan with several BMF_CHAOS_SEED values, so each seed's
+#      distinct fault schedule (which calls get short reads, EINTR storms,
+#      corruption, drops) is driven against the live daemon memory-clean.
+#   6. ThreadSanitizer build of the concurrent serving stack (worker pool,
+#      admission queue, fault engine) — the race-freedom proof for the
+#      paths the chaos suite exercises.
+#   7. Serving smoke test: start bmf_served on a temp socket, publish a
 #      tiny model with bmf_client, evaluate it, and shut the daemon down —
 #      proves the daemon/client binaries work end to end, not just the
 #      library they link.
@@ -37,6 +44,22 @@ cmake -S "$src_dir" -B "$src_dir/build-ci-checked" \
       -DBMF_SANITIZE=address,undefined
 cmake --build "$src_dir/build-ci-checked" -j "$jobs"
 ctest --test-dir "$src_dir/build-ci-checked" --output-on-failure
+
+echo "== Chaos matrix (seeded fault plans under ASan/UBSan) =="
+for seed in 1 7 42; do
+  echo "-- chaos seed $seed --"
+  BMF_CHAOS_SEED="$seed" "$src_dir/build-ci-checked/tests/serve_chaos_test"
+  BMF_CHAOS_SEED="$seed" \
+      "$src_dir/build-ci-checked/tests/serve_wire_fault_test"
+done
+
+echo "== ThreadSanitizer: concurrent serving stack =="
+cmake -S "$src_dir" -B "$src_dir/build-ci-tsan" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo -DBMF_SANITIZE=thread
+cmake --build "$src_dir/build-ci-tsan" -j "$jobs" \
+      --target serve_server_test serve_chaos_test
+"$src_dir/build-ci-tsan/tests/serve_server_test"
+"$src_dir/build-ci-tsan/tests/serve_chaos_test"
 
 echo "== Benchmark smoke run =="
 "$src_dir/build-ci-release/bench/ablation_solver_scaling" \

@@ -13,6 +13,9 @@
 #      results.
 #   5. Every header is self-contained (compiles standalone), so include
 #      order can never hide a missing dependency.
+#   6. No raw ::read/::write/::send/::recv/::poll outside src/serve/wire.cpp
+#      and src/fault — all socket I/O must flow through the fault-injection
+#      wrappers (fault::sys_*), or chaos tests silently stop covering it.
 #
 # Usage: lint.sh   (run from anywhere; exits non-zero on any violation)
 set -eu
@@ -81,6 +84,17 @@ for h in $(find "$src_dir/src" -name '*.hpp' | sort); do
   if ! g++ -std=c++20 -fsyntax-only -I"$src_dir/src" "$probe" 2>"$tmp/err"; then
     fail "header not self-contained: $h" "$(cat "$tmp/err")"
   fi
+done
+
+# Rule 6: raw syscall I/O outside the wire/fault layer.  Everything that
+# touches a socket must go through fault::sys_* so injected faults cover it.
+for f in $all_sources; do
+  case "$f" in
+    "$src_dir/src/fault/"*|"$src_dir/src/serve/wire.cpp") continue ;;
+  esac
+  hits=$(strip_comments "$f" | grep -nE \
+    '::(read|write|send|recv|poll)[[:space:]]*\(' || true)
+  [ -n "$hits" ] && fail "raw syscall I/O outside wire/fault layer in $f" "$hits"
 done
 
 if [ "$status" -ne 0 ]; then

@@ -80,6 +80,22 @@ linalg::Vector map_solve(const linalg::Matrix& g, const linalg::Vector& f,
                                      : map_solve_fast(g, f, prior, tau);
 }
 
+RobustMapResult map_solve_robust(const linalg::Matrix& g,
+                                 const linalg::Vector& f,
+                                 const CoefficientPrior& prior, double tau) {
+  validate(g, f, prior, tau);
+  linalg::Matrix a = linalg::gram(g);
+  const linalg::Vector& q = prior.precision_scale();
+  for (std::size_t m = 0; m < a.rows(); ++m) a(m, m) += tau * q[m];
+  RobustMapResult result;
+  result.coefficients =
+      linalg::robust_spd_solve(a, build_rhs(g, f, prior, tau), &result.report);
+  BMF_ENSURES_DIMS(check::all_finite(result.coefficients),
+                   "map_solve_robust produced non-finite coefficients",
+                   {"m", result.coefficients.size()});
+  return result;
+}
+
 std::vector<linalg::Vector> map_solve_tau_grid(const linalg::Matrix& g,
                                                const linalg::Vector& f,
                                                const CoefficientPrior& prior,

@@ -22,6 +22,7 @@
 
 #include "bmf/prior.hpp"
 #include "bmf/solver_workspace.hpp"
+#include "linalg/cholesky.hpp"
 #include "linalg/matrix.hpp"
 
 namespace bmf::core {
@@ -46,6 +47,24 @@ linalg::Vector map_solve_fast(const linalg::Matrix& g,
 linalg::Vector map_solve(const linalg::Matrix& g, const linalg::Vector& f,
                          const CoefficientPrior& prior, double tau,
                          SolverKind kind);
+
+/// A MAP solve that degrades instead of throwing when the posterior
+/// precision is numerically indefinite (near-duplicate sampling points,
+/// extreme tau). `report` records how far down the ladder — plain
+/// Cholesky, diagonal jitter, eigendecomposition pseudo-solve — the solve
+/// had to go; report.degraded() is the flag the serving layer forwards to
+/// clients as a structured diagnostic.
+struct RobustMapResult {
+  linalg::Vector coefficients;
+  linalg::RobustSpdReport report;
+};
+
+/// map_solve_direct through linalg::robust_spd_solve. Input-shape and
+/// positivity violations (tau <= 0, size mismatches) still throw — those
+/// are caller bugs, not numeric conditioning.
+RobustMapResult map_solve_robust(const linalg::Matrix& g,
+                                 const linalg::Vector& f,
+                                 const CoefficientPrior& prior, double tau);
 
 /// MAP coefficients for every tau in `taus`, amortizing the tau-independent
 /// kernel across the grid via MapSolverWorkspace: one O(K^2 M + K^3) build,

@@ -104,6 +104,34 @@ CoefficientPrior CoefficientPrior::nonzero_mean(
       build_precisions(early_coeffs, informative, options), std::move(mask));
 }
 
+CoefficientPrior CoefficientPrior::from_moments(
+    linalg::Vector mean, linalg::Vector precision_scale) {
+  if (mean.size() != precision_scale.size())
+    throw std::invalid_argument(
+        "CoefficientPrior::from_moments: mean has " +
+        std::to_string(mean.size()) + " entries, precision scale has " +
+        std::to_string(precision_scale.size()));
+  if (mean.empty())
+    throw std::invalid_argument(
+        "CoefficientPrior::from_moments: prior must not be empty");
+  bool zero = true;
+  for (std::size_t m = 0; m < mean.size(); ++m) {
+    if (!(precision_scale[m] > 0.0) || !std::isfinite(precision_scale[m]))
+      throw std::invalid_argument(
+          "CoefficientPrior::from_moments: precision scale entry " +
+          std::to_string(m) + " must be positive and finite");
+    if (!std::isfinite(mean[m]))
+      throw std::invalid_argument(
+          "CoefficientPrior::from_moments: mean entry " + std::to_string(m) +
+          " must be finite");
+    if (mean[m] != 0.0) zero = false;
+  }
+  const PriorKind kind = zero ? PriorKind::kZeroMean : PriorKind::kNonzeroMean;
+  std::vector<char> mask(mean.size(), 1);
+  return CoefficientPrior(kind, std::move(mean), std::move(precision_scale),
+                          std::move(mask));
+}
+
 std::size_t CoefficientPrior::num_informative() const {
   std::size_t n = 0;
   for (char c : informative_)

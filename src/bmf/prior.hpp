@@ -71,6 +71,16 @@ class CoefficientPrior {
       const std::vector<char>& informative = {},
       const PriorOptions& options = {});
 
+  /// Prior from raw moments — the mean mu and precision scale q directly,
+  /// with no early-coefficient derivation (no clamping, no flat-prior
+  /// substitution). Used where (mu, q) arrive over a transport boundary,
+  /// e.g. the serve kSolve handler. Kind is kZeroMean iff mu is all zeros;
+  /// every coefficient is marked informative. Throws std::invalid_argument
+  /// on size mismatch, empty input, non-finite mu, or q entries that are
+  /// not positive and finite.
+  static CoefficientPrior from_moments(linalg::Vector mean,
+                                       linalg::Vector precision_scale);
+
   PriorKind kind() const { return kind_; }
   std::size_t size() const { return mean_.size(); }
 

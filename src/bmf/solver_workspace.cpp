@@ -33,7 +33,21 @@ MapSolverWorkspace::MapSolverWorkspace(const linalg::Matrix& g,
   // super-quadratic work; everything tau-dependent happens in the
   // eigenbasis afterwards.
   eig_ = linalg::eigen_symmetric(linalg::outer_gram_weighted(g, inv_q_));
-  for (double& w : eig_.values) w = std::max(w, 0.0);  // PSD clamp
+  // PSD clamp with telemetry: record how far below zero the spectrum dipped
+  // and how many eigenvalues were beyond roundoff-sized (tol relative to
+  // the spectral radius), so callers can surface a degradation diagnostic.
+  double wmax = 0.0;
+  min_eigenvalue_ = 0.0;
+  for (double w : eig_.values) {
+    wmax = std::max(wmax, std::abs(w));
+    min_eigenvalue_ = std::min(min_eigenvalue_, w);
+  }
+  const double tol = wmax * 1e-12;
+  clamped_ = 0;
+  for (double& w : eig_.values) {
+    if (w < -tol) ++clamped_;
+    w = std::max(w, 0.0);
+  }
 
   // u0 = D^{-1} G^T f and vb2 = V^T (B f) = V^T (G u0).
   linalg::Vector gt_f = linalg::gemv_t(g, f);

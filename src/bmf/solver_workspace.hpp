@@ -69,10 +69,23 @@ class MapSolverWorkspace {
   std::size_t num_samples() const { return g_->rows(); }  // K
   std::size_t num_bases() const { return g_->cols(); }    // M
 
+  /// Degradation telemetry for the PSD clamp applied at construction.
+  /// B = G D^{-1} G^T is PSD in exact arithmetic; roundoff can push
+  /// eigenvalues slightly negative, and those are clamped to zero.
+  /// min_eigenvalue() is the smallest *pre-clamp* eigenvalue;
+  /// clamped_eigenvalues() counts eigenvalues below -tol (tol = relative
+  /// to the spectral radius) — i.e. clamps large enough to signal a
+  /// genuinely indefinite kernel rather than benign roundoff.
+  double min_eigenvalue() const { return min_eigenvalue_; }
+  std::size_t clamped_eigenvalues() const { return clamped_; }
+  bool degraded() const { return clamped_ > 0; }
+
  private:
   const linalg::Matrix* g_;     // not owned; must outlive the workspace
   linalg::Vector inv_q_;        // D^{-1} diagonal (M)
   linalg::SymmetricEigen eig_;  // of B = G D^{-1} G^T (values clamped >= 0)
+  double min_eigenvalue_ = 0.0;  // smallest eigenvalue before the clamp
+  std::size_t clamped_ = 0;      // eigenvalues clamped from below -tol
   linalg::Vector u0_;           // D^{-1} G^T f (M)
   linalg::Vector vb2_;          // V^T (B f) = V^T (G u0) (K)
   ProjectedMean own_mean_;      // projection of the construction prior mean

@@ -1,0 +1,384 @@
+#include "fault/fault.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include <cerrno>
+
+namespace bmf::fault {
+
+namespace {
+
+const char* const kSiteNames[kSiteCount] = {"read", "send", "poll", "connect",
+                                            "accept"};
+const char* const kActionNames[] = {"short", "eintr", "delay", "drop",
+                                    "corrupt"};
+
+[[noreturn]] void bad_spec(const std::string& spec, const std::string& why) {
+  throw std::invalid_argument("parse_plan: " + why + " in '" + spec + "'");
+}
+
+}  // namespace
+
+const char* to_string(Site site) {
+  return kSiteNames[static_cast<std::size_t>(site)];
+}
+
+const char* to_string(Action action) {
+  return kActionNames[static_cast<std::size_t>(action)];
+}
+
+FaultPlan parse_plan(const std::string& spec) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(';', pos);
+    if (end == std::string::npos) end = spec.size();
+    const std::string item = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (item.empty()) continue;
+
+    if (item.rfind("seed=", 0) == 0) {
+      char* stop = nullptr;
+      const unsigned long long v = std::strtoull(item.c_str() + 5, &stop, 10);
+      if (stop == item.c_str() + 5 || *stop != '\0')
+        bad_spec(spec, "bad seed '" + item + "'");
+      plan.seed = static_cast<std::uint64_t>(v);
+      continue;
+    }
+
+    const std::size_t colon = item.find(':');
+    if (colon == std::string::npos)
+      bad_spec(spec, "rule '" + item + "' has no ':'");
+    FaultRule rule;
+    const std::string site = item.substr(0, colon);
+    bool found = false;
+    for (std::size_t s = 0; s < kSiteCount; ++s)
+      if (site == kSiteNames[s]) {
+        rule.site = static_cast<Site>(s);
+        found = true;
+      }
+    if (!found) bad_spec(spec, "unknown site '" + site + "'");
+
+    // Action name runs until the first tail marker ('=', '*', '@', '+').
+    std::size_t p = colon + 1;
+    std::size_t action_end = item.find_first_of("=*@+", p);
+    if (action_end == std::string::npos) action_end = item.size();
+    const std::string action = item.substr(p, action_end - p);
+    found = false;
+    for (std::size_t a = 0; a < 5; ++a)
+      if (action == kActionNames[a]) {
+        rule.action = static_cast<Action>(a);
+        found = true;
+      }
+    if (!found) bad_spec(spec, "unknown action '" + action + "'");
+    p = action_end;
+
+    while (p < item.size()) {
+      const char marker = item[p];
+      char* stop = nullptr;
+      const char* num = item.c_str() + p + 1;
+      switch (marker) {
+        case '=':
+          rule.delay_ms = static_cast<int>(std::strtol(num, &stop, 10));
+          if (stop == num || rule.delay_ms < 0)
+            bad_spec(spec, "bad delay in '" + item + "'");
+          break;
+        case '*':
+          rule.max_triggers =
+              static_cast<std::uint32_t>(std::strtoul(num, &stop, 10));
+          if (stop == num) bad_spec(spec, "bad count in '" + item + "'");
+          break;
+        case '@':
+          rule.probability = std::strtod(num, &stop);
+          if (stop == num || rule.probability < 0.0 || rule.probability > 1.0)
+            bad_spec(spec, "bad probability in '" + item + "'");
+          break;
+        case '+':
+          rule.skip = static_cast<std::uint32_t>(std::strtoul(num, &stop, 10));
+          if (stop == num) bad_spec(spec, "bad skip in '" + item + "'");
+          break;
+        default:
+          bad_spec(spec, "unexpected '" + std::string(1, marker) + "' in '" +
+                             item + "'");
+      }
+      p = static_cast<std::size_t>(stop - item.c_str());
+    }
+    if (rule.action == Action::kDelay && rule.delay_ms == 0)
+      bad_spec(spec, "delay rule '" + item + "' needs '=ms'");
+    plan.rules.push_back(rule);
+  }
+  if (plan.rules.empty()) bad_spec(spec, "no rules");
+  return plan;
+}
+
+#ifdef BMF_FAULT_INJECTION
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+struct RuleState {
+  FaultRule rule;
+  std::atomic<std::uint64_t> seen{0};
+  std::atomic<std::uint64_t> triggered{0};
+};
+
+struct Engine {
+  std::uint64_t seed = 1;
+  std::vector<std::unique_ptr<RuleState>> rules;
+  std::atomic<std::uint64_t> calls[kSiteCount] = {};
+  std::atomic<std::uint64_t> triggered[kSiteCount] = {};
+};
+
+// Armed engine, read lock-free on the hot path. Replaced engines are
+// parked (never freed until exit) so a wrapper racing a disarm can keep
+// using the pointer it loaded — the test-only cost is a few retained
+// Engine objects per process.
+std::atomic<Engine*> g_engine{nullptr};
+std::mutex g_arm_mu;
+std::vector<std::unique_ptr<Engine>>& park_list() {
+  static std::vector<std::unique_ptr<Engine>> list;
+  return list;
+}
+
+struct Decision {
+  bool fire = false;
+  Action action = Action::kEintr;
+  int delay_ms = 0;
+  std::uint64_t draw = 0;  // entropy for corrupt-byte selection
+};
+
+/// First matching rule wins; at most one fault per wrapper call.
+Decision decide(Engine& e, Site site) {
+  const auto s = static_cast<std::size_t>(site);
+  e.calls[s].fetch_add(1, std::memory_order_relaxed);
+  for (const std::unique_ptr<RuleState>& rs : e.rules) {
+    if (rs->rule.site != site) continue;
+    const std::uint64_t n = rs->seen.fetch_add(1, std::memory_order_relaxed);
+    if (n < rs->rule.skip) continue;
+    const std::uint32_t max = rs->rule.max_triggers;
+    if (max != 0 &&
+        rs->triggered.load(std::memory_order_relaxed) >= max)
+      continue;
+    const std::uint64_t h =
+        splitmix64(e.seed ^ (std::uint64_t{s} << 56) ^ n);
+    if (rs->rule.probability < 1.0) {
+      const double draw =
+          static_cast<double>(h >> 11) * 0x1.0p-53;  // uniform [0, 1)
+      if (draw >= rs->rule.probability) continue;
+    }
+    if (max != 0 &&
+        rs->triggered.fetch_add(1, std::memory_order_relaxed) >= max) {
+      // Lost the race for the last trigger slot; undo and pass through.
+      rs->triggered.fetch_sub(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (max == 0) rs->triggered.fetch_add(1, std::memory_order_relaxed);
+    e.triggered[s].fetch_add(1, std::memory_order_relaxed);
+    Decision d;
+    d.fire = true;
+    d.action = rs->rule.action;
+    d.delay_ms = rs->rule.delay_ms;
+    d.draw = h;
+    return d;
+  }
+  return {};
+}
+
+void sleep_ms(int ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+}  // namespace
+
+bool compiled_in() noexcept { return true; }
+
+void arm(const FaultPlan& plan) {
+  auto engine = std::make_unique<Engine>();
+  engine->seed = plan.seed;
+  engine->rules.reserve(plan.rules.size());
+  for (const FaultRule& r : plan.rules) {
+    auto rs = std::make_unique<RuleState>();
+    rs->rule = r;
+    engine->rules.push_back(std::move(rs));
+  }
+  std::lock_guard<std::mutex> lock(g_arm_mu);
+  g_engine.store(engine.get(), std::memory_order_release);
+  park_list().push_back(std::move(engine));
+}
+
+void disarm() noexcept {
+  g_engine.store(nullptr, std::memory_order_release);
+}
+
+bool armed() noexcept {
+  return g_engine.load(std::memory_order_acquire) != nullptr;
+}
+
+bool arm_from_env() {
+  const char* spec = std::getenv("BMF_FAULT_PLAN");
+  if (spec == nullptr || *spec == '\0') return false;
+  arm(parse_plan(spec));
+  return true;
+}
+
+FaultStats stats() noexcept {
+  FaultStats out;
+  Engine* e = g_engine.load(std::memory_order_acquire);
+  if (e == nullptr) return out;
+  for (std::size_t s = 0; s < kSiteCount; ++s) {
+    out.site[s].calls = e->calls[s].load(std::memory_order_relaxed);
+    out.site[s].triggered = e->triggered[s].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+ssize_t sys_read(int fd, void* buf, std::size_t n) noexcept {
+  Engine* e = g_engine.load(std::memory_order_acquire);
+  if (e == nullptr) return ::read(fd, buf, n);
+  const Decision d = decide(*e, Site::kRead);
+  if (d.fire) switch (d.action) {
+      case Action::kEintr:
+        errno = EINTR;
+        return -1;
+      case Action::kShortIo:
+        n = n > 0 ? 1 : 0;
+        break;
+      case Action::kDelay:
+        sleep_ms(d.delay_ms);
+        break;
+      case Action::kDrop:
+        ::shutdown(fd, SHUT_RDWR);
+        break;
+      case Action::kCorrupt: {
+        const ssize_t rc = ::read(fd, buf, n);
+        if (rc > 0) {
+          auto* bytes = static_cast<std::uint8_t*>(buf);
+          bytes[d.draw % static_cast<std::uint64_t>(rc)] ^=
+              static_cast<std::uint8_t>(1u << ((d.draw >> 8) % 8));
+        }
+        return rc;
+      }
+    }
+  return ::read(fd, buf, n);
+}
+
+ssize_t sys_send(int fd, const void* buf, std::size_t n, int flags) noexcept {
+  Engine* e = g_engine.load(std::memory_order_acquire);
+  if (e == nullptr) return ::send(fd, buf, n, flags);
+  const Decision d = decide(*e, Site::kSend);
+  if (d.fire) switch (d.action) {
+      case Action::kEintr:
+        errno = EINTR;
+        return -1;
+      case Action::kShortIo:
+        n = n > 0 ? 1 : 0;
+        break;
+      case Action::kDelay:
+        sleep_ms(d.delay_ms);
+        break;
+      case Action::kDrop:
+        ::shutdown(fd, SHUT_RDWR);
+        break;
+      case Action::kCorrupt: {
+        if (n == 0) break;
+        std::vector<std::uint8_t> copy(static_cast<const std::uint8_t*>(buf),
+                                       static_cast<const std::uint8_t*>(buf) +
+                                           n);
+        copy[d.draw % n] ^=
+            static_cast<std::uint8_t>(1u << ((d.draw >> 8) % 8));
+        return ::send(fd, copy.data(), n, flags);
+      }
+    }
+  return ::send(fd, buf, n, flags);
+}
+
+int sys_poll(struct pollfd* fds, nfds_t nfds, int timeout_ms) noexcept {
+  Engine* e = g_engine.load(std::memory_order_acquire);
+  if (e == nullptr) return ::poll(fds, nfds, timeout_ms);
+  const Decision d = decide(*e, Site::kPoll);
+  if (d.fire) switch (d.action) {
+      case Action::kEintr:
+        errno = EINTR;
+        return -1;
+      case Action::kShortIo:
+        return 0;  // spurious "deadline expired"
+      case Action::kDelay:
+        sleep_ms(d.delay_ms);
+        break;
+      case Action::kDrop:
+        if (nfds > 0) ::shutdown(fds[0].fd, SHUT_RDWR);
+        break;
+      case Action::kCorrupt:
+        break;  // no bytes to corrupt at a poll
+    }
+  return ::poll(fds, nfds, timeout_ms);
+}
+
+int sys_connect(int fd, const struct sockaddr* addr, socklen_t len) noexcept {
+  Engine* e = g_engine.load(std::memory_order_acquire);
+  if (e == nullptr) return ::connect(fd, addr, len);
+  const Decision d = decide(*e, Site::kConnect);
+  if (d.fire) switch (d.action) {
+      case Action::kEintr:
+        errno = EINTR;
+        return -1;
+      case Action::kDrop:
+        errno = ECONNREFUSED;
+        return -1;
+      case Action::kDelay:
+        sleep_ms(d.delay_ms);
+        break;
+      case Action::kShortIo:
+      case Action::kCorrupt:
+        break;  // no meaningful short/corrupt at connect
+    }
+  return ::connect(fd, addr, len);
+}
+
+int sys_accept(int fd) noexcept {
+  Engine* e = g_engine.load(std::memory_order_acquire);
+  if (e == nullptr) return ::accept(fd, nullptr, nullptr);
+  const Decision d = decide(*e, Site::kAccept);
+  if (d.fire) switch (d.action) {
+      case Action::kEintr:
+        errno = EINTR;
+        return -1;
+      case Action::kDelay:
+        sleep_ms(d.delay_ms);
+        break;
+      case Action::kDrop: {
+        const int conn = ::accept(fd, nullptr, nullptr);
+        if (conn >= 0) ::shutdown(conn, SHUT_RDWR);
+        return conn;
+      }
+      case Action::kShortIo:
+      case Action::kCorrupt:
+        break;
+    }
+  return ::accept(fd, nullptr, nullptr);
+}
+
+#else  // !BMF_FAULT_INJECTION
+
+bool compiled_in() noexcept { return false; }
+void arm(const FaultPlan&) {}
+void disarm() noexcept {}
+bool armed() noexcept { return false; }
+bool arm_from_env() { return false; }
+FaultStats stats() noexcept { return {}; }
+
+#endif  // BMF_FAULT_INJECTION
+
+}  // namespace bmf::fault

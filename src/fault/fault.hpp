@@ -1,0 +1,160 @@
+// Deterministic fault injection for the socket syscall surface.
+//
+// Every read/send/poll/connect/accept the serving stack performs goes
+// through the sys_* wrappers below instead of the raw syscalls (enforced
+// by scripts/lint.sh). With no plan armed, a wrapper is the raw syscall
+// plus one relaxed atomic load; compiled with BMF_FAULT_INJECTION off it
+// is the raw syscall, period — an inline forward with nothing to
+// configure, so production builds can prove the layer costs nothing.
+//
+// A FaultPlan is a seeded list of rules. Each rule names a site (which
+// wrapper), an action (what goes wrong), and its trigger window: skip the
+// first `skip` eligible calls, then fire with `probability` per call until
+// `max_triggers` faults have been injected. Probability draws come from a
+// counter-keyed SplitMix64 stream of the plan seed, so a plan replays the
+// same faults on the same call sequence every run — chaos tests are
+// reproducible from (plan, seed) alone.
+//
+// Actions by site:
+//   short    read/send: clamp the byte count to 1 (partial-I/O storm);
+//            poll: report 0 ready fds (spurious timeout).
+//   eintr    fail with errno = EINTR before touching the kernel.
+//   delay    sleep delay_ms, then perform the real call (pushes a peer
+//            past its deadline without breaking the stream).
+//   drop     read/send/poll: shutdown(fd, SHUT_RDWR) first, so the real
+//            call observes a mid-frame connection loss; connect: refuse
+//            with ECONNREFUSED; accept: accept, then drop the new fd.
+//   corrupt  read: flip one bit of the bytes actually read; send: send a
+//            copy with one bit flipped (wire corruption without framing
+//            loss).
+#pragma once
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bmf::fault {
+
+enum class Site : std::uint8_t {
+  kRead = 0,
+  kSend = 1,
+  kPoll = 2,
+  kConnect = 3,
+  kAccept = 4,
+};
+inline constexpr std::size_t kSiteCount = 5;
+
+enum class Action : std::uint8_t {
+  kShortIo = 0,
+  kEintr = 1,
+  kDelay = 2,
+  kDrop = 3,
+  kCorrupt = 4,
+};
+
+/// Stable lowercase tokens ("read", ..., "short", ...), as used by the
+/// plan spec grammar.
+const char* to_string(Site site);
+const char* to_string(Action action);
+
+struct FaultRule {
+  Site site = Site::kRead;
+  Action action = Action::kEintr;
+  /// Per-eligible-call trigger chance in [0, 1]; 1 fires every time.
+  double probability = 1.0;
+  /// Leave the first `skip` calls at this site untouched by this rule.
+  std::uint32_t skip = 0;
+  /// Stop after this many injected faults; 0 = unlimited.
+  std::uint32_t max_triggers = 1;
+  /// kDelay only: milliseconds to sleep before the real call.
+  int delay_ms = 0;
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  std::vector<FaultRule> rules;
+};
+
+/// Parse the textual plan grammar:
+///
+///   plan  = item (';' item)*
+///   item  = "seed=" N | rule
+///   rule  = site ':' action ['=' delay_ms] tail*
+///   tail  = '*' max_triggers | '@' probability | '+' skip
+///
+/// e.g. "seed=7;read:short*0;send:eintr*3@0.5;poll:delay=200;read:corrupt+2"
+/// ('*0' = unlimited). Throws std::invalid_argument on malformed input.
+FaultPlan parse_plan(const std::string& spec);
+
+/// True when BMF_FAULT_INJECTION was compiled in (arm() can take effect).
+bool compiled_in() noexcept;
+
+/// Install `plan` for the whole process (replacing any armed plan) and
+/// reset the statistics. No-op when the layer is compiled out.
+void arm(const FaultPlan& plan);
+
+/// Remove the armed plan; wrappers become raw syscalls again.
+void disarm() noexcept;
+
+bool armed() noexcept;
+
+/// Arm from the BMF_FAULT_PLAN environment variable. Returns true if a
+/// plan was armed; false when the variable is unset/empty or the layer is
+/// compiled out. Throws std::invalid_argument on a malformed spec.
+bool arm_from_env();
+
+struct SiteStats {
+  std::uint64_t calls = 0;      // wrapper invocations while a plan was armed
+  std::uint64_t triggered = 0;  // faults injected
+};
+
+struct FaultStats {
+  SiteStats site[kSiteCount];
+  std::uint64_t total_triggered() const {
+    std::uint64_t n = 0;
+    for (const SiteStats& s : site) n += s.triggered;
+    return n;
+  }
+};
+
+/// Snapshot of the injection counters since the last arm().
+FaultStats stats() noexcept;
+
+#ifdef BMF_FAULT_INJECTION
+
+// ---- Syscall surface (instrumented build) ---------------------------------
+
+ssize_t sys_read(int fd, void* buf, std::size_t n) noexcept;
+ssize_t sys_send(int fd, const void* buf, std::size_t n, int flags) noexcept;
+int sys_poll(struct pollfd* fds, nfds_t nfds, int timeout_ms) noexcept;
+int sys_connect(int fd, const struct sockaddr* addr, socklen_t len) noexcept;
+int sys_accept(int fd) noexcept;
+
+#else
+
+// ---- Syscall surface (layer compiled out: raw calls, zero overhead) -------
+
+inline ssize_t sys_read(int fd, void* buf, std::size_t n) noexcept {
+  return ::read(fd, buf, n);
+}
+inline ssize_t sys_send(int fd, const void* buf, std::size_t n,
+                        int flags) noexcept {
+  return ::send(fd, buf, n, flags);
+}
+inline int sys_poll(struct pollfd* fds, nfds_t nfds, int timeout_ms) noexcept {
+  return ::poll(fds, nfds, timeout_ms);
+}
+inline int sys_connect(int fd, const struct sockaddr* addr,
+                       socklen_t len) noexcept {
+  return ::connect(fd, addr, len);
+}
+inline int sys_accept(int fd) noexcept { return ::accept(fd, nullptr, nullptr); }
+
+#endif  // BMF_FAULT_INJECTION
+
+}  // namespace bmf::fault

@@ -1,9 +1,11 @@
 #include "linalg/cholesky.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
 #include "check/contracts.hpp"
+#include "linalg/eigen_sym.hpp"
 
 namespace bmf::linalg {
 
@@ -165,6 +167,74 @@ Vector spd_solve(const Matrix& a, const Vector& b) {
                    "spd_solve input fails the SPD precondition",
                    {"a.rows", a.rows()});
   return Cholesky(a).solve(b);
+}
+
+Vector robust_spd_solve(const Matrix& a, const Vector& b,
+                        RobustSpdReport* report) {
+  LINALG_REQUIRE(a.rows() == a.cols() && a.rows() == b.size(),
+                 "robust_spd_solve shape mismatch");
+  BMF_EXPECTS_DIMS(check::all_finite(a) && check::all_finite(b),
+                   "robust_spd_solve operands must be finite",
+                   {"a.rows", a.rows()});
+  RobustSpdReport local;
+  RobustSpdReport& rep = report != nullptr ? *report : local;
+  rep = RobustSpdReport{};
+
+  // Rung 0: the matrix is what it claims to be.
+  if (std::optional<Cholesky> chol = Cholesky::try_factor(a)) {
+    rep.path = RobustSpdReport::Path::kCholesky;
+    return chol->solve(b);
+  }
+
+  // Rungs 1-3: escalating diagonal jitter, scaled to the matrix so the
+  // same ladder works for kernels of any magnitude. The schedule is fixed
+  // (1e-12, 1e-9, 1e-6 of the largest diagonal entry): deterministic
+  // repair, identical on every retry.
+  const std::size_t n = a.rows();
+  double scale = 0.0;
+  for (std::size_t i = 0; i < n; ++i) scale = std::max(scale, std::abs(a(i, i)));
+  if (scale == 0.0) scale = 1.0;
+  Matrix shifted = a;
+  double total_shift = 0.0;
+  double rung = scale * 1e-12;
+  for (std::uint32_t attempt = 1; attempt <= 3; ++attempt, rung *= 1e3) {
+    const double add = rung - total_shift;
+    for (std::size_t i = 0; i < n; ++i) shifted(i, i) += add;
+    total_shift = rung;
+    if (std::optional<Cholesky> chol = Cholesky::try_factor(shifted)) {
+      rep.path = RobustSpdReport::Path::kJittered;
+      rep.attempts = attempt;
+      rep.jitter = total_shift;
+      return chol->solve(b);
+    }
+  }
+
+  // Fall-through: the matrix is genuinely indefinite or (near-)singular.
+  // Solve in the span of the usable spectrum: x = sum_j v_j (v_j . b) / w_j
+  // over eigenvalues above the rank tolerance. This is the minimum-norm
+  // least-squares answer restricted to the numerically trustworthy
+  // subspace — degraded, but finite and deterministic.
+  const SymmetricEigen eig = eigen_symmetric(a);
+  double wmax = 0.0;
+  for (double w : eig.values) wmax = std::max(wmax, std::abs(w));
+  const double tol = wmax * 1e-12;
+  Vector x(n, 0.0);
+  std::size_t discarded = 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    const double w = eig.values[j];
+    if (w <= tol) {
+      ++discarded;
+      continue;
+    }
+    double proj = 0.0;
+    for (std::size_t i = 0; i < n; ++i) proj += eig.vectors(i, j) * b[i];
+    const double coeff = proj / w;
+    for (std::size_t i = 0; i < n; ++i) x[i] += eig.vectors(i, j) * coeff;
+  }
+  rep.path = RobustSpdReport::Path::kPseudoInverse;
+  rep.attempts = 4;
+  rep.discarded = discarded;
+  return x;
 }
 
 }  // namespace bmf::linalg

@@ -1,17 +1,21 @@
 // bmf_served — the model-serving daemon.
 //
 //   bmf_served --socket /tmp/bmf.sock [--capacity 64] [--timeout-ms 5000]
-//              [--block-rows 2048] [--quiet]
+//              [--block-rows 2048] [--workers 4] [--max-pending 8] [--quiet]
 //
 // Listens on a UNIX-domain socket for the length-prefixed binary protocol
 // (see src/serve/protocol.hpp): publish versioned models, evaluate batches,
-// list the registry, shut down. SIGINT/SIGTERM drain gracefully, as does a
-// client "shutdown" request. Exit status 0 on graceful shutdown, 1 on a
-// startup or fatal runtime error.
+// list the registry, solve MAP systems, shut down. Connections are served
+// by --workers threads; past --max-pending queued connections new ones are
+// shed with kOverloaded. SIGINT/SIGTERM drain gracefully, as does a client
+// "shutdown" request. Setting BMF_FAULT_PLAN arms the fault-injection
+// layer (testing only). Exit status 0 on graceful shutdown, 1 on a startup
+// or fatal runtime error.
 #include <csignal>
 #include <cstdio>
 #include <exception>
 
+#include "fault/fault.hpp"
 #include "io/args.hpp"
 #include "serve/server.hpp"
 
@@ -32,7 +36,8 @@ int main(int argc, char** argv) {
   if (socket_path.empty()) {
     std::fprintf(stderr,
                  "usage: %s --socket <path> [--capacity N] [--timeout-ms N]"
-                 " [--block-rows N] [--quiet]\n",
+                 " [--block-rows N] [--workers N] [--max-pending N]"
+                 " [--quiet]\n",
                  args.program().c_str());
     return 1;
   }
@@ -45,9 +50,16 @@ int main(int argc, char** argv) {
       static_cast<int>(args.get_int("timeout-ms", 5000));
   options.evaluator_block_rows =
       static_cast<std::size_t>(args.get_int("block-rows", 2048));
+  options.worker_threads =
+      static_cast<std::size_t>(args.get_int("workers", 4));
+  options.max_pending =
+      static_cast<std::size_t>(args.get_int("max-pending", 8));
   const bool quiet = args.flag("quiet");
 
   try {
+    if (bmf::fault::arm_from_env() && !quiet)
+      std::fprintf(stderr, "bmf_served: fault injection armed from "
+                           "BMF_FAULT_PLAN\n");
     bmf::serve::Server server(options);
     g_server = &server;
     std::signal(SIGINT, handle_signal);

@@ -1,29 +1,178 @@
 #include "serve/client.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <limits>
+#include <thread>
+
 #include "serve/model_codec.hpp"
 #include "serve/protocol.hpp"
 
 namespace bmf::serve {
 
-Client::Client(const std::string& socket_path, int timeout_ms,
-               std::size_t max_frame_bytes)
-    : fd_(connect_unix(socket_path, timeout_ms)),
-      timeout_ms_(timeout_ms),
-      max_frame_bytes_(max_frame_bytes) {}
+namespace {
 
-std::vector<std::uint8_t> Client::round_trip(
-    const std::vector<std::uint8_t>& frame) {
-  write_frame(fd_.get(), frame, timeout_ms_, max_frame_bytes_);
+using Clock = std::chrono::steady_clock;
+
+int remaining_ms(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        deadline - Clock::now())
+                        .count();
+  return left > 0 ? static_cast<int>(left) : 0;
+}
+
+/// Env override for one policy knob; out-of-range or non-numeric input
+/// keeps the default (a bad knob must not disable serving).
+long env_long(const char* name, long fallback, long lo, long hi) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const long value = std::strtol(raw, &end, 10);
+  if (end == raw || *end != '\0' || value < lo || value > hi) return fallback;
+  return value;
+}
+
+/// Statuses the server emits before executing the request: at admission
+/// (kOverloaded, kShuttingDown) or after its read deadline expired with
+/// the request still un-decoded (kTimeout). Retrying them cannot
+/// double-execute anything, so even non-idempotent requests may retry.
+bool pre_execution_status(Status status) {
+  return status == Status::kOverloaded || status == Status::kShuttingDown ||
+         status == Status::kTimeout;
+}
+
+}  // namespace
+
+RetryPolicy RetryPolicy::from_env() {
+  RetryPolicy policy;
+  policy.max_attempts = static_cast<int>(env_long(
+      "BMF_SERVE_MAX_ATTEMPTS", policy.max_attempts, 1, 1000));
+  policy.base_backoff_ms = static_cast<int>(env_long(
+      "BMF_SERVE_BACKOFF_BASE_MS", policy.base_backoff_ms, 0, 60'000));
+  policy.max_backoff_ms = static_cast<int>(env_long(
+      "BMF_SERVE_BACKOFF_CAP_MS", policy.max_backoff_ms, 0, 600'000));
+  policy.budget_ms = static_cast<int>(env_long(
+      "BMF_SERVE_RETRY_BUDGET_MS", policy.budget_ms, 1, 3'600'000));
+  policy.seed = static_cast<std::uint64_t>(env_long(
+      "BMF_SERVE_RETRY_SEED", static_cast<long>(policy.seed), 0,
+      std::numeric_limits<long>::max()));
+  return policy;
+}
+
+Client::Client(const std::string& socket_path, int timeout_ms,
+               std::size_t max_frame_bytes, RetryPolicy policy)
+    : fd_(connect_unix(socket_path, timeout_ms)),
+      socket_path_(socket_path),
+      timeout_ms_(timeout_ms),
+      max_frame_bytes_(max_frame_bytes),
+      policy_(policy),
+      jitter_rng_(policy.seed) {}
+
+std::vector<std::uint8_t> Client::attempt_once(
+    const std::vector<std::uint8_t>& frame, bool first_attempt,
+    FailurePoint& failed_at) {
+  failed_at = FailurePoint::kConnect;
+  if (!fd_.valid()) {
+    fd_ = connect_unix(socket_path_, timeout_ms_);
+    if (!first_attempt) ++stats_.reconnects;
+  }
+  failed_at = FailurePoint::kTransport;
+
+  // A complete reply frame means the stream is still aligned; a ServeError
+  // past unwrap() is the server's structured verdict, not a transport
+  // failure — unless expect_ok could not even parse the frame (corrupted
+  // in transit), which is transport-grade: the frame boundary itself
+  // cannot be trusted.
+  auto unwrap = [&](const std::vector<std::uint8_t>& reply) {
+    failed_at = FailurePoint::kServerReply;
+    try {
+      auto [body, size] = expect_ok(reply);
+      return std::vector<std::uint8_t>(body, body + size);
+    } catch (const ServeError& e) {
+      if (e.context() == "expect_ok") failed_at = FailurePoint::kTransport;
+      throw;
+    }
+  };
+
+  try {
+    write_frame(fd_.get(), frame, timeout_ms_, max_frame_bytes_);
+  } catch (const ServeError& write_error) {
+    if (write_error.status() == Status::kTooLarge) throw;
+    // The peer closed mid-write. A server that shed this connection at
+    // admission (kOverloaded / kShuttingDown) wrote its verdict before
+    // closing, so prefer that structured reason over a bare EPIPE.
+    std::optional<std::vector<std::uint8_t>> verdict;
+    try {
+      verdict = read_frame(fd_.get(), timeout_ms_, max_frame_bytes_);
+    } catch (const ServeError&) {
+      throw write_error;
+    }
+    if (!verdict) throw write_error;
+    return unwrap(*verdict);
+  }
+
   std::optional<std::vector<std::uint8_t>> reply =
       read_frame(fd_.get(), timeout_ms_, max_frame_bytes_);
   if (!reply)
     throw ServeError(Status::kInternal, "Client::round_trip",
                      "server closed the connection without replying");
-  auto [body, size] = expect_ok(*reply);
-  return std::vector<std::uint8_t>(body, body + size);
+  return unwrap(*reply);
 }
 
-void Client::ping() { round_trip(encode_request(PingRequest{})); }
+std::vector<std::uint8_t> Client::round_trip(
+    const std::vector<std::uint8_t>& frame, Idempotency idempotency) {
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(policy_.budget_ms);
+  int prev_backoff_ms = policy_.base_backoff_ms;
+  for (int attempt = 1;; ++attempt) {
+    ++stats_.attempts;
+    FailurePoint failed_at = FailurePoint::kConnect;
+    try {
+      return attempt_once(frame, attempt == 1, failed_at);
+    } catch (const ServeError& e) {
+      bool retryable;
+      if (failed_at == FailurePoint::kServerReply) {
+        // Structured reply. Pre-execution rejections (shed at admission,
+        // or timed out before the request was decoded) are retryable for
+        // every request — the server provably never ran it — and precede
+        // the server closing the connection, so drop ours too. Anything
+        // else (kNotFound, kBadRequest, ...) is the request's final
+        // verdict: rethrow and keep the connection usable.
+        retryable = pre_execution_status(e.status());
+        if (retryable) fd_.reset();
+      } else {
+        // Local transport failure: the stream position is unknown, so the
+        // connection is gone either way. Retry if re-executing is safe
+        // (idempotent request), or if nothing was ever sent (connect
+        // failed). kTooLarge is permanent — the frame will never fit.
+        fd_.reset();
+        retryable = e.status() != Status::kTooLarge &&
+                    (idempotency == Idempotency::kRetryable ||
+                     failed_at == FailurePoint::kConnect);
+      }
+      if (!retryable || attempt >= policy_.max_attempts ||
+          remaining_ms(deadline) == 0)
+        throw;
+    }
+    ++stats_.retries;
+    // Decorrelated jitter: each sleep draws uniformly from
+    // [base, 3 * previous], capped, so recovering clients spread out
+    // instead of synchronizing on a common backoff schedule.
+    const double lo = static_cast<double>(policy_.base_backoff_ms);
+    const double hi = static_cast<double>(prev_backoff_ms) * 3.0 + 1.0;
+    int sleep_ms = static_cast<int>(jitter_rng_.uniform(lo, std::max(lo, hi)));
+    sleep_ms = std::min(sleep_ms, policy_.max_backoff_ms);
+    sleep_ms = std::min(sleep_ms, remaining_ms(deadline));
+    if (sleep_ms > 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    prev_backoff_ms = std::max(sleep_ms, policy_.base_backoff_ms);
+  }
+}
+
+void Client::ping() {
+  round_trip(encode_request(PingRequest{}), Idempotency::kRetryable);
+}
 
 std::uint64_t Client::publish(const std::string& name,
                               const FittedModel& model) {
@@ -35,9 +184,12 @@ std::uint64_t Client::publish_blob(const std::string& name,
   PublishRequest request;
   request.name = name;
   request.blob = blob;
+  // Publishing twice would mint two registry versions, so transport
+  // failures after the frame may have been sent are not retried.
   const std::vector<std::uint8_t> body =
-      round_trip(encode_request(request));
-  return decode_publish_response(body.data(), body.size());
+      round_trip(encode_request(request), Idempotency::kPreSendOnly);
+  return decode_or_drop(
+      [&] { return decode_publish_response(body.data(), body.size()); });
 }
 
 Client::Evaluation Client::evaluate(const std::string& name,
@@ -48,20 +200,40 @@ Client::Evaluation Client::evaluate(const std::string& name,
   request.version = version;
   request.points = points;
   const std::vector<std::uint8_t> body =
-      round_trip(encode_request(request));
-  EvaluateResponse response =
-      decode_evaluate_response(body.data(), body.size());
+      round_trip(encode_request(request), Idempotency::kRetryable);
+  EvaluateResponse response = decode_or_drop(
+      [&] { return decode_evaluate_response(body.data(), body.size()); });
   return Evaluation{response.version, std::move(response.values)};
+}
+
+Client::Solve Client::solve(const linalg::Matrix& g, const linalg::Vector& f,
+                            const linalg::Vector& q, const linalg::Vector& mu,
+                            double tau) {
+  SolveRequest request;
+  request.g = g;
+  request.f = f;
+  request.q = q;
+  request.mu = mu;
+  request.tau = tau;
+  const std::vector<std::uint8_t> body =
+      round_trip(encode_request(request), Idempotency::kRetryable);
+  SolveResponse response = decode_or_drop(
+      [&] { return decode_solve_response(body.data(), body.size()); });
+  return Solve{std::move(response.coefficients), response.report};
 }
 
 std::vector<ModelInfo> Client::list() {
   const std::vector<std::uint8_t> body =
-      round_trip(encode_request(ListRequest{}));
-  return decode_list_response(body.data(), body.size());
+      round_trip(encode_request(ListRequest{}), Idempotency::kRetryable);
+  return decode_or_drop(
+      [&] { return decode_list_response(body.data(), body.size()); });
 }
 
 void Client::shutdown_server() {
-  round_trip(encode_request(ShutdownRequest{}));
+  // Re-requesting shutdown is harmless (the flag is idempotent), but a
+  // retry against an already-draining daemon would just consume the
+  // budget; pre-send-only keeps the common case to one attempt.
+  round_trip(encode_request(ShutdownRequest{}), Idempotency::kPreSendOnly);
 }
 
 }  // namespace bmf::serve

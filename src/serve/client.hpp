@@ -2,6 +2,20 @@
 // connection; requests are issued synchronously (send frame, await reply).
 // Server-side failures surface as the same ServeError the server threw —
 // status, context, and message cross the wire intact.
+//
+// The client is self-healing: when a request fails in transit (connection
+// refused, dropped mid-frame, timed out) or the server sheds it
+// (kOverloaded, kShuttingDown) or times it out before execution
+// (kTimeout), the client reconnects and retries under a RetryPolicy —
+// bounded attempts, a single total deadline budget, and exponential
+// backoff with decorrelated jitter so a fleet of clients recovering from
+// the same outage does not retry in lockstep. Retries respect
+// idempotency: ping/evaluate/list repeat safely and retry on any
+// transport failure; publish and shutdown are retried only when the
+// failure provably precedes execution (connect failed, or the server
+// rejected the connection at admission before reading the request).
+// Permanent errors — unknown model, malformed request, oversized frame —
+// are never retried.
 #pragma once
 
 #include <cstddef>
@@ -13,15 +27,51 @@
 #include "serve/fitted_model.hpp"
 #include "serve/registry.hpp"
 #include "serve/wire.hpp"
+#include "stats/rng.hpp"
 
 namespace bmf::serve {
+
+/// Bounds on the client's reconnect-and-retry loop. Every knob has an
+/// environment override (read by from_env) so deployment scripts can tune
+/// resilience without recompiling:
+///   BMF_SERVE_MAX_ATTEMPTS     total tries per request  (default 4)
+///   BMF_SERVE_BACKOFF_BASE_MS  first backoff sleep      (default 5)
+///   BMF_SERVE_BACKOFF_CAP_MS   backoff ceiling          (default 200)
+///   BMF_SERVE_RETRY_BUDGET_MS  total deadline budget    (default 10000)
+///   BMF_SERVE_RETRY_SEED       jitter RNG seed          (default 1)
+struct RetryPolicy {
+  /// Total attempts per request (1 = no retries).
+  int max_attempts = 4;
+  /// First backoff sleep; later sleeps draw from [base, 3 * previous]
+  /// (decorrelated jitter), capped at max_backoff_ms.
+  int base_backoff_ms = 5;
+  int max_backoff_ms = 200;
+  /// Single deadline budget across all attempts and backoff sleeps of one
+  /// request: no retry starts after it expires.
+  int budget_ms = 10000;
+  /// Seed for the jitter RNG (deterministic backoff sequences in tests).
+  std::uint64_t seed = 1;
+
+  /// Defaults overridden by the BMF_SERVE_* environment variables above.
+  /// Unset, non-numeric, or out-of-range values keep the default.
+  static RetryPolicy from_env();
+};
+
+/// Counters for observing the retry loop (tests assert bounded retries;
+/// operators can log them).
+struct RetryStats {
+  std::uint64_t attempts = 0;    // round-trip attempts, first try included
+  std::uint64_t retries = 0;     // attempts after the first
+  std::uint64_t reconnects = 0;  // connect calls after the initial one
+};
 
 class Client {
  public:
   /// Connects (retrying until `timeout_ms` while the daemon comes up).
   /// The same timeout is then the per-request deadline.
   explicit Client(const std::string& socket_path, int timeout_ms = 5000,
-                  std::size_t max_frame_bytes = kDefaultMaxFrameBytes);
+                  std::size_t max_frame_bytes = kDefaultMaxFrameBytes,
+                  RetryPolicy policy = RetryPolicy{});
 
   /// Round-trip an empty request (liveness probe).
   void ping();
@@ -46,17 +96,73 @@ class Client {
   /// Registry snapshot (sorted by name).
   std::vector<ModelInfo> list();
 
+  struct Solve {
+    linalg::Vector coefficients;     // M MAP coefficients
+    linalg::RobustSpdReport report;  // degradation diagnostic (never thrown)
+  };
+
+  /// Server-side MAP solve of (tau D + G^T G) x = tau D mu + G^T f with
+  /// D = diag(q). Numerically indefinite kernels degrade (jitter, then
+  /// pseudo-solve) instead of failing; `report` says which path ran.
+  /// Idempotent, so it retries like evaluate.
+  Solve solve(const linalg::Matrix& g, const linalg::Vector& f,
+              const linalg::Vector& q, const linalg::Vector& mu, double tau);
+
   /// Ask the daemon to drain and exit (acknowledged before it stops).
   void shutdown_server();
 
+  const RetryPolicy& retry_policy() const { return policy_; }
+  const RetryStats& retry_stats() const { return stats_; }
+
  private:
-  /// Send `request`, read the reply, and return the kOk body (throws the
-  /// rehydrated ServeError on an error reply).
-  std::vector<std::uint8_t> round_trip(const std::vector<std::uint8_t>& frame);
+  /// How a request may be retried after a failure.
+  enum class Idempotency {
+    kRetryable,    // safe to re-execute (ping, evaluate, list)
+    kPreSendOnly,  // retry only failures that precede execution (publish)
+  };
+
+  /// Where in an attempt a ServeError escaped — drives the retry
+  /// classification (a locally-thrown kTimeout means something very
+  /// different from a server reply carrying kTimeout).
+  enum class FailurePoint {
+    kConnect,      // connect_unix failed: nothing was ever sent
+    kTransport,    // send/receive failed: execution state unknown
+    kServerReply,  // a structured error reply arrived intact
+  };
+
+  /// Send `frame`, read the reply, and return the kOk body (throws the
+  /// rehydrated ServeError on an error reply), reconnecting and retrying
+  /// per `policy_` as allowed by `idempotency`.
+  std::vector<std::uint8_t> round_trip(const std::vector<std::uint8_t>& frame,
+                                       Idempotency idempotency);
+
+  /// One attempt: reconnect if needed, send, await, unwrap. On throw,
+  /// `failed_at` reports how far the attempt got.
+  std::vector<std::uint8_t> attempt_once(
+      const std::vector<std::uint8_t>& frame, bool first_attempt,
+      FailurePoint& failed_at);
+
+  /// Run a response-body decoder; if it throws, the reply was structurally
+  /// invalid (e.g. truncated by a corrupted length prefix), so the stream
+  /// may hold leftover bytes that would misalign the next request — drop
+  /// the connection before rethrowing.
+  template <typename Decode>
+  auto decode_or_drop(Decode&& decode) {
+    try {
+      return decode();
+    } catch (...) {
+      fd_.reset();
+      throw;
+    }
+  }
 
   UniqueFd fd_;
+  std::string socket_path_;
   int timeout_ms_;
   std::size_t max_frame_bytes_;
+  RetryPolicy policy_;
+  RetryStats stats_;
+  stats::Rng jitter_rng_;
 };
 
 }  // namespace bmf::serve

@@ -22,12 +22,14 @@ const char* to_string(Status status) {
       return "shutting-down";
     case Status::kInternal:
       return "internal";
+    case Status::kOverloaded:
+      return "overloaded";
   }
   return "internal";
 }
 
 Status status_from_byte(std::uint8_t byte) {
-  if (byte > static_cast<std::uint8_t>(Status::kInternal))
+  if (byte > static_cast<std::uint8_t>(Status::kOverloaded))
     throw std::invalid_argument("status_from_byte: unknown status code " +
                                 std::to_string(byte));
   return static_cast<Status>(byte);

@@ -28,6 +28,7 @@ enum class Status : std::uint8_t {
   kTimeout = 6,          // per-request deadline expired
   kShuttingDown = 7,     // server rejected the request while draining
   kInternal = 8,         // anything else (bug surface, not client error)
+  kOverloaded = 9,       // admission limit hit; connection shed, retry later
 };
 
 /// Stable lowercase token for a status, e.g. "not-found". Unknown values

@@ -44,6 +44,15 @@ std::vector<std::uint8_t> encode_request(const Request& request) {
       w.f64(ev->points.data()[i]);
   } else if (std::holds_alternative<ListRequest>(request)) {
     w.u8(static_cast<std::uint8_t>(MessageType::kList));
+  } else if (const auto* sv = std::get_if<SolveRequest>(&request)) {
+    w.u8(static_cast<std::uint8_t>(MessageType::kSolve));
+    w.u64(sv->g.rows());
+    w.u64(sv->g.cols());
+    for (std::size_t i = 0; i < sv->g.size(); ++i) w.f64(sv->g.data()[i]);
+    for (double v : sv->f) w.f64(v);
+    for (double v : sv->q) w.f64(v);
+    for (double v : sv->mu) w.f64(v);
+    w.f64(sv->tau);
   } else {
     w.u8(static_cast<std::uint8_t>(MessageType::kShutdown));
   }
@@ -101,6 +110,30 @@ Request decode_request(const std::uint8_t* data, std::size_t size) {
       r.expect_done();
       return ShutdownRequest{};
     }
+    case static_cast<std::uint8_t>(MessageType::kSolve): {
+      SolveRequest sv;
+      const std::uint64_t k = r.u64();
+      const std::uint64_t m = r.u64();
+      if (k == 0 || m == 0) bad_request("solve with an empty system");
+      // (K*M + K + 2M + 1) f64 entries must exactly fill the rest of the
+      // frame; the division guards K*M overflow before any allocation.
+      if (k > r.remaining() / 8 / m ||
+          (k * m + k + 2 * m + 1) * 8 != r.remaining())
+        bad_request("solve system of " + std::to_string(k) + " x " +
+                    std::to_string(m) + " entries does not match the " +
+                    std::to_string(r.remaining()) + " remaining byte(s)");
+      sv.g.assign(k, m);
+      for (std::size_t i = 0; i < sv.g.size(); ++i) sv.g.data()[i] = r.f64();
+      sv.f.resize(k);
+      for (std::uint64_t i = 0; i < k; ++i) sv.f[i] = r.f64();
+      sv.q.resize(m);
+      for (std::uint64_t i = 0; i < m; ++i) sv.q[i] = r.f64();
+      sv.mu.resize(m);
+      for (std::uint64_t i = 0; i < m; ++i) sv.mu[i] = r.f64();
+      sv.tau = r.f64();
+      r.expect_done();
+      return sv;
+    }
     default:
       bad_request("unknown message type " + std::to_string(type));
   }
@@ -147,6 +180,18 @@ std::vector<std::uint8_t> encode_list_response(
     w.u64(m.dimension);
     w.u64(m.num_terms);
   }
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_solve_response(const SolveResponse& response) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(Status::kOk));
+  w.u8(static_cast<std::uint8_t>(response.report.path));
+  w.u32(response.report.attempts);
+  w.f64(response.report.jitter);
+  w.u64(response.report.discarded);
+  w.u64(response.coefficients.size());
+  for (double v : response.coefficients) w.f64(v);
   return w.take();
 }
 
@@ -222,6 +267,33 @@ std::vector<ModelInfo> decode_list_response(const std::uint8_t* body,
   }
   r.expect_done();
   return models;
+}
+
+SolveResponse decode_solve_response(const std::uint8_t* body,
+                                    std::size_t size) {
+  ByteReader r = response_reader(body, size, "decode_solve_response");
+  SolveResponse response;
+  const std::uint8_t path = r.u8();
+  if (path > static_cast<std::uint8_t>(
+                 linalg::RobustSpdReport::Path::kPseudoInverse))
+    throw ServeError(Status::kBadRequest, "decode_solve_response",
+                     "unknown degradation path " + std::to_string(path));
+  response.report.path = static_cast<linalg::RobustSpdReport::Path>(path);
+  response.report.attempts = r.u32();
+  response.report.jitter = r.f64();
+  response.report.discarded = r.u64();
+  const std::uint64_t count = r.u64();
+  if (count > r.remaining() / 8 || count * 8 != r.remaining())
+    throw ServeError(Status::kBadRequest, "decode_solve_response",
+                     "coefficient count " + std::to_string(count) +
+                         " does not match the " +
+                         std::to_string(r.remaining()) +
+                         " remaining byte(s)");
+  response.coefficients.resize(count);
+  for (std::uint64_t i = 0; i < count; ++i)
+    response.coefficients[i] = r.f64();
+  r.expect_done();
+  return response;
 }
 
 }  // namespace bmf::serve

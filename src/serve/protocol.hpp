@@ -25,6 +25,17 @@
 //                                                   u64 M
 //   kShutdown  ->  (empty)                      <-  (empty; the server
 //                                                   drains and exits)
+//   kSolve     ->  u64 K, u64 M,                <-  u8 degradation path,
+//                  K x M x f64 design matrix,       u32 attempts,
+//                  K x f64 responses,               f64 jitter,
+//                  M x f64 precision scale q,       u64 discarded
+//                  M x f64 prior mean mu,           eigenvalues, u64 M,
+//                  f64 tau                          M x f64 coefficients
+//
+// kSolve is the degradation-aware MAP solve: the reply is kOk even when
+// the kernel was numerically indefinite — the RobustSpdReport fields say
+// how the answer was obtained (see linalg/cholesky.hpp), so clients get a
+// structured "Degraded" diagnostic instead of a dead request.
 //
 // Decoders throw ServeError(kBadRequest) on malformed bytes and never
 // return partially-populated messages. Encode/decode are exact inverses —
@@ -38,6 +49,7 @@
 #include <variant>
 #include <vector>
 
+#include "linalg/cholesky.hpp"
 #include "linalg/matrix.hpp"
 #include "serve/error.hpp"
 #include "serve/registry.hpp"
@@ -50,6 +62,7 @@ enum class MessageType : std::uint8_t {
   kEvaluate = 2,
   kList = 3,
   kShutdown = 4,
+  kSolve = 5,
 };
 
 struct PingRequest {};
@@ -64,13 +77,25 @@ struct EvaluateRequest {
 };
 struct ListRequest {};
 struct ShutdownRequest {};
+struct SolveRequest {
+  linalg::Matrix g;   // K x M design matrix
+  linalg::Vector f;   // K responses
+  linalg::Vector q;   // M per-coefficient precision scales (> 0)
+  linalg::Vector mu;  // M prior means (all zero = zero-mean prior)
+  double tau = 0.0;   // likelihood-vs-prior weight (> 0)
+};
 
 using Request = std::variant<PingRequest, PublishRequest, EvaluateRequest,
-                             ListRequest, ShutdownRequest>;
+                             ListRequest, ShutdownRequest, SolveRequest>;
 
 struct EvaluateResponse {
   std::uint64_t version = 0;  // the version actually evaluated
   linalg::Vector values;      // B predictions, row order
+};
+
+struct SolveResponse {
+  linalg::Vector coefficients;     // M MAP coefficients
+  linalg::RobustSpdReport report;  // how they were obtained
 };
 
 // ---- Request codecs --------------------------------------------------------
@@ -88,6 +113,7 @@ std::vector<std::uint8_t> encode_evaluate_response(
     const EvaluateResponse& response);
 std::vector<std::uint8_t> encode_list_response(
     const std::vector<ModelInfo>& models);
+std::vector<std::uint8_t> encode_solve_response(const SolveResponse& response);
 
 /// Error frame: non-kOk status + context + message.
 std::vector<std::uint8_t> encode_error(const ServeError& error);
@@ -105,5 +131,7 @@ EvaluateResponse decode_evaluate_response(const std::uint8_t* body,
                                           std::size_t size);
 std::vector<ModelInfo> decode_list_response(const std::uint8_t* body,
                                             std::size_t size);
+SolveResponse decode_solve_response(const std::uint8_t* body,
+                                    std::size_t size);
 
 }  // namespace bmf::serve

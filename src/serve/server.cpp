@@ -1,40 +1,153 @@
 #include "serve/server.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <exception>
+#include <thread>
 
 #include <unistd.h>
 
+#include "bmf/map_solver.hpp"
+#include "bmf/prior.hpp"
 #include "serve/model_codec.hpp"
 #include "serve/protocol.hpp"
 
 namespace bmf::serve {
 
 namespace {
-/// Accept-poll period: the latency bound on noticing request_stop().
+
+/// Accept/idle poll period: the latency bound on noticing request_stop().
 constexpr int kAcceptPollMs = 100;
+
+/// Deadline for the best-effort error reply on a shed connection. Short:
+/// the point of shedding is to stay responsive, not to babysit the peer.
+constexpr int kShedReplyTimeoutMs = 100;
+
+using Clock = std::chrono::steady_clock;
+
+int remaining_ms(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        deadline - Clock::now())
+                        .count();
+  return left > 0 ? static_cast<int>(left) : 0;
+}
+
 }  // namespace
 
 Server::Server(ServerOptions options)
     : options_(std::move(options)),
       registry_(options_.registry_capacity),
       evaluator_(options_.evaluator_block_rows),
-      listen_fd_(listen_unix(options_.socket_path)) {}
+      listen_fd_(listen_unix(options_.socket_path)) {
+  if (options_.worker_threads == 0) options_.worker_threads = 1;
+}
 
 Server::~Server() { ::unlink(options_.socket_path.c_str()); }
 
 void Server::run() {
+  std::vector<std::thread> workers;
+  workers.reserve(options_.worker_threads);
+  for (std::size_t i = 0; i < options_.worker_threads; ++i)
+    workers.emplace_back([this] { worker_loop(); });
+
   while (!stop_requested()) {
     std::optional<UniqueFd> conn =
         accept_connection(listen_fd_.get(), kAcceptPollMs);
     if (!conn) continue;  // poll tick: re-check the stop flag
-    serve_connection(conn->get());
+
+    std::unique_lock<std::mutex> lk(queue_mu_);
+    if (active_ + pending_.size() >=
+        options_.worker_threads + options_.max_pending) {
+      lk.unlock();
+      shed(std::move(*conn), Status::kOverloaded);
+      continue;
+    }
+    pending_.push_back(std::move(*conn));
+    lk.unlock();
+    queue_cv_.notify_one();
+  }
+
+  // Graceful drain. Workers notice the stop flag (on their poll tick if
+  // idle, after the request in flight otherwise) and exit; connections
+  // that were accepted but never picked up get a structured rejection
+  // rather than a silent close.
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers) worker.join();
+  std::deque<UniqueFd> leftover;
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    leftover.swap(pending_);
+  }
+  for (UniqueFd& conn : leftover) shed(std::move(conn), Status::kShuttingDown);
+}
+
+void Server::worker_loop() {
+  for (;;) {
+    UniqueFd conn;
+    {
+      std::unique_lock<std::mutex> lk(queue_mu_);
+      // Timed wait: request_stop() deliberately does not notify (it must
+      // stay async-signal-safe), so the flag is re-checked on this tick.
+      queue_cv_.wait_for(lk, std::chrono::milliseconds(kAcceptPollMs),
+                         [this] {
+                           return stop_requested() || !pending_.empty();
+                         });
+      if (stop_requested()) return;
+      if (pending_.empty()) continue;
+      conn = std::move(pending_.front());
+      pending_.pop_front();
+      ++active_;
+    }
+    serve_connection(conn.get());
+    conn.reset();
+    {
+      std::lock_guard<std::mutex> lk(queue_mu_);
+      --active_;
+    }
+  }
+}
+
+void Server::shed(UniqueFd conn, Status status) noexcept {
+  connections_shed_.fetch_add(1, std::memory_order_relaxed);
+  try {
+    const ServeError e(
+        status, "admission",
+        status == Status::kOverloaded
+            ? "all " + std::to_string(options_.worker_threads) +
+                  " worker(s) busy and " +
+                  std::to_string(options_.max_pending) +
+                  " pending slot(s) full; retry with backoff"
+            : "server is draining; connection rejected");
+    write_frame(conn.get(), encode_error(e), kShedReplyTimeoutMs,
+                options_.max_frame_bytes);
+  } catch (...) {
+    // Best effort only: the peer may already be gone, and a shed path
+    // that can throw would defeat its purpose.
   }
 }
 
 void Server::serve_connection(int fd) {
-  while (!stop_requested()) {
+  for (;;) {
     std::optional<std::vector<std::uint8_t>> frame;
     try {
+      // Sliced idle wait: a connection with no request in flight notices a
+      // stop request within one poll tick and drains out. Once bytes are
+      // readable the request runs to completion, reply included, even if
+      // stop arrives meanwhile — that is the in-flight half of the drain
+      // guarantee.
+      const auto idle_deadline =
+          Clock::now() + std::chrono::milliseconds(options_.request_timeout_ms);
+      for (;;) {
+        if (stop_requested()) return;
+        const int left = remaining_ms(idle_deadline);
+        if (left == 0)
+          throw ServeError(Status::kTimeout, "serve_connection",
+                           "no request arrived within " +
+                               std::to_string(options_.request_timeout_ms) +
+                               " ms");
+        if (poll_readable(fd, std::min(kAcceptPollMs, left))) break;
+      }
       frame = read_frame(fd, options_.request_timeout_ms,
                          options_.max_frame_bytes);
     } catch (const ServeError& e) {
@@ -91,6 +204,34 @@ bool Server::handle_request(int fd, const std::vector<std::uint8_t>& frame) {
       reply = encode_evaluate_response(response);
     } else if (std::holds_alternative<ListRequest>(request)) {
       reply = encode_list_response(registry_.list());
+    } else if (const auto* sv = std::get_if<SolveRequest>(&request)) {
+      // Explicit validation: the numeric layer's contract checks compile
+      // out of Release builds, and a daemon must answer garbage input with
+      // kBadRequest, not undefined behaviour or a kInternal surprise.
+      if (!(sv->tau > 0.0) || !std::isfinite(sv->tau))
+        throw ServeError(Status::kBadRequest, "solve",
+                         "tau must be positive and finite");
+      for (std::size_t i = 0; i < sv->g.size(); ++i)
+        if (!std::isfinite(sv->g.data()[i]))
+          throw ServeError(Status::kBadRequest, "solve",
+                           "design matrix must be finite");
+      for (double v : sv->f)
+        if (!std::isfinite(v))
+          throw ServeError(Status::kBadRequest, "solve",
+                           "responses must be finite");
+      core::CoefficientPrior prior = [&] {
+        try {
+          return core::CoefficientPrior::from_moments(sv->mu, sv->q);
+        } catch (const std::invalid_argument& e) {
+          throw ServeError(Status::kBadRequest, "solve", e.what());
+        }
+      }();
+      const core::RobustMapResult result =
+          core::map_solve_robust(sv->g, sv->f, prior, sv->tau);
+      SolveResponse response;
+      response.coefficients = result.coefficients;
+      response.report = result.report;
+      reply = encode_solve_response(response);
     } else {  // ShutdownRequest
       reply = encode_ok();
       shutdown = true;
@@ -98,6 +239,12 @@ bool Server::handle_request(int fd, const std::vector<std::uint8_t>& frame) {
     }
   } catch (const ServeError& e) {
     reply = encode_error(e);
+    // A frame that failed to decode may be the product of a torn or
+    // corrupted stream (e.g. a damaged length prefix slicing the frame
+    // short), so the bytes after it cannot be trusted as a frame
+    // boundary: reply, then drop the connection. Semantic failures on a
+    // well-decoded request (kNotFound, kCorruptModel, ...) keep it open.
+    if (e.context() == "decode_request") keep_open = false;
   } catch (const std::exception& e) {
     // Anything else (contract violation, bad_alloc, ...) is a server-side
     // bug surface: report it structurally rather than dying silently.

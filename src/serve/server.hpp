@@ -4,24 +4,38 @@
 // so a caller that sees the constructor return can connect), then run()
 // blocks in the accept loop until a kShutdown request arrives or
 // request_stop() is called (signal-handler safe: it only stores to an
-// atomic). Connections are served one at a time, each request end to end —
-// throughput comes from batching (one evaluate request carries thousands
-// of points through the parallel design-matrix/gemv path), not from
-// interleaving protocol state machines. Every request has a deadline; a
-// client that stalls mid-frame times out and is disconnected without
-// affecting the next connection. Request failures — corrupt model blob,
-// unknown name, malformed frame — produce a structured error reply
-// (status + context + message, the ServeError triple) and the connection
-// stays usable; only transport-level failures drop the connection.
+// atomic). Accepted connections are dispatched to a bounded pool of worker
+// threads — a client that stalls mid-frame no longer blocks every other
+// client behind it — with explicit admission control: when all workers are
+// busy and the pending queue is full, a new connection is shed with a
+// structured kOverloaded reply instead of queueing unboundedly, so load
+// beyond capacity degrades into fast, retryable rejections rather than
+// ever-growing latency. Per-request throughput still comes from batching
+// (one evaluate request carries thousands of points through the parallel
+// design-matrix/gemv path); the pool exists for isolation and tail
+// latency, not kernel parallelism. Every request has a deadline; a client
+// that stalls mid-frame times out and is disconnected without affecting
+// other connections. Request failures — corrupt model blob, unknown name,
+// malformed frame — produce a structured error reply (status + context +
+// message, the ServeError triple) and the connection stays usable; only
+// transport-level failures drop the connection.
+//
+// Stopping drains gracefully: workers finish the request in flight on
+// their connection, idle connections and queued-but-unserved ones are
+// rejected (kShuttingDown), and new connections are no longer accepted.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "serve/batch_evaluator.hpp"
+#include "serve/error.hpp"
 #include "serve/registry.hpp"
 #include "serve/wire.hpp"
 
@@ -38,6 +52,13 @@ struct ServerOptions {
   std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
   /// Rows per design-matrix tile in the evaluator.
   std::size_t evaluator_block_rows = 2048;
+  /// Connections served concurrently. 1 reproduces the historical
+  /// one-at-a-time behaviour (requests on distinct connections serialize).
+  std::size_t worker_threads = 4;
+  /// Accepted connections allowed to wait for a free worker before new
+  /// ones are shed with kOverloaded. 0 = shed whenever all workers are
+  /// busy (strict admission).
+  std::size_t max_pending = 8;
 };
 
 class Server {
@@ -51,12 +72,15 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Accept/serve loop; returns after a graceful shutdown (kShutdown
-  /// request or request_stop()). Call from one thread only.
+  /// Accept/dispatch loop; spawns the worker pool, returns after a
+  /// graceful drain (kShutdown request or request_stop()). Call from one
+  /// thread only.
   void run();
 
-  /// Ask run() to return at its next accept-poll tick (<= ~100 ms).
-  /// Async-signal-safe: only performs a relaxed atomic store.
+  /// Ask run() to drain and return (noticed within ~100 ms: accept loop
+  /// and idle workers poll the flag on that tick). Async-signal-safe: only
+  /// performs a relaxed atomic store — deliberately no condition-variable
+  /// notify, which is not safe from a signal handler.
   void request_stop() noexcept { stop_.store(true, std::memory_order_relaxed); }
 
   bool stop_requested() const noexcept {
@@ -70,9 +94,20 @@ class Server {
   /// Requests served since construction (for logs/tests; any thread).
   std::uint64_t requests_served() const { return requests_served_.load(); }
 
+  /// Connections rejected at admission (kOverloaded) or during the final
+  /// drain (kShuttingDown) since construction.
+  std::uint64_t connections_shed() const { return connections_shed_.load(); }
+
  private:
+  /// Worker thread body: pop accepted connections, serve each to EOF.
+  void worker_loop();
+
   /// Serve one connection until EOF/stop/transport error.
   void serve_connection(int fd);
+
+  /// Reject a connection with a best-effort structured error reply
+  /// (kOverloaded / kShuttingDown) and close it.
+  void shed(UniqueFd conn, Status status) noexcept;
 
   /// Decode, dispatch, and reply to one request frame. Returns false when
   /// the connection should close (shutdown request).
@@ -84,6 +119,12 @@ class Server {
   UniqueFd listen_fd_;
   std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> requests_served_{0};
+  std::atomic<std::uint64_t> connections_shed_{0};
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<UniqueFd> pending_;   // accepted, waiting for a worker
+  std::size_t active_ = 0;         // connections being served (queue_mu_)
 };
 
 }  // namespace bmf::serve

@@ -1,5 +1,6 @@
 #include "serve/wire.hpp"
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -10,6 +11,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "fault/fault.hpp"
 #include "serve/error.hpp"
 
 namespace bmf::serve {
@@ -32,7 +34,10 @@ int remaining_ms(Clock::time_point deadline) {
 }
 
 /// poll() for `events` on fd until the deadline; throws kTimeout if the
-/// deadline passes first. Retries EINTR with the remaining time.
+/// deadline passes first. Retries EINTR with the remaining time, and
+/// re-checks the wall clock on a zero return instead of trusting poll's
+/// own accounting: a spurious early wakeup must not abandon a connection
+/// (and a reply already in flight) while budget remains.
 void wait_ready(int fd, short events, Clock::time_point deadline,
                 const char* context) {
   for (;;) {
@@ -41,11 +46,14 @@ void wait_ready(int fd, short events, Clock::time_point deadline,
     pfd.events = events;
     pfd.revents = 0;
     const int left = remaining_ms(deadline);
-    const int rc = ::poll(&pfd, 1, left);
+    const int rc = fault::sys_poll(&pfd, 1, left);
     if (rc > 0) return;  // readable/writable (or HUP/ERR: let the I/O fail)
-    if (rc == 0)
-      throw ServeError(Status::kTimeout, context,
-                       "deadline expired waiting for the peer");
+    if (rc == 0) {
+      if (remaining_ms(deadline) == 0)
+        throw ServeError(Status::kTimeout, context,
+                         "deadline expired waiting for the peer");
+      continue;  // woke early: poll again with the remaining time
+    }
     if (errno != EINTR) sys_fail(context, "poll");
   }
 }
@@ -81,7 +89,7 @@ bool read_exact(int fd, std::uint8_t* out, std::size_t n,
   std::size_t done = 0;
   while (done < n) {
     wait_ready(fd, POLLIN, deadline, context);
-    const ssize_t rc = ::read(fd, out + done, n - done);
+    const ssize_t rc = fault::sys_read(fd, out + done, n - done);
     if (rc > 0) {
       done += static_cast<std::size_t>(rc);
       continue;
@@ -104,7 +112,8 @@ void write_exact(int fd, const std::uint8_t* data, std::size_t n,
   std::size_t done = 0;
   while (done < n) {
     wait_ready(fd, POLLOUT, deadline, context);
-    const ssize_t rc = ::send(fd, data + done, n - done, MSG_NOSIGNAL);
+    const ssize_t rc =
+        fault::sys_send(fd, data + done, n - done, MSG_NOSIGNAL);
     if (rc >= 0) {
       done += static_cast<std::size_t>(rc);
       continue;
@@ -144,10 +153,27 @@ UniqueFd listen_unix(const std::string& path, int backlog) {
   const sockaddr_un addr = make_unix_address(path, context);
   UniqueFd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
   if (!fd.valid()) sys_fail(context, "socket");
-  ::unlink(path.c_str());  // stale socket file from a previous run
   if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
-             sizeof(addr)) != 0)
-    sys_fail(context, "bind " + path);
+             sizeof(addr)) != 0) {
+    if (errno != EADDRINUSE) sys_fail(context, "bind " + path);
+    // The path exists. Distinguish a live daemon from a stale socket file
+    // left by a crash: a probe connect reaches a live listener (or queues
+    // on its backlog), while a dead socket file refuses. Only the dead
+    // file may be unlinked — blindly unlinking would silently steal the
+    // path from a running daemon.
+    UniqueFd probe(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!probe.valid()) sys_fail(context, "socket (stale-path probe)");
+    if (fault::sys_connect(probe.get(),
+                           reinterpret_cast<const sockaddr*>(&addr),
+                           sizeof(addr)) == 0 ||
+        (errno != ECONNREFUSED && errno != ENOENT))
+      throw ServeError(Status::kInternal, context,
+                       path + " is in use by a live daemon");
+    ::unlink(path.c_str());
+    if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0)
+      sys_fail(context, "bind " + path + " (after unlinking a stale socket)");
+  }
   if (::listen(fd.get(), backlog) != 0) sys_fail(context, "listen " + path);
   return fd;
 }
@@ -156,21 +182,28 @@ UniqueFd connect_unix(const std::string& path, int timeout_ms) {
   const char* context = "connect_unix";
   const auto deadline = deadline_from(timeout_ms);
   const sockaddr_un addr = make_unix_address(path, context);
+  // Capped exponential backoff between attempts: many clients racing a
+  // starting daemon spread out instead of stampeding it at a fixed period.
+  int backoff_ms = 1;
   for (;;) {
     UniqueFd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
     if (!fd.valid()) sys_fail(context, "socket");
-    if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
-                  sizeof(addr)) == 0)
+    if (fault::sys_connect(fd.get(),
+                           reinterpret_cast<const sockaddr*>(&addr),
+                           sizeof(addr)) == 0)
       return fd;
     // ECONNREFUSED/ENOENT while the daemon is still coming up: retry
     // until the deadline so "start daemon; connect" scripts need no sleep.
     if (errno != ECONNREFUSED && errno != ENOENT && errno != EINTR)
       sys_fail(context, "connect " + path);
-    if (remaining_ms(deadline) == 0)
+    const int left = remaining_ms(deadline);
+    if (left == 0)
       throw ServeError(Status::kTimeout, context,
                        "no daemon accepted " + path + " within " +
                            std::to_string(timeout_ms) + " ms");
-    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(std::min(backoff_ms, left)));
+    backoff_ms = std::min(backoff_ms * 2, 64);
   }
 }
 
@@ -184,12 +217,24 @@ std::optional<UniqueFd> accept_connection(int listen_fd, int timeout_ms) {
       if (e.status() == Status::kTimeout) return std::nullopt;
       throw;
     }
-    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    const int fd = fault::sys_accept(listen_fd);
     if (fd >= 0) return UniqueFd(fd);
     if (errno != EINTR && errno != ECONNABORTED && errno != EAGAIN &&
         errno != EWOULDBLOCK)
       sys_fail(context, "accept");
   }
+}
+
+bool poll_readable(int fd, int timeout_ms) {
+  const char* context = "poll_readable";
+  const auto deadline = deadline_from(timeout_ms);
+  try {
+    wait_ready(fd, POLLIN, deadline, context);
+  } catch (const ServeError& e) {
+    if (e.status() == Status::kTimeout) return false;
+    throw;
+  }
+  return true;
 }
 
 void write_frame(int fd, const std::uint8_t* data, std::size_t size,

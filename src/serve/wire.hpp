@@ -8,6 +8,12 @@
 // ServeError(kTimeout) instead of hanging the daemon. Partial reads and
 // writes (short recv/send, EINTR) are handled by looping.
 //
+// Every syscall on this surface goes through src/fault — deterministic,
+// seeded fault-injection wrappers (sys_read/sys_send/sys_poll/sys_connect/
+// sys_accept) that are raw syscalls unless a FaultPlan is armed. The chaos
+// suite uses them to prove the loops above reassemble frames byte-exactly
+// under short I/O, EINTR storms, delays, and mid-frame drops.
+//
 // Sockets are AF_UNIX SOCK_STREAM — the serving story here is many local
 // clients (simulation jobs, optimization loops) hammering one daemon;
 // nothing in the framing is UNIX-specific, so a TCP listener would slot in
@@ -46,19 +52,28 @@ class UniqueFd {
   int fd_ = -1;
 };
 
-/// Create, bind, and listen on a UNIX-domain stream socket. An existing
-/// socket file at `path` is unlinked first (stale leftover from a crashed
-/// daemon). Throws ServeError(kInternal) on failure.
+/// Create, bind, and listen on a UNIX-domain stream socket. If the path is
+/// already bound, a probe connect distinguishes a live daemon (throws
+/// ServeError(kInternal, "...in use by a live daemon")) from a stale socket
+/// file left by a crash, which is unlinked so the daemon restarts cleanly.
 UniqueFd listen_unix(const std::string& path, int backlog = 16);
 
 /// Connect to a listening UNIX-domain socket, waiting up to `timeout_ms`
-/// for the connection to be accepted. Throws ServeError(kTimeout /
+/// for the connection to be accepted. Retries ECONNREFUSED/ENOENT with
+/// capped exponential backoff (1 ms doubling to 64 ms) so clients racing a
+/// starting daemon don't stampede it. Throws ServeError(kTimeout /
 /// kInternal).
 UniqueFd connect_unix(const std::string& path, int timeout_ms);
 
 /// Accept one connection, waiting up to `timeout_ms`. Returns an empty
 /// optional on timeout (the caller's chance to poll its stop flag).
 std::optional<UniqueFd> accept_connection(int listen_fd, int timeout_ms);
+
+/// Wait up to `timeout_ms` for fd to become readable (data or EOF).
+/// Returns false on timeout; retries EINTR; throws ServeError(kInternal)
+/// on poll failure. Lets the server slice a request-idle wait into short
+/// polls so it can notice a stop request between them.
+bool poll_readable(int fd, int timeout_ms);
 
 /// Write one frame (length prefix + payload) within `timeout_ms`.
 /// Throws ServeError(kTooLarge) if size > max_frame, kTimeout on deadline,

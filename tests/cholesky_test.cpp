@@ -109,5 +109,59 @@ TEST(SpdSolve, OneShot) {
   EXPECT_NEAR(x[1], 1.0, 1e-12);
 }
 
+TEST(RobustSpdSolve, CleanPathMatchesCholeskyBitwise) {
+  stats::Rng rng(7);
+  Matrix a = random_spd(9, rng);
+  Vector b = rng.normal_vector(9);
+  RobustSpdReport report;
+  Vector x = robust_spd_solve(a, b, &report);
+  EXPECT_EQ(x, Cholesky(a).solve(b));  // same code path, same bits
+  EXPECT_EQ(report.path, RobustSpdReport::Path::kCholesky);
+  EXPECT_EQ(report.attempts, 0u);
+  EXPECT_EQ(report.jitter, 0.0);
+  EXPECT_EQ(report.discarded, 0u);
+  EXPECT_FALSE(report.degraded());
+}
+
+TEST(RobustSpdSolve, ExactlySingularTakesTheJitterRung) {
+  // Duplicate columns: gram = [[1,1],[1,1]] fails Cholesky with an exact
+  // zero pivot; the first jitter rung (1e-12 * max|diag|) must rescue it.
+  Matrix a{{1, 1}, {1, 1}};
+  RobustSpdReport report;
+  Vector x = robust_spd_solve(a, {1, 1}, &report);
+  EXPECT_EQ(report.path, RobustSpdReport::Path::kJittered);
+  EXPECT_TRUE(report.degraded());
+  EXPECT_GE(report.attempts, 1u);
+  EXPECT_GT(report.jitter, 0.0);
+  // The jittered system (A + jitter*I) x = b is well-posed and near the
+  // minimum-norm solution x = (0.5, 0.5).
+  EXPECT_NEAR(x[0], 0.5, 1e-5);
+  EXPECT_NEAR(x[1], 0.5, 1e-5);
+}
+
+TEST(RobustSpdSolve, IndefiniteFallsBackToPseudoSolve) {
+  // Eigenvalues {1, -1}: no diagonal jitter the ladder is willing to add
+  // makes this SPD, so it must land on the eigendecomposition pseudo-solve
+  // and discard the negative eigenvalue.
+  Matrix a{{0, 1}, {1, 0}};
+  RobustSpdReport report;
+  Vector x = robust_spd_solve(a, {2, 2}, &report);
+  EXPECT_EQ(report.path, RobustSpdReport::Path::kPseudoInverse);
+  EXPECT_TRUE(report.degraded());
+  EXPECT_EQ(report.discarded, 1u);
+  // Projection of b onto the kept eigenvector v = (1,1)/sqrt(2), w = 1:
+  // x = v (v.b) / w = (2, 2) / ... -> (2, 2) * (1/2) * 2 = (2, 2).
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+  for (double v : x) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(RobustSpdSolve, ReportPointerIsOptional) {
+  Matrix a{{2, 0}, {0, 2}};
+  Vector x = robust_spd_solve(a, {2, 4});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
 }  // namespace
 }  // namespace bmf::linalg

@@ -1,0 +1,215 @@
+// Unit tests for the deterministic fault-injection layer: plan grammar,
+// trigger windows (skip / max_triggers / probability), per-site counters,
+// and the env-var arming path. Uses pipes — no sockets needed to exercise
+// read/poll wrappers.
+#include "fault/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <string>
+
+#include <unistd.h>
+
+namespace bmf::fault {
+namespace {
+
+/// RAII: no plan leaks into the next test.
+struct DisarmGuard {
+  ~DisarmGuard() { disarm(); }
+};
+
+/// A pipe with one byte ready to read.
+struct ReadyPipe {
+  int fds[2] = {-1, -1};
+  ReadyPipe() {
+    EXPECT_EQ(::pipe(fds), 0);
+    const char byte = 'x';
+    EXPECT_EQ(::write(fds[1], &byte, 1), 1);
+  }
+  ~ReadyPipe() {
+    ::close(fds[0]);
+    ::close(fds[1]);
+  }
+};
+
+TEST(FaultPlanGrammar, ParsesTheFullRuleShape) {
+  const FaultPlan plan = parse_plan(
+      "seed=7;read:short*0;send:eintr*3@0.5;poll:delay=200;read:corrupt+2");
+  EXPECT_EQ(plan.seed, 7u);
+  ASSERT_EQ(plan.rules.size(), 4u);
+
+  EXPECT_EQ(plan.rules[0].site, Site::kRead);
+  EXPECT_EQ(plan.rules[0].action, Action::kShortIo);
+  EXPECT_EQ(plan.rules[0].max_triggers, 0u);  // *0 = unlimited
+
+  EXPECT_EQ(plan.rules[1].site, Site::kSend);
+  EXPECT_EQ(plan.rules[1].action, Action::kEintr);
+  EXPECT_EQ(plan.rules[1].max_triggers, 3u);
+  EXPECT_DOUBLE_EQ(plan.rules[1].probability, 0.5);
+
+  EXPECT_EQ(plan.rules[2].site, Site::kPoll);
+  EXPECT_EQ(plan.rules[2].action, Action::kDelay);
+  EXPECT_EQ(plan.rules[2].delay_ms, 200);
+
+  EXPECT_EQ(plan.rules[3].site, Site::kRead);
+  EXPECT_EQ(plan.rules[3].action, Action::kCorrupt);
+  EXPECT_EQ(plan.rules[3].skip, 2u);
+  EXPECT_EQ(plan.rules[3].max_triggers, 1u);  // default: one shot
+}
+
+TEST(FaultPlanGrammar, RoundTripsThroughToString) {
+  const FaultPlan plan = parse_plan("connect:drop;accept:drop");
+  EXPECT_STREQ(to_string(plan.rules[0].site), "connect");
+  EXPECT_STREQ(to_string(plan.rules[0].action), "drop");
+  EXPECT_STREQ(to_string(plan.rules[1].site), "accept");
+  EXPECT_STREQ(to_string(Site::kPoll), "poll");
+  EXPECT_STREQ(to_string(Action::kShortIo), "short");
+}
+
+TEST(FaultPlanGrammar, RejectsMalformedSpecs) {
+  EXPECT_THROW(parse_plan("read"), std::invalid_argument);          // no action
+  EXPECT_THROW(parse_plan("tcp:short"), std::invalid_argument);     // bad site
+  EXPECT_THROW(parse_plan("read:explode"), std::invalid_argument);  // bad act
+  EXPECT_THROW(parse_plan("read:delay"), std::invalid_argument);    // no =ms
+  EXPECT_THROW(parse_plan("read:short@2.0"), std::invalid_argument);
+  EXPECT_THROW(parse_plan("seed=x"), std::invalid_argument);
+  EXPECT_THROW(parse_plan(""), std::invalid_argument);
+}
+
+TEST(FaultEngine, CompiledInMatchesTheBuildFlag) {
+#ifdef BMF_FAULT_INJECTION
+  EXPECT_TRUE(compiled_in());
+#else
+  EXPECT_FALSE(compiled_in());
+#endif
+}
+
+#ifdef BMF_FAULT_INJECTION
+
+TEST(FaultEngine, EintrCountIsHonoredThenStops) {
+  DisarmGuard guard;
+  arm(parse_plan("read:eintr*3"));
+  ReadyPipe pipe;
+  char buf = 0;
+  for (int i = 0; i < 3; ++i) {
+    errno = 0;
+    EXPECT_EQ(sys_read(pipe.fds[0], &buf, 1), -1);
+    EXPECT_EQ(errno, EINTR);
+  }
+  // Budget exhausted: the call goes through and reads the real byte.
+  EXPECT_EQ(sys_read(pipe.fds[0], &buf, 1), 1);
+  EXPECT_EQ(buf, 'x');
+  EXPECT_EQ(stats().site[0].triggered, 3u);
+  EXPECT_EQ(stats().site[0].calls, 4u);
+}
+
+TEST(FaultEngine, SkipLeavesEarlyCallsUntouched) {
+  DisarmGuard guard;
+  arm(parse_plan("read:eintr+2*1"));
+  ReadyPipe pipe;
+  char buf = 0;
+  EXPECT_EQ(sys_read(pipe.fds[0], &buf, 1), 1);  // call 1: skipped
+  const char byte = 'y';
+  ASSERT_EQ(::write(pipe.fds[1], &byte, 1), 1);
+  EXPECT_EQ(sys_read(pipe.fds[0], &buf, 1), 1);  // call 2: skipped
+  errno = 0;
+  EXPECT_EQ(sys_read(pipe.fds[0], &buf, 1), -1);  // call 3: fires
+  EXPECT_EQ(errno, EINTR);
+}
+
+TEST(FaultEngine, ZeroProbabilityNeverFires) {
+  DisarmGuard guard;
+  arm(parse_plan("read:eintr*0@0.0"));
+  ReadyPipe pipe;
+  char buf = 0;
+  EXPECT_EQ(sys_read(pipe.fds[0], &buf, 1), 1);
+  EXPECT_EQ(stats().total_triggered(), 0u);
+  EXPECT_EQ(stats().site[0].calls, 1u);
+}
+
+TEST(FaultEngine, ShortReadClampsToOneByte) {
+  DisarmGuard guard;
+  ReadyPipe pipe;
+  const char more[2] = {'a', 'b'};
+  ASSERT_EQ(::write(pipe.fds[1], more, 2), 2);
+  arm(parse_plan("read:short*1"));
+  char buf[8] = {};
+  EXPECT_EQ(sys_read(pipe.fds[0], buf, sizeof(buf)), 1);  // clamped
+  EXPECT_EQ(sys_read(pipe.fds[0], buf + 1, sizeof(buf) - 1), 2);
+}
+
+TEST(FaultEngine, SpuriousPollTimeout) {
+  DisarmGuard guard;
+  arm(parse_plan("poll:short*1"));
+  ReadyPipe pipe;
+  struct pollfd pfd;
+  pfd.fd = pipe.fds[0];
+  pfd.events = POLLIN;
+  pfd.revents = 0;
+  EXPECT_EQ(sys_poll(&pfd, 1, 1000), 0);  // injected "nothing ready"
+  EXPECT_EQ(sys_poll(&pfd, 1, 1000), 1);  // real poll sees the byte
+}
+
+TEST(FaultEngine, DisarmRestoresRawBehaviorAndStatsReset) {
+  DisarmGuard guard;
+  arm(parse_plan("read:eintr*0"));
+  ReadyPipe pipe;
+  char buf = 0;
+  EXPECT_EQ(sys_read(pipe.fds[0], &buf, 1), -1);
+  EXPECT_TRUE(armed());
+  disarm();
+  EXPECT_FALSE(armed());
+  EXPECT_EQ(sys_read(pipe.fds[0], &buf, 1), 1);
+  arm(parse_plan("send:eintr"));  // re-arming resets the counters
+  EXPECT_EQ(stats().total_triggered(), 0u);
+  EXPECT_EQ(stats().site[0].calls, 0u);
+}
+
+TEST(FaultEngine, DeterministicAcrossRearm) {
+  // A probabilistic rule replays the identical trigger pattern for the
+  // same seed: the draw is keyed on (seed, site, call index) only.
+  ReadyPipe pipe;
+  auto run = [&](std::uint64_t seed) {
+    DisarmGuard guard;
+    FaultPlan plan = parse_plan("read:eintr*0@0.5");
+    plan.seed = seed;
+    arm(plan);
+    std::string pattern;
+    char buf = 0;
+    for (int i = 0; i < 16; ++i) {
+      const char byte = 'z';
+      EXPECT_EQ(::write(pipe.fds[1], &byte, 1), 1);
+      pattern += sys_read(pipe.fds[0], &buf, 1) == 1 ? '.' : 'X';
+      if (pattern.back() == '.') continue;
+      EXPECT_EQ(::read(pipe.fds[0], &buf, 1), 1);  // drain for next round
+    }
+    return pattern;
+  };
+  const std::string first = run(41);
+  EXPECT_EQ(first, run(41));
+  EXPECT_NE(first, run(42));  // and the seed actually matters
+  // Drain whatever the last run left behind is unnecessary: pipe closes.
+}
+
+TEST(FaultEngine, ArmFromEnvHonorsTheVariable) {
+  DisarmGuard guard;
+  ASSERT_EQ(::setenv("BMF_FAULT_PLAN", "read:eintr*1", 1), 0);
+  EXPECT_TRUE(arm_from_env());
+  EXPECT_TRUE(armed());
+  ReadyPipe pipe;
+  char buf = 0;
+  errno = 0;
+  EXPECT_EQ(sys_read(pipe.fds[0], &buf, 1), -1);
+  EXPECT_EQ(errno, EINTR);
+  ASSERT_EQ(::unsetenv("BMF_FAULT_PLAN"), 0);
+  disarm();
+  EXPECT_FALSE(arm_from_env());  // unset variable arms nothing
+  EXPECT_FALSE(armed());
+}
+
+#endif  // BMF_FAULT_INJECTION
+
+}  // namespace
+}  // namespace bmf::fault

@@ -5,9 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstring>
 #include <thread>
 
 #include "serve/client.hpp"
@@ -207,13 +210,59 @@ TEST(ServeServer, OversizedFrameIsRejected) {
   }
 }
 
+TEST(ServeServer, StaleSocketFileIsRecoveredAtStartup) {
+  // A crashed daemon leaves its socket file behind: bind one, close the
+  // listener without unlinking. A fresh Server must probe the corpse,
+  // reclaim the path, and serve normally.
+  const std::string path = ::testing::TempDir() + "/bmf_serve_stale_" +
+                           std::to_string(::getpid()) + ".sock";
+  std::remove(path.c_str());
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  ASSERT_EQ(::bind(fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr)), 0);
+  ::close(fd);  // dead daemon; the file stays
+
+  ServerOptions options;
+  options.socket_path = path;
+  auto server = std::make_unique<Server>(std::move(options));
+  std::thread run([&server] { server->run(); });
+  {
+    Client client(path);
+    client.ping();
+  }
+  server->request_stop();
+  run.join();
+  server.reset();
+  std::remove(path.c_str());
+}
+
+TEST(ServeServer, LiveDaemonSocketIsNotStolen) {
+  ServerFixture fixture("occupied");
+  // Binding a second server to a path owned by a live daemon must fail
+  // loudly instead of unlinking it out from under the running server.
+  ServerOptions options;
+  options.socket_path = fixture.path();
+  try {
+    Server squatter(std::move(options));
+    FAIL() << "expected ServeError";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.status(), Status::kInternal);
+    EXPECT_NE(e.message().find("in use"), std::string::npos);
+  }
+  // The incumbent is unharmed.
+  Client client(fixture.path());
+  client.ping();
+}
+
 TEST(ServeServer, ResponsesAreBitIdenticalAcrossConnections) {
   ServerFixture fixture("bits");
   const auto points = make_points(257, 8, 12);
   Client::Evaluation a;
   {
-    // The server handles one connection at a time, so close the first
-    // client before the second connects.
     Client client(fixture.path());
     client.publish("m", make_model(8, 11));
     a = client.evaluate("m", points);
