@@ -1,0 +1,496 @@
+// In-repo microbenchmark core, API-compatible with the subset of
+// google-benchmark this repo uses (State, DoNotOptimize, BENCHMARK()->
+// Arg()->Unit()->Complexity(), BENCHMARK_MAIN, JSON/console reporters,
+// --benchmark_min_time / --benchmark_out / --benchmark_context flags).
+//
+// Why not the system libbenchmark: the distro ships it compiled without
+// NDEBUG, which it advertises as "library_build_type": "debug" in every
+// JSON report — and a debug-built measurement harness taints every number
+// it produces. The library has no sources in the image and the toolchain
+// has no network, so it cannot be rebuilt; this header replaces it. The
+// harness is compiled into the benchmark binary itself, so it always has
+// the binary's own build type, which it reports honestly: NDEBUG builds
+// report "release", anything else reports "debug" and bench/run_bench.sh
+// refuses to record the numbers.
+//
+// Measurement model (same shape as google-benchmark's): each benchmark is
+// re-run with a growing iteration count until one timed run lasts at least
+// min_time seconds (default 0.5, override --benchmark_min_time=S); the
+// last run's per-iteration real/CPU time is reported. Complexity() is
+// accepted for API compatibility; Big-O fitting rows are not emitted.
+#pragma once
+
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace benchmark {
+
+using IterationCount = std::int64_t;
+
+enum TimeUnit { kNanosecond, kMicrosecond, kMillisecond, kSecond };
+
+template <typename T>
+inline void DoNotOptimize(T const& value) {
+  asm volatile("" : : "r,m"(value) : "memory");
+}
+
+inline void ClobberMemory() { asm volatile("" : : : "memory"); }
+
+class State {
+ public:
+  State(std::vector<std::int64_t> ranges, IterationCount max_iterations)
+      : ranges_(std::move(ranges)), max_iterations_(max_iterations) {}
+
+  std::int64_t range(std::size_t i = 0) const {
+    return i < ranges_.size() ? ranges_[i] : 0;
+  }
+
+  void SetComplexityN(IterationCount n) { complexity_n_ = n; }
+  void SetItemsProcessed(IterationCount n) { items_processed_ = n; }
+  void SkipWithError(const char* message) {
+    skipped_ = true;
+    error_ = message != nullptr ? message : "";
+  }
+
+  bool KeepRunning() {
+    if (finished_) return false;
+    if (!started_) {
+      started_ = true;
+      iterations_done_ = 0;
+      real_start_ = std::chrono::steady_clock::now();
+      cpu_start_s_ = cpu_now_seconds();
+    }
+    if (iterations_done_ < max_iterations_ && !skipped_) {
+      ++iterations_done_;
+      return true;
+    }
+    real_seconds_ = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - real_start_)
+                        .count();
+    cpu_seconds_ = cpu_now_seconds() - cpu_start_s_;
+    finished_ = true;
+    return false;
+  }
+
+  // Range-for support: `for (auto _ : state)` drives KeepRunning exactly
+  // like google-benchmark's StateIterator.
+  class Iterator {
+   public:
+    explicit Iterator(State* state) : state_(state) {}
+    bool operator!=(const Iterator&) const {
+      return state_ != nullptr && state_->KeepRunning();
+    }
+    Iterator& operator++() { return *this; }
+    // unused attribute: range-for binds the value to an ignored
+    // variable ("for (auto _ : state)"); keep -Wall builds clean.
+    struct __attribute__((unused)) Value {};
+    Value operator*() const { return {}; }
+
+   private:
+    State* state_;
+  };
+  Iterator begin() { return Iterator(this); }
+  Iterator end() { return Iterator(nullptr); }
+
+  IterationCount iterations() const { return iterations_done_; }
+  IterationCount max_iterations() const { return max_iterations_; }
+  double real_seconds() const { return real_seconds_; }
+  double cpu_seconds() const { return cpu_seconds_; }
+  IterationCount items_processed() const { return items_processed_; }
+  bool skipped() const { return skipped_; }
+  const std::string& error() const { return error_; }
+
+ private:
+  static double cpu_now_seconds() {
+    struct timespec ts;
+    clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+
+  std::vector<std::int64_t> ranges_;
+  IterationCount max_iterations_ = 0;
+  IterationCount iterations_done_ = 0;
+  IterationCount complexity_n_ = 0;
+  IterationCount items_processed_ = 0;
+  bool started_ = false;
+  bool finished_ = false;
+  bool skipped_ = false;
+  std::string error_;
+  std::chrono::steady_clock::time_point real_start_{};
+  double cpu_start_s_ = 0.0;
+  double real_seconds_ = 0.0;
+  double cpu_seconds_ = 0.0;
+};
+
+namespace internal {
+
+struct Family {
+  std::string name;
+  void (*fn)(State&) = nullptr;
+  std::vector<std::vector<std::int64_t>> arg_sets;  // one run per set
+  TimeUnit unit = kNanosecond;
+};
+
+inline std::vector<std::unique_ptr<Family>>& registry() {
+  static std::vector<std::unique_ptr<Family>> families;
+  return families;
+}
+
+inline std::vector<std::pair<std::string, std::string>>& custom_context() {
+  static std::vector<std::pair<std::string, std::string>> entries;
+  return entries;
+}
+
+struct RunResult {
+  std::string name;
+  IterationCount iterations = 0;
+  double real_per_iter_s = 0.0;
+  double cpu_per_iter_s = 0.0;
+  double items_per_second = 0.0;
+  TimeUnit unit = kNanosecond;
+  bool skipped = false;
+  std::string error;
+};
+
+inline const char* unit_string(TimeUnit unit) {
+  switch (unit) {
+    case kNanosecond: return "ns";
+    case kMicrosecond: return "us";
+    case kMillisecond: return "ms";
+    case kSecond: return "s";
+  }
+  return "ns";
+}
+
+inline double unit_scale(TimeUnit unit) {
+  switch (unit) {
+    case kNanosecond: return 1e9;
+    case kMicrosecond: return 1e6;
+    case kMillisecond: return 1e3;
+    case kSecond: return 1.0;
+  }
+  return 1e9;
+}
+
+}  // namespace internal
+
+/// Builder returned by BENCHMARK(); each Arg() queues one run.
+class Benchmark {
+ public:
+  explicit Benchmark(internal::Family* family) : family_(family) {}
+
+  Benchmark* Arg(std::int64_t a) {
+    family_->arg_sets.push_back({a});
+    return this;
+  }
+  Benchmark* Args(std::vector<std::int64_t> args) {
+    family_->arg_sets.push_back(std::move(args));
+    return this;
+  }
+  Benchmark* Unit(TimeUnit unit) {
+    family_->unit = unit;
+    return this;
+  }
+  /// Accepted for google-benchmark compatibility; this harness does not
+  /// emit Big-O fit rows.
+  Benchmark* Complexity() { return this; }
+
+ private:
+  internal::Family* family_;
+};
+
+/// Registers `fn` and returns a builder for chaining. The builders live in
+/// a static pool so the pointers BENCHMARK() stores stay valid for the
+/// whole program.
+inline Benchmark* RegisterBenchmark(const char* name, void (*fn)(State&)) {
+  internal::registry().push_back(std::make_unique<internal::Family>());
+  internal::Family* family = internal::registry().back().get();
+  family->name = name;
+  family->fn = fn;
+  static std::vector<std::unique_ptr<Benchmark>> builders;
+  builders.push_back(std::make_unique<Benchmark>(family));
+  return builders.back().get();
+}
+
+/// Extra key/value recorded in the report context (also settable with
+/// --benchmark_context=key=value).
+inline void AddCustomContext(const std::string& key,
+                             const std::string& value) {
+  internal::custom_context().emplace_back(key, value);
+}
+
+namespace internal {
+
+inline RunResult run_one(const Family& family,
+                         const std::vector<std::int64_t>& args,
+                         double min_time_s) {
+  std::string name = family.name;
+  for (std::int64_t a : args) {
+    name += '/';
+    name += std::to_string(a);
+  }
+
+  IterationCount iters = 1;
+  for (;;) {
+    State state(args, iters);
+    family.fn(state);
+    while (state.KeepRunning()) {
+      // Drain benchmarks that return without iterating (defensive; a
+      // normal benchmark body consumes every iteration itself).
+    }
+    RunResult result;
+    result.name = name;
+    result.unit = family.unit;
+    result.skipped = state.skipped();
+    result.error = state.error();
+    const double real_s = state.real_seconds();
+    if (result.skipped || real_s >= min_time_s ||
+        iters >= IterationCount{1} << 40) {
+      result.iterations = iters;
+      result.real_per_iter_s = real_s / static_cast<double>(iters);
+      result.cpu_per_iter_s =
+          state.cpu_seconds() / static_cast<double>(iters);
+      if (state.items_processed() > 0 && real_s > 0.0)
+        result.items_per_second =
+            static_cast<double>(state.items_processed()) *
+            static_cast<double>(iters) / real_s;
+      return result;
+    }
+    // Grow toward min_time with headroom, capped at 10x per attempt.
+    IterationCount next;
+    if (real_s <= 1e-9) {
+      next = iters * 10;
+    } else {
+      const double scaled =
+          static_cast<double>(iters) * 1.4 * min_time_s / real_s;
+      next = static_cast<IterationCount>(scaled) + 1;
+      next = std::min(next, iters * 10);
+    }
+    iters = std::max(next, iters + 1);
+  }
+}
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+inline const char* library_build_type() {
+#ifdef NDEBUG
+  return "release";
+#else
+  return "debug";
+#endif
+}
+
+inline void report_json(std::FILE* out, const char* executable,
+                        const std::vector<RunResult>& results) {
+  std::fprintf(out, "{\n  \"context\": {\n");
+  {
+    char date[64] = "";
+    const std::time_t now = std::chrono::system_clock::to_time_t(
+        std::chrono::system_clock::now());
+    struct tm tm_buf;
+    if (localtime_r(&now, &tm_buf) != nullptr)
+      std::strftime(date, sizeof(date), "%Y-%m-%dT%H:%M:%S%z", &tm_buf);
+    std::fprintf(out, "    \"date\": \"%s\",\n", date);
+  }
+  std::fprintf(out, "    \"executable\": \"%s\",\n",
+               json_escape(executable).c_str());
+  std::fprintf(out, "    \"num_cpus\": %ld,\n",
+               sysconf(_SC_NPROCESSORS_ONLN));
+  for (const auto& [key, value] : custom_context())
+    std::fprintf(out, "    \"%s\": \"%s\",\n", json_escape(key).c_str(),
+                 json_escape(value).c_str());
+  std::fprintf(out, "    \"library_build_type\": \"%s\"\n  },\n",
+               library_build_type());
+  std::fprintf(out, "  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const RunResult& r = results[i];
+    const double scale = unit_scale(r.unit);
+    std::fprintf(out,
+                 "    {\n"
+                 "      \"name\": \"%s\",\n"
+                 "      \"run_name\": \"%s\",\n"
+                 "      \"run_type\": \"iteration\",\n"
+                 "      \"repetitions\": 1,\n"
+                 "      \"threads\": 1,\n",
+                 json_escape(r.name).c_str(), json_escape(r.name).c_str());
+    if (r.skipped)
+      std::fprintf(out, "      \"error_occurred\": true,\n"
+                        "      \"error_message\": \"%s\",\n",
+                   json_escape(r.error).c_str());
+    if (r.items_per_second > 0.0)
+      std::fprintf(out, "      \"items_per_second\": %.6g,\n",
+                   r.items_per_second);
+    std::fprintf(out,
+                 "      \"iterations\": %" PRId64 ",\n"
+                 "      \"real_time\": %.6g,\n"
+                 "      \"cpu_time\": %.6g,\n"
+                 "      \"time_unit\": \"%s\"\n    }%s\n",
+                 r.iterations, r.real_per_iter_s * scale,
+                 r.cpu_per_iter_s * scale, unit_string(r.unit),
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+}
+
+inline void report_console(std::FILE* out,
+                           const std::vector<RunResult>& results) {
+  std::size_t width = 10;
+  for (const RunResult& r : results) width = std::max(width, r.name.size());
+  const int w = static_cast<int>(width);
+  std::fprintf(out, "%-*s %15s %15s %12s\n", w, "Benchmark", "Time", "CPU",
+               "Iterations");
+  for (std::size_t i = 0; i < width + 46; ++i) std::fputc('-', out);
+  std::fputc('\n', out);
+  for (const RunResult& r : results) {
+    if (r.skipped) {
+      std::fprintf(out, "%-*s SKIPPED: %s\n", w, r.name.c_str(),
+                   r.error.c_str());
+      continue;
+    }
+    const double scale = unit_scale(r.unit);
+    std::fprintf(out, "%-*s %12.3g %s %12.3g %s %12" PRId64, w,
+                 r.name.c_str(), r.real_per_iter_s * scale, unit_string(r.unit),
+                 r.cpu_per_iter_s * scale, unit_string(r.unit), r.iterations);
+    if (r.items_per_second > 0.0)
+      std::fprintf(out, "  items/s=%.4g", r.items_per_second);
+    std::fputc('\n', out);
+  }
+}
+
+inline int run_all(int argc, char** argv) {
+  double min_time_s = 0.5;
+  std::string format = "console";
+  std::string out_path;
+  std::string out_format = "json";
+  std::string filter;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&](const char* prefix) -> const char* {
+      const std::size_t n = std::strlen(prefix);
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = value_of("--benchmark_min_time=")) {
+      // Accept both the plain-seconds form ("0.01") and the newer
+      // google-benchmark suffix form ("0.01s"); iteration-count pinning
+      // ("10x") is not supported.
+      min_time_s = std::strtod(v, nullptr);
+      if (!(min_time_s > 0.0)) min_time_s = 0.5;
+    } else if (const char* v2 = value_of("--benchmark_format=")) {
+      format = v2;
+    } else if (const char* v3 = value_of("--benchmark_out=")) {
+      out_path = v3;
+    } else if (const char* v4 = value_of("--benchmark_out_format=")) {
+      out_format = v4;
+    } else if (const char* v5 = value_of("--benchmark_filter=")) {
+      filter = v5;
+    } else if (const char* v6 = value_of("--benchmark_context=")) {
+      const std::string entry = v6;
+      const std::size_t eq = entry.find('=');
+      if (eq == std::string::npos) {
+        std::fprintf(stderr, "benchmark: ignoring malformed %s\n",
+                     arg.c_str());
+      } else {
+        AddCustomContext(entry.substr(0, eq), entry.substr(eq + 1));
+      }
+    } else if (arg.rfind("--benchmark_", 0) == 0) {
+      std::fprintf(stderr, "benchmark: ignoring unsupported flag %s\n",
+                   arg.c_str());
+    } else {
+      std::fprintf(stderr, "benchmark: ignoring argument %s\n", arg.c_str());
+      return 1;
+    }
+  }
+
+  std::vector<RunResult> results;
+  for (const auto& family : registry()) {
+    auto arg_sets = family->arg_sets;
+    if (arg_sets.empty()) arg_sets.push_back({});
+    for (const auto& args : arg_sets) {
+      std::string name = family->name;
+      for (std::int64_t a : args) {
+        name += '/';
+        name += std::to_string(a);
+      }
+      // Substring filter (the common use); full regex is not supported.
+      if (!filter.empty() && name.find(filter) == std::string::npos)
+        continue;
+      results.push_back(run_one(*family, args, min_time_s));
+      // Progress to stderr so long runs are observable even with
+      // --benchmark_format=json on stdout.
+      const RunResult& r = results.back();
+      std::fprintf(stderr, "%s: %.3g %s (%" PRId64 " iters)\n",
+                   r.name.c_str(), r.real_per_iter_s * unit_scale(r.unit),
+                   unit_string(r.unit), r.iterations);
+    }
+  }
+
+  if (format == "json")
+    report_json(stdout, argv[0], results);
+  else
+    report_console(stdout, results);
+  if (!out_path.empty()) {
+    if (out_format != "json") {
+      std::fprintf(stderr, "benchmark: unsupported out_format '%s'\n",
+                   out_format.c_str());
+      return 1;
+    }
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "benchmark: cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    report_json(f, argv[0], results);
+    std::fclose(f);
+  }
+  for (const RunResult& r : results)
+    if (r.skipped) return 1;
+  return 0;
+}
+
+}  // namespace internal
+
+/// BENCHMARK_MAIN() body; custom mains can call this after seeding
+/// AddCustomContext entries.
+inline int RunAll(int argc, char** argv) {
+  return internal::run_all(argc, argv);
+}
+
+}  // namespace benchmark
+
+#define BENCHMARK_PRIVATE_CONCAT2(a, b) a##b
+#define BENCHMARK_PRIVATE_CONCAT(a, b) BENCHMARK_PRIVATE_CONCAT2(a, b)
+#define BENCHMARK(fn)                                   \
+  static ::benchmark::Benchmark* BENCHMARK_PRIVATE_CONCAT(bm_reg_, fn) = \
+      ::benchmark::RegisterBenchmark(#fn, fn)
+
+#define BENCHMARK_MAIN()                             \
+  int main(int argc, char** argv) {                  \
+    return ::benchmark::RunAll(argc, argv);          \
+  }

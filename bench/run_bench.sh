@@ -4,15 +4,19 @@
 #
 # Configures + builds the benchmarks in Release mode, verifies the resolved
 # build type (benchmarking a Debug build silently produces garbage numbers),
-# then runs the google-benchmark solver-scaling ablation and the serving
-# throughput bench with JSON output so successive PRs can diff wall-clock
-# numbers. Usage:
+# then runs the solver-scaling ablation, the basis-evaluation throughput
+# bench, and the serving throughput bench with JSON output so successive
+# PRs can diff wall-clock numbers. After each microbench run the produced
+# JSON is checked for "library_build_type": "release" — the harness
+# (bench/microbench) reports its own compiled build type, so a debug-built
+# harness can never slip its numbers into the record. Usage:
 #
-#   bench/run_bench.sh [build-dir] [extra google-benchmark args...]
+#   bench/run_bench.sh [build-dir] [extra benchmark args...]
 #
-# Writes <build-dir>/BENCH_solver.json and <build-dir>/BENCH_serve.json
-# (default build dir: ./build). Extra arguments apply to the solver bench
-# only. Thread count is controlled by BMF_NUM_THREADS (default: all cores).
+# Writes <build-dir>/BENCH_solver.json, <build-dir>/BENCH_basis.json and
+# <build-dir>/BENCH_serve.json (default build dir: ./build). Extra
+# arguments apply to the solver bench only. Thread count is controlled by
+# BMF_NUM_THREADS (default: all cores).
 set -eu
 
 src_dir="$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"
@@ -43,7 +47,17 @@ if [ "$build_type" != "Release" ]; then
 fi
 
 cmake --build "$build_dir" -j --target ablation_solver_scaling \
-      serve_throughput >/dev/null
+      basis_throughput serve_throughput >/dev/null
+
+# The microbench harness records the build type it was itself compiled
+# with; refuse to keep numbers from anything but a release harness.
+require_release_harness() {
+  if ! grep -q '"library_build_type": "release"' "$1"; then
+    echo "error: $1 was produced by a non-release benchmark harness" >&2
+    echo "(expected \"library_build_type\": \"release\" in its context)." >&2
+    exit 1
+  fi
+}
 
 bin="$build_dir/bench/ablation_solver_scaling"
 if [ ! -x "$bin" ]; then
@@ -52,13 +66,23 @@ if [ ! -x "$bin" ]; then
 fi
 
 out="$build_dir/BENCH_solver.json"
-# Note: the JSON context's "library_build_type" reflects how the *system*
-# google-benchmark library was compiled, not this project; our build type is
-# recorded explicitly below.
 "$bin" --benchmark_format=json --benchmark_out="$out" \
        --benchmark_out_format=json \
        --benchmark_context=bmf_build_type="$build_type" "$@"
+require_release_harness "$out"
 echo "wrote $out (CMAKE_BUILD_TYPE=$build_type, BMF_NUM_THREADS=${BMF_NUM_THREADS:-auto})"
+
+basis_bin="$build_dir/bench/basis_throughput"
+if [ ! -x "$basis_bin" ]; then
+  echo "error: $basis_bin not found after build" >&2
+  exit 1
+fi
+basis_out="$build_dir/BENCH_basis.json"
+"$basis_bin" --benchmark_format=json --benchmark_out="$basis_out" \
+             --benchmark_out_format=json \
+             --benchmark_context=bmf_build_type="$build_type"
+require_release_harness "$basis_out"
+echo "wrote $basis_out"
 
 serve_bin="$build_dir/bench/serve_throughput"
 if [ ! -x "$serve_bin" ]; then

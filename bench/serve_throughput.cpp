@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "io/args.hpp"
+#include "linalg/kernels/kernels.hpp"
 #include "parallel/thread_pool.hpp"
 #include "serve/client.hpp"
 #include "serve/server.hpp"
@@ -160,6 +161,7 @@ int main(int argc, char** argv) {
                 "  \"dimension\": %zu,\n"
                 "  \"requests\": %zu,\n"
                 "  \"workers\": %zu,\n"
+                "  \"simd_level\": \"%s\",\n"
                 "  \"evals_per_sec\": %.1f,\n"
                 "  \"p50_us\": %.2f,\n"
                 "  \"p99_us\": %.2f,\n"
@@ -167,7 +169,10 @@ int main(int argc, char** argv) {
                 "  \"reconnects\": %llu,\n"
                 "  \"bit_identical_threads_1_4\": %s\n"
                 "}\n",
-                batch, dim, requests, workers, evals_per_sec, p50, p99,
+                batch, dim, requests, workers,
+                linalg::kernels::level_name(
+                    linalg::kernels::dispatch_info().active),
+                evals_per_sec, p50, p99,
                 static_cast<unsigned long long>(retry_stats.retries),
                 static_cast<unsigned long long>(retry_stats.reconnects),
                 bit_identical ? "true" : "false");

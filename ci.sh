@@ -18,7 +18,13 @@
 #   6. ThreadSanitizer build of the concurrent serving stack (worker pool,
 #      admission queue, fault engine) — the race-freedom proof for the
 #      paths the chaos suite exercises.
-#   7. Serving smoke test: start bmf_served on a temp socket, publish a
+#   7. SIMD level matrix: the full Release test suite re-runs with
+#      BMF_SIMD_LEVEL pinned to every level this host can execute (plus
+#      the kernel suite under ASan/UBSan per level), so the scalar and
+#      AVX2 code paths stay covered on machines whose dispatcher would
+#      otherwise always pick AVX-512. Unavailable levels are skipped —
+#      the matrix must pass on a non-AVX host.
+#   8. Serving smoke test: start bmf_served on a temp socket, publish a
 #      tiny model with bmf_client, evaluate it, and shut the daemon down —
 #      proves the daemon/client binaries work end to end, not just the
 #      library they link.
@@ -64,6 +70,29 @@ cmake --build "$src_dir/build-ci-tsan" -j "$jobs" \
 echo "== Benchmark smoke run =="
 "$src_dir/build-ci-release/bench/ablation_solver_scaling" \
     --benchmark_min_time=0.01
+
+echo "== SIMD level matrix =="
+# The dispatcher silently falls back when BMF_SIMD_LEVEL is unavailable,
+# so probe first: re-running the fallback level and calling it "avx512
+# coverage" would be a lie. Probe failure (exit 2) aborts CI.
+for level in scalar avx2 avx512; do
+  rc=0
+  "$src_dir/scripts/simd_level_available.sh" \
+      "$src_dir/build-ci-release" "$level" || rc=$?
+  if [ "$rc" -eq 2 ]; then
+    echo "error: SIMD level probe failed for '$level'" >&2
+    exit 1
+  fi
+  if [ "$rc" -ne 0 ]; then
+    echo "-- BMF_SIMD_LEVEL=$level not available on this host: skipped --"
+    continue
+  fi
+  echo "-- BMF_SIMD_LEVEL=$level: Release test suite --"
+  BMF_SIMD_LEVEL="$level" ctest --test-dir "$src_dir/build-ci-release" \
+      --output-on-failure
+  echo "-- BMF_SIMD_LEVEL=$level: kernel suite under ASan/UBSan --"
+  BMF_SIMD_LEVEL="$level" "$src_dir/build-ci-checked/tests/simd_kernels_test"
+done
 
 echo "== Serving smoke test =="
 serve_tmp="$(mktemp -d)"

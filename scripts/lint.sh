@@ -16,6 +16,10 @@
 #   6. No raw ::read/::write/::send/::recv/::poll outside src/serve/wire.cpp
 #      and src/fault — all socket I/O must flow through the fault-injection
 #      wrappers (fault::sys_*), or chaos tests silently stop covering it.
+#   7. No SIMD intrinsics outside src/linalg/kernels/ — wide code is only
+#      legal behind the runtime dispatcher (per-file ISA flags + cpuid
+#      gate); an intrinsic anywhere else either SIGILLs on older hosts or
+#      forks the FP accumulation order outside the kernel contract.
 #
 # Usage: lint.sh   (run from anywhere; exits non-zero on any violation)
 set -eu
@@ -95,6 +99,18 @@ for f in $all_sources; do
   hits=$(strip_comments "$f" | grep -nE \
     '::(read|write|send|recv|poll)[[:space:]]*\(' || true)
   [ -n "$hits" ] && fail "raw syscall I/O outside wire/fault layer in $f" "$hits"
+done
+
+# Rule 7: intrinsics confined to the dispatched kernel layer.  Only the
+# per-ISA TUs in src/linalg/kernels/ are compiled with wide-instruction
+# flags and guarded by the cpuid dispatcher.
+for f in $all_sources; do
+  case "$f" in
+    "$src_dir/src/linalg/kernels/"*) continue ;;
+  esac
+  hits=$(strip_comments "$f" | grep -nE \
+    'immintrin\.h|__m256|__m512|_mm256_|_mm512_' || true)
+  [ -n "$hits" ] && fail "SIMD intrinsics outside src/linalg/kernels in $f" "$hits"
 done
 
 if [ "$status" -ne 0 ]; then

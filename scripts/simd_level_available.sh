@@ -1,0 +1,30 @@
+#!/usr/bin/env sh
+# simd_level_available.sh <build-dir> <level> — exit 0 iff this host+build
+# can execute BMF_SIMD_LEVEL=<level> (scalar/avx2/avx512), 1 if the level
+# is unavailable, 2 on probe failure.
+#
+# The dispatcher never hard-fails on an unavailable BMF_SIMD_LEVEL — it
+# warns on stderr and falls back — so a test matrix that just set the
+# variable would silently re-run the fallback level and report green.
+# This probe pins the level, forces dispatch resolution (the gtest filter
+# below calls dispatch_info()), and reports whether the request was
+# honored or ignored.
+set -eu
+
+build_dir="$1"
+level="$2"
+probe="$build_dir/tests/simd_kernels_test"
+if [ ! -x "$probe" ]; then
+  echo "simd_level_available.sh: $probe not found" >&2
+  exit 2
+fi
+
+if ! out=$(BMF_SIMD_LEVEL="$level" "$probe" \
+             --gtest_filter=SimdKernels.DispatchInfoSelfConsistent 2>&1); then
+  echo "$out" >&2
+  exit 2
+fi
+case "$out" in
+  *"unknown or unavailable"*) exit 1 ;;
+esac
+exit 0

@@ -1,11 +1,13 @@
 #include "basis/basis_set.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <map>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
 
+#include "linalg/kernels/kernels.hpp"
 #include "parallel/thread_pool.hpp"
 #include "stats/rng.hpp"
 
@@ -113,51 +115,175 @@ std::size_t BasisSet::add_term(BasisTerm term) {
   return terms_.size() - 1;
 }
 
-linalg::Matrix design_matrix(const BasisSet& basis,
-                             const linalg::Matrix& points) {
-  LINALG_REQUIRE(points.cols() == basis.dimension(),
-                 "design_matrix: point dimension mismatch");
-  const std::size_t k = points.rows(), m = basis.size();
+namespace {
+// Rows per evaluation block: the Hermite recurrence runs lane-parallel
+// across this many sample points per (variable, degree-sweep) call, and
+// the per-variable value table stays L1/L2-resident. A block boundary
+// never changes a row's result — every point's recurrence is independent
+// and short tails run through the padded full-lane path — so the choice is
+// pure tuning, not semantics.
+constexpr std::size_t kEvalBlockRows = 64;
 
-  // Evaluation plan: each distinct (var, degree) factor gets one slot, so a
-  // factor shared by many terms (e.g. H1(x_r) appearing in both the linear
-  // and every mixed term of a quadratic set) is evaluated once per sample.
-  // Slots are listed per term in the term's own factor order, keeping the
-  // product order — and hence the result bits — identical to evaluating
-  // term-by-term.
+// Shared evaluation plan for design_matrix / design_matrix_times: each
+// distinct (var, degree) factor gets one slot, so a factor shared by many
+// terms (e.g. H1(x_r) appearing in both the linear and every mixed term of
+// a quadratic set) is evaluated once per sample. Slots are listed per term
+// in the term's own factor order, keeping the product order — and hence
+// the result bits — identical to evaluating term-by-term. Slots are then
+// grouped by variable: one lane-parallel recurrence sweep per (variable,
+// row block) produces every degree of that variable at once, and slot s
+// reads its values at vals[slot_val_offset[s] + p] for row p of the block.
+struct EvalPlan {
+  struct VarGroup {
+    std::size_t var;
+    unsigned max_degree;
+    std::size_t offset;  // into the per-block value table
+  };
+  std::vector<std::size_t> term_offsets;
+  std::vector<std::size_t> term_slots;
+  std::vector<std::size_t> slot_val_offset;
+  std::vector<VarGroup> groups;
+  std::size_t table_size = 0;
+
+  /// Fill the per-block value table for rows [i0, i0 + nb).
+  void fill_values(const linalg::Matrix& points, std::size_t i0,
+                   std::size_t nb, double* xs, double* vals) const {
+    for (const VarGroup& grp : groups) {
+      for (std::size_t p = 0; p < nb; ++p) xs[p] = points(i0 + p, grp.var);
+      hermite_orthonormal_batch(grp.max_degree, xs, nb, vals + grp.offset,
+                                kEvalBlockRows);
+    }
+  }
+};
+
+EvalPlan build_plan(const BasisSet& basis) {
+  const std::size_t m = basis.size();
+  EvalPlan plan;
+  plan.term_offsets.assign(m + 1, 0);
   std::map<std::pair<std::size_t, unsigned>, std::size_t> slot_of;
   std::vector<VarDegree> slot_factors;
-  std::vector<std::size_t> term_offsets(m + 1, 0);
-  std::vector<std::size_t> term_slots;
   for (std::size_t j = 0; j < m; ++j) {
     for (const auto& f : basis.term(j).factors) {
       auto [it, inserted] =
           slot_of.try_emplace({f.var, f.degree}, slot_factors.size());
       if (inserted) slot_factors.push_back(f);
-      term_slots.push_back(it->second);
+      plan.term_slots.push_back(it->second);
     }
-    term_offsets[j + 1] = term_slots.size();
+    plan.term_offsets[j + 1] = plan.term_slots.size();
   }
-  const std::size_t num_slots = slot_factors.size();
+  std::map<std::size_t, unsigned> degree_of_var;
+  for (const auto& f : slot_factors) {
+    unsigned& d = degree_of_var[f.var];
+    d = std::max(d, f.degree);
+  }
+  plan.groups.reserve(degree_of_var.size());
+  std::map<std::size_t, std::size_t> offset_of_var;
+  for (const auto& [var, max_degree] : degree_of_var) {
+    plan.groups.push_back({var, max_degree, plan.table_size});
+    offset_of_var[var] = plan.table_size;
+    plan.table_size +=
+        (static_cast<std::size_t>(max_degree) + 1) * kEvalBlockRows;
+  }
+  plan.slot_val_offset.resize(slot_factors.size());
+  for (std::size_t s = 0; s < slot_factors.size(); ++s)
+    plan.slot_val_offset[s] = offset_of_var[slot_factors[s].var] +
+                              slot_factors[s].degree * kEvalBlockRows;
+  return plan;
+}
+}  // namespace
+
+linalg::Matrix design_matrix(const BasisSet& basis,
+                             const linalg::Matrix& points) {
+  LINALG_REQUIRE(points.cols() == basis.dimension(),
+                 "design_matrix: point dimension mismatch");
+  const std::size_t k = points.rows(), m = basis.size();
+  const EvalPlan plan = build_plan(basis);
 
   linalg::Matrix g(k, m);
   parallel::parallel_for(0, k, 0, [&](std::size_t r0, std::size_t r1) {
-    std::vector<double> factor_vals(num_slots);
-    for (std::size_t i = r0; i < r1; ++i) {
-      const double* x = points.row_ptr(i);
-      double* gi = g.row_ptr(i);
-      for (std::size_t s = 0; s < num_slots; ++s)
-        factor_vals[s] =
-            hermite_orthonormal(slot_factors[s].degree, x[slot_factors[s].var]);
-      for (std::size_t j = 0; j < m; ++j) {
-        double v = 1.0;
-        for (std::size_t t = term_offsets[j]; t < term_offsets[j + 1]; ++t)
-          v *= factor_vals[term_slots[t]];
-        gi[j] = v;
+    std::vector<double> vals(plan.table_size);
+    std::vector<double> xs(kEvalBlockRows);
+    for (std::size_t i0 = r0; i0 < r1; i0 += kEvalBlockRows) {
+      const std::size_t nb = std::min(kEvalBlockRows, r1 - i0);
+      plan.fill_values(points, i0, nb, xs.data(), vals.data());
+      for (std::size_t p = 0; p < nb; ++p) {
+        double* gi = g.row_ptr(i0 + p);
+        for (std::size_t j = 0; j < m; ++j) {
+          double v = 1.0;
+          for (std::size_t t = plan.term_offsets[j];
+               t < plan.term_offsets[j + 1]; ++t)
+            v *= vals[plan.slot_val_offset[plan.term_slots[t]] + p];
+          gi[j] = v;
+        }
       }
     }
   });
   return g;
+}
+
+void design_matrix_times(const BasisSet& basis, const linalg::Matrix& points,
+                         const linalg::Vector& coeffs, linalg::Vector& out) {
+  LINALG_REQUIRE(points.cols() == basis.dimension(),
+                 "design_matrix_times: point dimension mismatch");
+  LINALG_REQUIRE(coeffs.size() == basis.size(),
+                 "design_matrix_times: coefficient count mismatch");
+  const std::size_t k = points.rows(), m = basis.size();
+  const EvalPlan plan = build_plan(basis);
+  out.resize(k);
+
+  // Fused G(points) * coeffs without materializing G: per row block, the
+  // value table is built once, then each term's contribution streams into
+  // a block accumulator via the dispatched mul/axpy kernels. Every row's
+  // sum runs in term order j = 0..m-1 independently of its position in the
+  // block and of the thread chunking, so results are bit-identical at any
+  // thread count (the property the serving path's response guarantee
+  // rests on). Note the sum order differs from gemv's dot kernel, so this
+  // agrees with the materialized design_matrix + gemv path numerically
+  // (~1 ulp per term), not bitwise.
+  const linalg::kernels::KernelTable& kt = linalg::kernels::active();
+  parallel::parallel_for(0, k, 0, [&](std::size_t r0, std::size_t r1) {
+    std::vector<double> vals(plan.table_size);
+    std::vector<double> xs(kEvalBlockRows);
+    std::vector<double> acc(kEvalBlockRows);
+    std::vector<double> prod(kEvalBlockRows);
+    for (std::size_t i0 = r0; i0 < r1; i0 += kEvalBlockRows) {
+      const std::size_t nb = std::min(kEvalBlockRows, r1 - i0);
+      plan.fill_values(points, i0, nb, xs.data(), vals.data());
+      std::fill(acc.begin(), acc.begin() + static_cast<std::ptrdiff_t>(nb),
+                0.0);
+      for (std::size_t j = 0; j < m; ++j) {
+        const double c = coeffs[j];
+        const std::size_t t0 = plan.term_offsets[j];
+        const std::size_t t1 = plan.term_offsets[j + 1];
+        if (t0 == t1) {  // constant term
+          for (std::size_t p = 0; p < nb; ++p) acc[p] += c;
+        } else if (t1 == t0 + 1) {  // single factor: acc += c * slot row
+          const double* row =
+              vals.data() + plan.slot_val_offset[plan.term_slots[t0]];
+          kt.axpy(c, row, acc.data(), nb);
+        } else {  // product of factors in term order, then acc += c * prod
+          const double* row0 =
+              vals.data() + plan.slot_val_offset[plan.term_slots[t0]];
+          std::copy(row0, row0 + nb, prod.data());
+          for (std::size_t t = t0 + 1; t < t1; ++t) {
+            const double* row =
+                vals.data() + plan.slot_val_offset[plan.term_slots[t]];
+            kt.mul(prod.data(), row, prod.data(), nb);
+          }
+          kt.axpy(c, prod.data(), acc.data(), nb);
+        }
+      }
+      std::copy(acc.data(), acc.data() + nb, out.data() + i0);
+    }
+  });
+}
+
+linalg::Vector design_matrix_times(const BasisSet& basis,
+                                   const linalg::Matrix& points,
+                                   const linalg::Vector& coeffs) {
+  linalg::Vector out;
+  design_matrix_times(basis, points, coeffs, out);
+  return out;
 }
 
 double orthonormality_defect(const BasisSet& basis, std::size_t num_samples,

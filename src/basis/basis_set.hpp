@@ -83,6 +83,20 @@ class BasisSet {
 linalg::Matrix design_matrix(const BasisSet& basis,
                              const linalg::Matrix& points);
 
+/// Fused G(points) * coeffs without materializing G — the serving hot
+/// path, where writing and re-reading a K x M design matrix would cost
+/// more than the arithmetic. Each row's term sum runs in term order
+/// independently of thread chunking and row-block position, so the result
+/// is bit-identical at any thread count; it agrees with
+/// design_matrix + gemv numerically (the summation orders differ), not
+/// bitwise. The out-param overload resizes `out` to K and reuses its
+/// storage across calls.
+void design_matrix_times(const BasisSet& basis, const linalg::Matrix& points,
+                         const linalg::Vector& coeffs, linalg::Vector& out);
+linalg::Vector design_matrix_times(const BasisSet& basis,
+                                   const linalg::Matrix& points,
+                                   const linalg::Vector& coeffs);
+
 /// Monte Carlo check of Eq. (3): returns the max |E[g_i g_j] - δ_ij| over
 /// all term pairs, estimated from `num_samples` N(0,I) draws. Test helper.
 double orthonormality_defect(const BasisSet& basis, std::size_t num_samples,

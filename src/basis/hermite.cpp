@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "linalg/kernels/kernels.hpp"
+
 namespace bmf::basis {
 
 double hermite_orthonormal(unsigned degree, double x) {
@@ -29,6 +31,11 @@ std::vector<double> hermite_orthonormal_all(unsigned max_degree, double x) {
                   std::sqrt(static_cast<double>(n + 1));
   }
   return vals;
+}
+
+void hermite_orthonormal_batch(unsigned max_degree, const double* x,
+                               std::size_t n, double* out, std::size_t ldo) {
+  linalg::kernels::active().hermite_all(max_degree, x, n, out, ldo);
 }
 
 std::vector<double> hermite_orthonormal_coefficients(unsigned degree) {

@@ -20,6 +20,15 @@ double hermite_orthonormal(unsigned degree, double x);
 /// scalar calls when several degrees of the same variable are needed).
 std::vector<double> hermite_orthonormal_all(unsigned max_degree, double x);
 
+/// Ĥ_0..Ĥ_max_degree at each of n points in one lane-parallel sweep:
+/// out[d * ldo + p] = Ĥ_d(x[p]) for d = 0..max_degree, p = 0..n-1
+/// (ldo >= n; the caller owns the (max_degree+1) x ldo buffer). Runs the
+/// three-term recurrence across 4/8 points at once when the active SIMD
+/// kernel level supports it (see linalg/kernels/kernels.hpp); at the
+/// scalar level the values are bit-identical to hermite_orthonormal_all.
+void hermite_orthonormal_batch(unsigned max_degree, const double* x,
+                               std::size_t n, double* out, std::size_t ldo);
+
 /// Monomial coefficients of Ĥ_n (index i = coefficient of x^i). Exact for
 /// small n; used by tests to cross-check the recurrence.
 std::vector<double> hermite_orthonormal_coefficients(unsigned degree);

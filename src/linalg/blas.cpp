@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "check/contracts.hpp"
+#include "linalg/kernels/kernels.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace bmf::linalg {
@@ -14,7 +15,9 @@ namespace {
 // cost of a parallel region would dominate. Parallel partitions are always
 // over disjoint *output rows*, and every output element accumulates its
 // terms in an order that depends only on the problem shape — never on the
-// thread count — so results are bit-identical at any thread count.
+// thread count — so results are bit-identical at any thread count (for a
+// fixed SIMD level; see linalg/kernels/kernels.hpp for the per-level
+// determinism contract).
 constexpr std::size_t kParallelFlopCutoff = 1u << 16;
 
 void maybe_parallel_rows(std::size_t rows, std::size_t flops_total,
@@ -26,29 +29,11 @@ void maybe_parallel_rows(std::size_t rows, std::size_t flops_total,
   }
   parallel::parallel_for(0, rows, grain, body);
 }
-
-// Four-lane unrolled inner product over raw arrays. The lane structure —
-// and hence the FP accumulation order — depends only on the length n, so
-// every caller gets the same rounding for the same operands regardless of
-// which thread (or tile) issued the call.
-double dot_n(const double* a, const double* b, std::size_t n) {
-  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
-  std::size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    s0 += a[i] * b[i];
-    s1 += a[i + 1] * b[i + 1];
-    s2 += a[i + 2] * b[i + 2];
-    s3 += a[i + 3] * b[i + 3];
-  }
-  double s = (s0 + s1) + (s2 + s3);
-  for (; i < n; ++i) s += a[i] * b[i];
-  return s;
-}
 }  // namespace
 
 double dot(const Vector& a, const Vector& b) {
   LINALG_REQUIRE(a.size() == b.size(), "dot size mismatch");
-  return dot_n(a.data(), b.data(), a.size());
+  return kernels::active().dot(a.data(), b.data(), a.size());
 }
 
 void axpy(double alpha, const Vector& x, Vector& y) {
@@ -56,7 +41,7 @@ void axpy(double alpha, const Vector& x, Vector& y) {
   BMF_EXPECTS(check::no_overlap(x.data(), x.size() * sizeof(double), y.data(),
                                 y.size() * sizeof(double)),
               "axpy input and output must not alias");
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+  kernels::active().axpy(alpha, x.data(), y.data(), x.size());
 }
 
 void scal(double alpha, Vector& x) {
@@ -95,9 +80,10 @@ Vector gemv(const Matrix& a, const Vector& x) {
                    {"a.cols", a.cols()});
   const std::size_t m = a.rows(), n = a.cols();
   Vector y(m, 0.0);
+  const kernels::KernelTable& kt = kernels::active();
   maybe_parallel_rows(m, m * n, 64, [&](std::size_t r0, std::size_t r1) {
     for (std::size_t i = r0; i < r1; ++i)
-      y[i] = dot_n(a.row_ptr(i), x.data(), n);
+      y[i] = kt.dot(a.row_ptr(i), x.data(), n);
   });
   return y;
 }
@@ -111,12 +97,12 @@ Vector gemv_t(const Matrix& a, const Vector& x) {
   Vector y(n, 0.0);
   // Threads own disjoint column ranges of y; every thread sweeps all rows in
   // ascending order, so each y[j] accumulates its terms in the serial order.
+  const kernels::KernelTable& kt = kernels::active();
   maybe_parallel_rows(n, k * n, 64, [&](std::size_t c0, std::size_t c1) {
     for (std::size_t i = 0; i < k; ++i) {
-      const double* row = a.row_ptr(i);
       const double xi = x[i];
       if (xi == 0.0) continue;
-      for (std::size_t j = c0; j < c1; ++j) y[j] += xi * row[j];
+      kt.axpy(xi, a.row_ptr(i) + c0, y.data() + c0, c1 - c0);
     }
   });
   return y;
@@ -127,24 +113,15 @@ namespace {
 // the full kMr x kNr accumulator grid, so all of GEMM runs through one code
 // path: a tile's FP accumulation order (p ascending within each p-block,
 // p-blocks ascending) depends only on the problem shape, never on where
-// thread-chunk or tile boundaries fall.
-constexpr std::size_t kMr = 4;   // rows per register tile
-constexpr std::size_t kNr = 8;   // columns per register tile
+// thread-chunk or tile boundaries fall. The rank-1 update itself comes
+// from the active SIMD kernel table; the geometry is the same at every
+// level so the packed-panel format never changes.
+constexpr std::size_t kMr = kernels::kMicroRows;  // rows per register tile
+constexpr std::size_t kNr = kernels::kMicroCols;  // columns per register tile
 constexpr std::size_t kKc = 512; // p-block depth (A panel stays cache-hot)
 // Thread grain over output rows: a multiple of kMr, so row tiles line up
 // with chunk boundaries identically at every thread count.
 constexpr std::size_t kRowGrain = 64;
-
-// kc steps of the fixed-size rank-1 update acc += ap_p (x) bp_p, where both
-// panels are packed p-major: ap holds kMr values per step, bp holds kNr.
-inline void micro_4x8(const double* ap, const double* bp, std::size_t kc,
-                      double acc[kMr][kNr]) {
-  for (std::size_t p = 0; p < kc; ++p, ap += kMr, bp += kNr)
-    for (std::size_t ir = 0; ir < kMr; ++ir) {
-      const double av = ap[ir];
-      for (std::size_t jr = 0; jr < kNr; ++jr) acc[ir][jr] += av * bp[jr];
-    }
-}
 
 // Pack `count` logical rows [r0, r0+count) over p in [p0, p0+kc) into a
 // p-major panel of width w, zero-padding rows beyond `count`.
@@ -178,6 +155,7 @@ void gemm_driver(std::size_t m, std::size_t n, std::size_t k,
                                  bpack.size() * sizeof(double), c.data(),
                                  c.size() * sizeof(double)),
                "packed B panels must not alias the GEMM output");
+  const kernels::KernelTable& kt = kernels::active();
   maybe_parallel_rows(m, m * n * k, kRowGrain, [&](std::size_t r0,
                                                    std::size_t r1) {
     std::vector<double> apack(std::min(k, kKc) * kMr);
@@ -191,13 +169,14 @@ void gemm_driver(std::size_t m, std::size_t n, std::size_t k,
         const std::size_t kc = std::min(kKc, k - p0);
         pack_pmajor(asrc, p0, kc, i0, mr, kMr, apack.data());
         for (std::size_t jp = 0; jp < npanels; ++jp) {
-          double acc[kMr][kNr] = {};
-          micro_4x8(apack.data(), bpack.data() + jp * k * kNr + p0 * kNr,
-                    kc, acc);
+          double acc[kMr * kNr] = {};
+          kt.micro_4x8(apack.data(), bpack.data() + jp * k * kNr + p0 * kNr,
+                       kc, acc);
           const std::size_t j0 = jp * kNr, nr = std::min(kNr, n - j0);
           for (std::size_t ir = 0; ir < mr; ++ir) {
             double* ci = c.row_ptr(i0 + ir) + j0;
-            for (std::size_t jr = 0; jr < nr; ++jr) ci[jr] += acc[ir][jr];
+            for (std::size_t jr = 0; jr < nr; ++jr)
+              ci[jr] += acc[ir * kNr + jr];
           }
         }
       }
@@ -245,6 +224,7 @@ Matrix gram(const Matrix& g) {
   // all K samples over its own rows (accumulation order per element is
   // unchanged). The symmetric-fill epilogue stays serial — it is O(M^2)
   // copies against the O(K M^2) accumulation.
+  const kernels::KernelTable& kt = kernels::active();
   maybe_parallel_rows(m, k * m * m / 2, 0,
                       [&](std::size_t r0, std::size_t r1) {
     for (std::size_t p = 0; p < k; ++p) {
@@ -252,8 +232,7 @@ Matrix gram(const Matrix& g) {
       for (std::size_t i = r0; i < r1; ++i) {
         const double gpi = gp[i];
         if (gpi == 0.0) continue;
-        double* ci = c.row_ptr(i);
-        for (std::size_t j = i; j < m; ++j) ci[j] += gpi * gp[j];
+        kt.axpy(gpi, gp + i, c.row_ptr(i) + i, m - i);
       }
     }
   });
@@ -269,16 +248,16 @@ Matrix outer_gram_weighted(const Matrix& g, const Vector& d) {
                    {"g.rows", g.rows()}, {"g.cols", g.cols()});
   const std::size_t k = g.rows(), m = g.cols();
   Matrix c(k, k, 0.0);
+  const kernels::KernelTable& kt = kernels::active();
   maybe_parallel_rows(k, k * k * m / 2, 0,
                       [&](std::size_t r0, std::size_t r1) {
     // Per-chunk scratch: the diag-scaled row g_i .* d is formed once per
     // output row i and reused across all j >= i inner products.
     std::vector<double> scaled(m);
     for (std::size_t i = r0; i < r1; ++i) {
-      const double* gi = g.row_ptr(i);
-      for (std::size_t p = 0; p < m; ++p) scaled[p] = gi[p] * d[p];
+      kt.mul(g.row_ptr(i), d.data(), scaled.data(), m);
       for (std::size_t j = i; j < k; ++j)
-        c(i, j) = dot_n(scaled.data(), g.row_ptr(j), m);
+        c(i, j) = kt.dot(scaled.data(), g.row_ptr(j), m);
     }
   });
   for (std::size_t i = 0; i < k; ++i)
@@ -291,21 +270,10 @@ Vector gemv_scaled(const Matrix& g, const Vector& d, const Vector& z) {
                  "gemv_scaled size mismatch");
   const std::size_t k = g.rows(), m = g.cols();
   Vector y(k, 0.0);
+  const kernels::KernelTable& kt = kernels::active();
   maybe_parallel_rows(k, k * m, 64, [&](std::size_t r0, std::size_t r1) {
-    for (std::size_t i = r0; i < r1; ++i) {
-      const double* gi = g.row_ptr(i);
-      double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
-      std::size_t p = 0;
-      for (; p + 4 <= m; p += 4) {
-        s0 += gi[p] * d[p] * z[p];
-        s1 += gi[p + 1] * d[p + 1] * z[p + 1];
-        s2 += gi[p + 2] * d[p + 2] * z[p + 2];
-        s3 += gi[p + 3] * d[p + 3] * z[p + 3];
-      }
-      double s = (s0 + s1) + (s2 + s3);
-      for (; p < m; ++p) s += gi[p] * d[p] * z[p];
-      y[i] = s;
-    }
+    for (std::size_t i = r0; i < r1; ++i)
+      y[i] = kt.dot3(g.row_ptr(i), d.data(), z.data(), m);
   });
   return y;
 }

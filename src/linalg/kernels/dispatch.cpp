@@ -1,0 +1,146 @@
+// Runtime kernel dispatch: pick the widest ISA level this binary contains
+// AND this CPU supports, once per process, before any wide instruction can
+// execute. BMF_SIMD_LEVEL pins a specific available level (the test and
+// triage knob); an unknown or unavailable value is reported once on stderr
+// and ignored so the binary never reaches an illegal-instruction path.
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "linalg/kernels/tables.hpp"
+
+namespace bmf::linalg::kernels {
+
+namespace {
+
+bool cpu_supports(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return true;
+    case SimdLevel::kAvx2:
+#if defined(__x86_64__) || defined(__i386__)
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+      return false;
+#endif
+    case SimdLevel::kAvx512:
+#if defined(__x86_64__) || defined(__i386__)
+      return __builtin_cpu_supports("avx512f") &&
+             __builtin_cpu_supports("avx512dq");
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+const KernelTable* compiled_table(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return scalar_table();
+    case SimdLevel::kAvx2:
+      return avx2_table();
+    case SimdLevel::kAvx512:
+      return avx512_table();
+  }
+  return nullptr;
+}
+
+struct DispatchState {
+  const KernelTable* table;
+  DispatchInfo info;
+};
+
+DispatchState resolve() {
+  DispatchState s;
+  s.info.detected = detected_level();
+  s.info.active = s.info.detected;
+  s.info.env_override = false;
+  s.info.env_ignored = false;
+  if (const char* env = std::getenv("BMF_SIMD_LEVEL")) {
+    s.info.env_value = env;
+    SimdLevel requested;
+    if (parse_level(s.info.env_value, requested) &&
+        level_available(requested)) {
+      s.info.active = requested;
+      s.info.env_override = true;
+    } else {
+      s.info.env_ignored = true;
+      std::fprintf(stderr,
+                   "bmf: BMF_SIMD_LEVEL='%s' is unknown or unavailable on "
+                   "this host/build; using '%s'\n",
+                   env, level_name(s.info.detected));
+    }
+  }
+  s.table = compiled_table(s.info.active);
+  return s;
+}
+
+DispatchState& state() {
+  static DispatchState s = resolve();
+  return s;
+}
+
+}  // namespace
+
+const char* level_name(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+bool parse_level(const std::string& text, SimdLevel& out) {
+  if (text == "scalar") {
+    out = SimdLevel::kScalar;
+  } else if (text == "avx2") {
+    out = SimdLevel::kAvx2;
+  } else if (text == "avx512") {
+    out = SimdLevel::kAvx512;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool level_compiled(SimdLevel level) {
+  return compiled_table(level) != nullptr;
+}
+
+bool level_available(SimdLevel level) {
+  return level_compiled(level) && cpu_supports(level);
+}
+
+SimdLevel detected_level() {
+  if (level_available(SimdLevel::kAvx512)) return SimdLevel::kAvx512;
+  if (level_available(SimdLevel::kAvx2)) return SimdLevel::kAvx2;
+  return SimdLevel::kScalar;
+}
+
+const KernelTable& table_for(SimdLevel level) {
+  if (!level_available(level))
+    throw std::invalid_argument(
+        std::string("kernels::table_for: level '") + level_name(level) +
+        "' is not available on this host/build");
+  return *compiled_table(level);
+}
+
+const KernelTable& active() { return *state().table; }
+
+DispatchInfo dispatch_info() { return state().info; }
+
+bool force_active_level(SimdLevel level) {
+  if (!level_available(level)) return false;
+  DispatchState& s = state();
+  s.table = compiled_table(level);
+  s.info.active = level;
+  return true;
+}
+
+}  // namespace bmf::linalg::kernels

@@ -1,0 +1,16 @@
+// Internal registry shared by the per-ISA kernel translation units and the
+// dispatcher. Each accessor returns the level's table, or nullptr when the
+// TU was compiled without the matching ISA flags (the stub bodies in
+// kernels_avx*.cpp), so dispatch can probe what this binary contains
+// without any preprocessor coupling.
+#pragma once
+
+#include "linalg/kernels/kernels.hpp"
+
+namespace bmf::linalg::kernels {
+
+const KernelTable* scalar_table();  // never nullptr
+const KernelTable* avx2_table();    // nullptr unless built with AVX2+FMA
+const KernelTable* avx512_table();  // nullptr unless built with AVX-512
+
+}  // namespace bmf::linalg::kernels

@@ -34,14 +34,13 @@ void BatchEvaluator::evaluate_into(const basis::PerformanceModel& model,
         std::to_string(model.basis().dimension()));
   BMF_EXPECTS(check::all_finite(model.coefficients()),
               "model coefficients must be finite");
-  out.resize(b);
-  for (std::size_t b0 = 0; b0 < b; b0 += block_rows_) {
-    const std::size_t nb = std::min(block_rows_, b - b0);
-    const linalg::Matrix tile =
-        basis::design_matrix(model.basis(), points.block(b0, 0, nb, r));
-    const linalg::Vector y = linalg::gemv(tile, model.coefficients());
-    std::copy(y.begin(), y.end(), out.begin() + static_cast<std::ptrdiff_t>(b0));
-  }
+  // Fused design-matrix-times-coefficients pass: basis::design_matrix_times
+  // blocks rows internally (the working set is a fixed small value table
+  // plus a block accumulator, independent of B), evaluates each block's
+  // Hermite factors lane-parallel, and never materializes the K x M design
+  // matrix this path used to write and immediately re-read.
+  basis::design_matrix_times(model.basis(), points, model.coefficients(),
+                             out);
 }
 
 }  // namespace bmf::serve

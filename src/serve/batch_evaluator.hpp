@@ -1,18 +1,18 @@
 // Batched model evaluation: the hot path the daemon runs per request.
 //
 // A batch of B variation points (B x R, one sample per row) is evaluated
-// against a model with M basis terms by streaming fixed-size row blocks
-// through the repo's existing high-throughput kernels: each block is
-// expanded to a design-matrix tile via basis::design_matrix (shared-factor
-// evaluation plan, parallelized over rows) and reduced to predictions via
-// linalg::gemv (register-blocked, parallelized). Blocking bounds the
-// working set at block_rows x (R + M) doubles no matter how large B is.
+// against a model with M basis terms by basis::design_matrix_times — a
+// fused pass that evaluates each fixed-size row block's Hermite factors
+// lane-parallel (SIMD-dispatched, see linalg/kernels/kernels.hpp) and
+// accumulates G * alpha directly, never materializing the K x M design
+// matrix. The working set is a small per-block value table plus a block
+// accumulator, independent of B.
 //
-// Determinism: the block size is a fixed constant independent of the
-// thread count, and both underlying kernels are bit-identical at any
-// thread count (see DESIGN.md "Threading model"), so a batch's result
-// bytes are identical for BMF_NUM_THREADS = 1, 4, or 64 — the property the
-// protocol's bit-exact response guarantee rests on.
+// Determinism: every row's term sum runs in a fixed order independent of
+// the thread count and of the row's position in a block (see DESIGN.md
+// "Threading model"), so a batch's result bytes are identical for
+// BMF_NUM_THREADS = 1, 4, or 64 — the property the protocol's bit-exact
+// response guarantee rests on.
 #pragma once
 
 #include <cstddef>
@@ -24,9 +24,9 @@ namespace bmf::serve {
 
 class BatchEvaluator {
  public:
-  /// Rows per design-matrix tile; must be >= 1. The working set is
-  /// block_rows x (R + M) doubles regardless of batch size — with the
-  /// default, ~32 MB even for a linear model over R = 10^3 variables.
+  /// `block_rows` must be >= 1. Kept for API compatibility: the fused
+  /// evaluation path blocks rows internally at a fixed size, so the value
+  /// no longer affects either the result bits or the working set.
   explicit BatchEvaluator(std::size_t block_rows = 2048);
 
   /// f(x) for every row of `points` (B x R; R must match the model's

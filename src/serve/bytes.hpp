@@ -13,6 +13,7 @@
 #include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,16 @@ namespace bmf::serve {
 
 class ByteWriter {
  public:
+  ByteWriter() = default;
+
+  /// Adopts `recycle`'s storage (cleared, capacity kept) so hot-path frame
+  /// builders can reuse one allocation across messages instead of paying a
+  /// fresh large allocation — and its page faults — per frame.
+  explicit ByteWriter(std::vector<std::uint8_t> recycle)
+      : bytes_(std::move(recycle)) {
+    bytes_.clear();
+  }
+
   const std::vector<std::uint8_t>& bytes() const { return bytes_; }
   std::vector<std::uint8_t> take() { return std::move(bytes_); }
   std::size_t size() const { return bytes_.size(); }
@@ -44,6 +55,25 @@ class ByteWriter {
   }
 
   void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+  /// n doubles as consecutive little-endian IEEE-754 bit patterns — the
+  /// same bytes n calls to f64 would produce, but bulk-copied on
+  /// little-endian hosts (one memcpy instead of 8n push_backs, which
+  /// dominates the cost of framing large evaluate/solve batches).
+  void f64_array(const double* v, std::size_t n) {
+    const std::size_t at = bytes_.size();
+    bytes_.resize(at + 8 * n);
+    if constexpr (std::endian::native == std::endian::little) {
+      if (n) std::memcpy(bytes_.data() + at, v, 8 * n);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto bits = std::bit_cast<std::uint64_t>(v[i]);
+        for (int b = 0; b < 8; ++b)
+          bytes_[at + 8 * i + static_cast<std::size_t>(b)] =
+              static_cast<std::uint8_t>(bits >> (8 * b));
+      }
+    }
+  }
 
   void raw(const void* data, std::size_t n) {
     const auto* p = static_cast<const std::uint8_t*>(data);
@@ -114,6 +144,18 @@ class ByteReader {
   }
 
   double f64() { return std::bit_cast<double>(u64()); }
+
+  /// Bulk counterpart of n f64() calls; bounds-checked once, bulk-copied
+  /// on little-endian hosts.
+  void f64_array(double* out, std::size_t n) {
+    need(8 * n);
+    if constexpr (std::endian::native == std::endian::little) {
+      if (n) std::memcpy(out, data_ + pos_, 8 * n);
+      pos_ += 8 * n;
+    } else {
+      for (std::size_t i = 0; i < n; ++i) out[i] = f64();
+    }
+  }
 
   std::string str16() {
     const std::uint16_t n = u16();

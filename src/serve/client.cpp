@@ -195,12 +195,11 @@ std::uint64_t Client::publish_blob(const std::string& name,
 Client::Evaluation Client::evaluate(const std::string& name,
                                     const linalg::Matrix& points,
                                     std::uint64_t version) {
-  EvaluateRequest request;
-  request.name = name;
-  request.version = version;
-  request.points = points;
+  // Encode straight from the caller's matrix into the reusable scratch
+  // frame: no Request copy of the batch, no fresh frame allocation.
+  frame_ = encode_evaluate_request(name, version, points, std::move(frame_));
   const std::vector<std::uint8_t> body =
-      round_trip(encode_request(request), Idempotency::kRetryable);
+      round_trip(frame_, Idempotency::kRetryable);
   EvaluateResponse response = decode_or_drop(
       [&] { return decode_evaluate_response(body.data(), body.size()); });
   return Evaluation{response.version, std::move(response.values)};

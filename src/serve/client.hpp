@@ -157,6 +157,9 @@ class Client {
   }
 
   UniqueFd fd_;
+  /// Scratch frame reused across evaluate calls: batches are large enough
+  /// that a fresh allocation per request costs as much as encoding itself.
+  std::vector<std::uint8_t> frame_;
   std::string socket_path_;
   int timeout_ms_;
   std::size_t max_frame_bytes_;

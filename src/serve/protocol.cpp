@@ -35,27 +35,35 @@ std::vector<std::uint8_t> encode_request(const Request& request) {
     w.u32(static_cast<std::uint32_t>(pub->blob.size()));
     w.raw(pub->blob.data(), pub->blob.size());
   } else if (const auto* ev = std::get_if<EvaluateRequest>(&request)) {
-    w.u8(static_cast<std::uint8_t>(MessageType::kEvaluate));
-    w.str16(ev->name);
-    w.u64(ev->version);
-    w.u64(ev->points.rows());
-    w.u64(ev->points.cols());
-    for (std::size_t i = 0; i < ev->points.size(); ++i)
-      w.f64(ev->points.data()[i]);
+    return encode_evaluate_request(ev->name, ev->version, ev->points,
+                                   w.take());
   } else if (std::holds_alternative<ListRequest>(request)) {
     w.u8(static_cast<std::uint8_t>(MessageType::kList));
   } else if (const auto* sv = std::get_if<SolveRequest>(&request)) {
     w.u8(static_cast<std::uint8_t>(MessageType::kSolve));
     w.u64(sv->g.rows());
     w.u64(sv->g.cols());
-    for (std::size_t i = 0; i < sv->g.size(); ++i) w.f64(sv->g.data()[i]);
-    for (double v : sv->f) w.f64(v);
-    for (double v : sv->q) w.f64(v);
-    for (double v : sv->mu) w.f64(v);
+    w.f64_array(sv->g.data(), sv->g.size());
+    w.f64_array(sv->f.data(), sv->f.size());
+    w.f64_array(sv->q.data(), sv->q.size());
+    w.f64_array(sv->mu.data(), sv->mu.size());
     w.f64(sv->tau);
   } else {
     w.u8(static_cast<std::uint8_t>(MessageType::kShutdown));
   }
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_evaluate_request(
+    const std::string& name, std::uint64_t version,
+    const linalg::Matrix& points, std::vector<std::uint8_t> recycle) {
+  ByteWriter w(std::move(recycle));
+  w.u8(static_cast<std::uint8_t>(MessageType::kEvaluate));
+  w.str16(name);
+  w.u64(version);
+  w.u64(points.rows());
+  w.u64(points.cols());
+  w.f64_array(points.data(), points.size());
   return w.take();
 }
 
@@ -97,8 +105,7 @@ Request decode_request(const std::uint8_t* data, std::size_t size) {
                     std::to_string(cols) + " entries does not match the " +
                     std::to_string(r.remaining()) + " remaining byte(s)");
       ev.points.assign(rows, cols);
-      for (std::size_t i = 0; i < ev.points.size(); ++i)
-        ev.points.data()[i] = r.f64();
+      r.f64_array(ev.points.data(), ev.points.size());
       r.expect_done();
       return ev;
     }
@@ -123,13 +130,13 @@ Request decode_request(const std::uint8_t* data, std::size_t size) {
                     std::to_string(m) + " entries does not match the " +
                     std::to_string(r.remaining()) + " remaining byte(s)");
       sv.g.assign(k, m);
-      for (std::size_t i = 0; i < sv.g.size(); ++i) sv.g.data()[i] = r.f64();
+      r.f64_array(sv.g.data(), sv.g.size());
       sv.f.resize(k);
-      for (std::uint64_t i = 0; i < k; ++i) sv.f[i] = r.f64();
+      r.f64_array(sv.f.data(), sv.f.size());
       sv.q.resize(m);
-      for (std::uint64_t i = 0; i < m; ++i) sv.q[i] = r.f64();
+      r.f64_array(sv.q.data(), sv.q.size());
       sv.mu.resize(m);
-      for (std::uint64_t i = 0; i < m; ++i) sv.mu[i] = r.f64();
+      r.f64_array(sv.mu.data(), sv.mu.size());
       sv.tau = r.f64();
       r.expect_done();
       return sv;
@@ -164,7 +171,7 @@ std::vector<std::uint8_t> encode_evaluate_response(
   w.u8(static_cast<std::uint8_t>(Status::kOk));
   w.u64(response.version);
   w.u64(response.values.size());
-  for (double v : response.values) w.f64(v);
+  w.f64_array(response.values.data(), response.values.size());
   return w.take();
 }
 
@@ -191,7 +198,7 @@ std::vector<std::uint8_t> encode_solve_response(const SolveResponse& response) {
   w.f64(response.report.jitter);
   w.u64(response.report.discarded);
   w.u64(response.coefficients.size());
-  for (double v : response.coefficients) w.f64(v);
+  w.f64_array(response.coefficients.data(), response.coefficients.size());
   return w.take();
 }
 
@@ -245,7 +252,7 @@ EvaluateResponse decode_evaluate_response(const std::uint8_t* body,
                          std::to_string(r.remaining()) +
                          " remaining byte(s)");
   response.values.resize(count);
-  for (std::uint64_t i = 0; i < count; ++i) response.values[i] = r.f64();
+  r.f64_array(response.values.data(), count);
   r.expect_done();
   return response;
 }
@@ -290,8 +297,7 @@ SolveResponse decode_solve_response(const std::uint8_t* body,
                          std::to_string(r.remaining()) +
                          " remaining byte(s)");
   response.coefficients.resize(count);
-  for (std::uint64_t i = 0; i < count; ++i)
-    response.coefficients[i] = r.f64();
+  r.f64_array(response.coefficients.data(), count);
   r.expect_done();
   return response;
 }

@@ -101,6 +101,17 @@ struct SolveResponse {
 // ---- Request codecs --------------------------------------------------------
 
 std::vector<std::uint8_t> encode_request(const Request& request);
+
+/// Encode a kEvaluate request straight from the caller's matrix — the
+/// bytes are identical to encode_request(EvaluateRequest{...}) but the
+/// batch is never copied into a Request, and `recycle`'s capacity is
+/// reused for the returned frame. This is the client's hot path: an
+/// evaluate batch is typically hundreds of kilobytes, and copy + fresh
+/// allocation otherwise rival the server's own evaluation cost.
+std::vector<std::uint8_t> encode_evaluate_request(
+    const std::string& name, std::uint64_t version,
+    const linalg::Matrix& points, std::vector<std::uint8_t> recycle = {});
+
 Request decode_request(const std::uint8_t* data, std::size_t size);
 Request decode_request(const std::vector<std::uint8_t>& frame);
 

@@ -128,8 +128,12 @@ void Server::shed(UniqueFd conn, Status status) noexcept {
 }
 
 void Server::serve_connection(int fd) {
+  // One request buffer per connection, reused frame after frame: evaluate
+  // and solve frames are large, and a fresh allocation per request would
+  // cost page faults comparable to decoding itself.
+  std::vector<std::uint8_t> frame;
   for (;;) {
-    std::optional<std::vector<std::uint8_t>> frame;
+    bool got_frame = false;
     try {
       // Sliced idle wait: a connection with no request in flight notices a
       // stop request within one poll tick and drains out. Once bytes are
@@ -148,8 +152,8 @@ void Server::serve_connection(int fd) {
                                " ms");
         if (poll_readable(fd, std::min(kAcceptPollMs, left))) break;
       }
-      frame = read_frame(fd, options_.request_timeout_ms,
-                         options_.max_frame_bytes);
+      got_frame = read_frame_into(fd, options_.request_timeout_ms,
+                                  options_.max_frame_bytes, frame);
     } catch (const ServeError& e) {
       // Transport-level failure (timeout, oversized or truncated frame).
       // Best-effort error reply, then drop the connection: the stream
@@ -161,8 +165,8 @@ void Server::serve_connection(int fd) {
       }
       return;
     }
-    if (!frame) return;  // clean EOF between frames
-    if (!handle_request(fd, *frame)) return;
+    if (!got_frame) return;  // clean EOF between frames
+    if (!handle_request(fd, frame)) return;
   }
 }
 

@@ -257,22 +257,30 @@ void write_frame(int fd, const std::vector<std::uint8_t>& frame,
   write_frame(fd, frame.data(), frame.size(), timeout_ms, max_frame);
 }
 
-std::optional<std::vector<std::uint8_t>> read_frame(int fd, int timeout_ms,
-                                                    std::size_t max_frame) {
+bool read_frame_into(int fd, int timeout_ms, std::size_t max_frame,
+                     std::vector<std::uint8_t>& payload) {
   const char* context = "read_frame";
   const auto deadline = deadline_from(timeout_ms);
   std::uint8_t prefix[4];
   if (!read_exact(fd, prefix, sizeof(prefix), deadline,
                   /*eof_ok_at_start=*/true, context))
-    return std::nullopt;
+    return false;
   const std::uint32_t size = decode_length(prefix);
   if (size > max_frame)
     throw ServeError(Status::kTooLarge, context,
                      "length prefix announces " + std::to_string(size) +
                          " byte(s), bound is " + std::to_string(max_frame));
-  std::vector<std::uint8_t> payload(size);
+  payload.resize(size);
   read_exact(fd, payload.data(), size, deadline, /*eof_ok_at_start=*/false,
              context);
+  return true;
+}
+
+std::optional<std::vector<std::uint8_t>> read_frame(int fd, int timeout_ms,
+                                                    std::size_t max_frame) {
+  std::vector<std::uint8_t> payload;
+  if (!read_frame_into(fd, timeout_ms, max_frame, payload))
+    return std::nullopt;
   return payload;
 }
 

@@ -90,4 +90,11 @@ void write_frame(int fd, const std::vector<std::uint8_t>& frame,
 std::optional<std::vector<std::uint8_t>> read_frame(
     int fd, int timeout_ms, std::size_t max_frame = kDefaultMaxFrameBytes);
 
+/// Same contract as read_frame, but the payload lands in `payload`
+/// (resized, capacity reused) instead of a fresh vector. Returns false on
+/// a clean EOF before any byte. Lets a connection loop receive many large
+/// frames into one allocation.
+bool read_frame_into(int fd, int timeout_ms, std::size_t max_frame,
+                     std::vector<std::uint8_t>& payload);
+
 }  // namespace bmf::serve

@@ -35,17 +35,21 @@ linalg::Matrix make_points(std::size_t rows, std::size_t cols,
   return p;
 }
 
-TEST(BatchEvaluator, MatchesUnblockedDesignPathBitExact) {
+TEST(BatchEvaluator, MatchesUnblockedDesignPath) {
   const auto model = make_model(6, 2, 3);
   const auto points = make_points(37, 6, 4);
   const BatchEvaluator evaluator(8);  // forces several partial blocks
   const linalg::Vector batched = evaluator.evaluate(model, points);
   ASSERT_EQ(batched.size(), points.rows());
-  // Blocking must not change a single bit relative to one unblocked
-  // design-matrix + gemv pass over the whole batch.
+  // The fused path sums terms in term order while gemv's dot kernel uses
+  // its own interleaved accumulation, so the materialized design-matrix
+  // pass is a numerical (not bitwise) reference.
   const linalg::Vector whole =
       model.predict_design(basis::design_matrix(model.basis(), points));
-  EXPECT_EQ(batched, whole);
+  for (std::size_t i = 0; i < points.rows(); ++i)
+    EXPECT_NEAR(batched[i], whole[i],
+                1e-12 * std::max(1.0, std::abs(whole[i])))
+        << "row " << i;
   // The scalar predict() path sums terms in a different order, so it is a
   // numerical (not bitwise) reference: cancellation can amplify the
   // reordering to ~1e-13 relative even though both sums are correct.
