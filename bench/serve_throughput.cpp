@@ -1,21 +1,32 @@
 // Throughput/latency benchmark for the model-serving daemon.
 //
 // Starts an in-process Server on a background thread, publishes a linear
-// model, then drives batched Evaluate requests through a real UNIX-domain
-// socket round trip — framing, decode, design matrix, gemv, encode — the
-// same path a production client pays. Reports sustained single-point
-// evaluations per second plus p50/p99 request latency, and verifies that
-// responses are bit-identical with BMF_NUM_THREADS=1 and 4.
+// model, then drives batched Evaluate requests through real socket round
+// trips — framing, decode, design matrix, gemv, encode — the same path a
+// production client pays. The sweep crosses transport (UNIX socket, TCP
+// loopback) x connection count x pipeline depth: the baseline scenario
+// (unix, 1 connection, depth 1) is the historical sequential round-trip
+// number, and the multi-connection pipelined scenarios show aggregate
+// throughput scaling with connection count on the epoll loop. Reports
+// sustained single-point evaluations per second plus p50/p99 per-request
+// latency (amortized over the window for pipelined runs), and verifies
+// that responses are bit-identical with BMF_NUM_THREADS=1 and 4.
 //
 // Usage: serve_throughput [--batch 4096] [--dim 24] [--requests 300]
-//                         [--warmup 20] [--workers 4] [--out BENCH_serve.json]
+//                         [--warmup 20] [--workers 4]
+//                         [--connections 1,2,4] [--pipeline 1,8]
+//                         [--transport both|unix|tcp]
+//                         [--out BENCH_serve.json]
 //
 // Writes a flat JSON object (not google-benchmark format: the interesting
 // numbers here are end-to-end request statistics, which gbench's
-// per-iteration model does not express).
+// per-iteration model does not express). The top-level evals_per_sec /
+// p50_us / p99_us fields remain the baseline scenario so existing tooling
+// keeps reading the single-stream number; the sweep lands in "scenarios".
 #include <unistd.h>
 
 #include <algorithm>
+#include <barrier>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -23,6 +34,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -38,13 +50,94 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-double percentile(std::vector<double> sorted_us, double p) {
+double percentile(const std::vector<double>& sorted_us, double p) {
   if (sorted_us.empty()) return 0.0;
   const double rank = p * static_cast<double>(sorted_us.size() - 1);
   const std::size_t lo = static_cast<std::size_t>(rank);
   const std::size_t hi = std::min(lo + 1, sorted_us.size() - 1);
   const double frac = rank - static_cast<double>(lo);
   return sorted_us[lo] * (1.0 - frac) + sorted_us[hi] * frac;
+}
+
+std::vector<std::size_t> parse_list(const std::string& spec) {
+  std::vector<std::size_t> out;
+  std::stringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ','))
+    if (!item.empty()) out.push_back(std::stoul(item));
+  if (out.empty()) out.push_back(1);
+  return out;
+}
+
+struct ScenarioResult {
+  std::string transport;
+  std::size_t connections = 1;
+  std::size_t pipeline = 1;
+  double evals_per_sec = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+/// One sweep point: `connections` clients on `endpoint`, each issuing its
+/// share of `requests` evaluate requests with `depth` frames in flight.
+/// Request latency is wall time per request; for pipelined windows it is
+/// the window time amortized over its requests.
+ScenarioResult run_scenario(const std::string& endpoint,
+                            const std::string& transport,
+                            std::size_t connections, std::size_t depth,
+                            const bmf::linalg::Matrix& points,
+                            std::size_t requests, std::size_t warmup) {
+  const std::size_t per_conn = std::max<std::size_t>(requests / connections, depth);
+  const std::size_t windows = std::max<std::size_t>(per_conn / depth, 1);
+
+  std::vector<std::vector<double>> latencies(connections);
+  std::vector<std::thread> threads;
+  std::barrier gate(static_cast<std::ptrdiff_t>(connections) + 1);
+
+  for (std::size_t c = 0; c < connections; ++c) {
+    threads.emplace_back([&, c] {
+      bmf::serve::Client client(endpoint, /*timeout_ms=*/30000);
+      const std::vector<bmf::linalg::Matrix> window(depth, points);
+      for (std::size_t i = 0; i < warmup; ++i)
+        (void)client.evaluate("bench", points);
+      gate.arrive_and_wait();  // all connections warm before the clock
+      auto& lat = latencies[c];
+      lat.reserve(windows * depth);
+      for (std::size_t w = 0; w < windows; ++w) {
+        const auto r0 = Clock::now();
+        if (depth == 1) {
+          (void)client.evaluate("bench", points);
+        } else {
+          (void)client.evaluate_pipeline("bench", window, 0, depth);
+        }
+        const auto r1 = Clock::now();
+        const double us =
+            std::chrono::duration<double, std::micro>(r1 - r0).count() /
+            static_cast<double>(depth);
+        for (std::size_t d = 0; d < depth; ++d) lat.push_back(us);
+      }
+    });
+  }
+
+  gate.arrive_and_wait();
+  const auto t0 = Clock::now();
+  for (auto& t : threads) t.join();
+  const auto t1 = Clock::now();
+  const double elapsed = std::chrono::duration<double>(t1 - t0).count();
+
+  std::vector<double> all;
+  for (const auto& lat : latencies) all.insert(all.end(), lat.begin(), lat.end());
+  std::sort(all.begin(), all.end());
+
+  ScenarioResult result;
+  result.transport = transport;
+  result.connections = connections;
+  result.pipeline = depth;
+  result.evals_per_sec = static_cast<double>(points.rows()) *
+                         static_cast<double>(all.size()) / elapsed;
+  result.p50_us = percentile(all, 0.50);
+  result.p99_us = percentile(all, 0.99);
+  return result;
 }
 
 }  // namespace
@@ -60,6 +153,11 @@ int main(int argc, char** argv) {
   const std::size_t warmup = static_cast<std::size_t>(args.get_int("warmup", 20));
   const std::size_t workers =
       static_cast<std::size_t>(args.get_int("workers", 4));
+  const std::vector<std::size_t> connection_counts =
+      parse_list(args.get("connections", "1,2,4"));
+  const std::vector<std::size_t> depths =
+      parse_list(args.get("pipeline", "1,8"));
+  const std::string transport = args.get("transport", "both");
   const std::string out_path = args.get("out", "");
 
   const char* tmpdir = std::getenv("TMPDIR");
@@ -71,10 +169,25 @@ int main(int argc, char** argv) {
   options.socket_path = socket_path;
   options.request_timeout_ms = 30000;
   options.worker_threads = workers;
-  serve::Server server(options);
-  std::thread server_thread([&] { server.run(); });
+  options.max_connections = 64;  // the sweep holds many connections open
+  const bool want_tcp = transport == "both" || transport == "tcp";
+  std::string tcp_endpoint;
+  std::unique_ptr<serve::Server> server;
+  if (want_tcp) {
+    try {
+      serve::ServerOptions with_tcp = options;
+      with_tcp.tcp_address = "127.0.0.1:0";
+      server = std::make_unique<serve::Server>(std::move(with_tcp));
+      tcp_endpoint = to_string(server->tcp_endpoint());
+    } catch (const serve::ServeError& e) {
+      std::cerr << "serve_throughput: TCP loopback unavailable ("
+                << e.message() << "); running unix-only\n";
+    }
+  }
+  if (server == nullptr) server = std::make_unique<serve::Server>(options);
+  std::thread server_thread([&] { server->run(); });
 
-  double evals_per_sec = 0.0, p50 = 0.0, p99 = 0.0;
+  std::vector<ScenarioResult> scenarios;
   serve::RetryStats retry_stats;
   bool bit_identical = false;
   int exit_code = 0;
@@ -100,31 +213,24 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < points.size(); ++i)
       points.data()[i] = rng.normal();
 
-    for (std::size_t i = 0; i < warmup; ++i)
-      (void)client.evaluate("bench", points);
-
-    std::vector<double> latencies_us;
-    latencies_us.reserve(requests);
-    const auto t0 = Clock::now();
-    for (std::size_t i = 0; i < requests; ++i) {
-      const auto r0 = Clock::now();
-      const auto result = client.evaluate("bench", points);
-      const auto r1 = Clock::now();
-      if (result.values.size() != batch) {
-        std::cerr << "serve_throughput: short response\n";
-        exit_code = 1;
-        break;
-      }
-      latencies_us.push_back(
-          std::chrono::duration<double, std::micro>(r1 - r0).count());
-    }
-    const auto t1 = Clock::now();
-    const double elapsed = std::chrono::duration<double>(t1 - t0).count();
-    evals_per_sec =
-        static_cast<double>(batch) * static_cast<double>(requests) / elapsed;
-    std::sort(latencies_us.begin(), latencies_us.end());
-    p50 = percentile(latencies_us, 0.50);
-    p99 = percentile(latencies_us, 0.99);
+    // The sweep: unix first (its 1x1 point is the historical baseline),
+    // then the same grid over TCP loopback when available.
+    std::vector<std::pair<std::string, std::string>> endpoints;
+    if (transport == "both" || transport == "unix")
+      endpoints.emplace_back("unix", socket_path);
+    if (!tcp_endpoint.empty()) endpoints.emplace_back("tcp", tcp_endpoint);
+    for (const auto& [name, endpoint] : endpoints)
+      for (std::size_t conns : connection_counts)
+        for (std::size_t depth : depths) {
+          scenarios.push_back(run_scenario(endpoint, name, conns, depth,
+                                           points, requests, warmup));
+          const auto& s = scenarios.back();
+          std::fprintf(stderr,
+                       "  %-4s conns=%zu depth=%zu  %.0f evals/s  "
+                       "p50=%.0fus p99=%.0fus\n",
+                       s.transport.c_str(), s.connections, s.pipeline,
+                       s.evals_per_sec, s.p50_us, s.p99_us);
+        }
 
     // Determinism gate: the served values must not depend on the server's
     // thread count.
@@ -146,15 +252,24 @@ int main(int argc, char** argv) {
     client.shutdown_server();
   } catch (const std::exception& e) {
     std::cerr << "serve_throughput: " << e.what() << "\n";
-    server.request_stop();
+    server->request_stop();
     exit_code = 1;
   }
   server_thread.join();
   std::remove(socket_path.c_str());
   if (exit_code != 0) return exit_code;
 
-  char json[512];
-  std::snprintf(json, sizeof(json),
+  // Baseline = first unix scenario with 1 connection, depth 1 (falls back
+  // to the first scenario measured when the grid excludes it).
+  ScenarioResult baseline;
+  if (!scenarios.empty()) baseline = scenarios.front();
+  for (const auto& s : scenarios)
+    if (s.transport == "unix" && s.connections == 1 && s.pipeline == 1)
+      baseline = s;
+
+  std::ostringstream json;
+  char line[512];
+  std::snprintf(line, sizeof(line),
                 "{\n"
                 "  \"bench\": \"serve_throughput\",\n"
                 "  \"batch_rows\": %zu,\n"
@@ -162,24 +277,45 @@ int main(int argc, char** argv) {
                 "  \"requests\": %zu,\n"
                 "  \"workers\": %zu,\n"
                 "  \"simd_level\": \"%s\",\n"
+                "  \"transport\": \"%s\",\n"
+                "  \"connections\": %zu,\n"
+                "  \"pipeline\": %zu,\n"
                 "  \"evals_per_sec\": %.1f,\n"
                 "  \"p50_us\": %.2f,\n"
-                "  \"p99_us\": %.2f,\n"
+                "  \"p99_us\": %.2f,\n",
+                batch, dim, requests, workers,
+                linalg::kernels::level_name(
+                    linalg::kernels::dispatch_info().active),
+                baseline.transport.c_str(), baseline.connections,
+                baseline.pipeline, baseline.evals_per_sec, baseline.p50_us,
+                baseline.p99_us);
+  json << line << "  \"scenarios\": [\n";
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const auto& s = scenarios[i];
+    std::snprintf(line, sizeof(line),
+                  "    {\"transport\": \"%s\", \"connections\": %zu, "
+                  "\"pipeline\": %zu, \"evals_per_sec\": %.1f, "
+                  "\"p50_us\": %.2f, \"p99_us\": %.2f}%s\n",
+                  s.transport.c_str(), s.connections, s.pipeline,
+                  s.evals_per_sec, s.p50_us, s.p99_us,
+                  i + 1 < scenarios.size() ? "," : "");
+    json << line;
+  }
+  std::snprintf(line, sizeof(line),
+                "  ],\n"
                 "  \"retries\": %llu,\n"
                 "  \"reconnects\": %llu,\n"
                 "  \"bit_identical_threads_1_4\": %s\n"
                 "}\n",
-                batch, dim, requests, workers,
-                linalg::kernels::level_name(
-                    linalg::kernels::dispatch_info().active),
-                evals_per_sec, p50, p99,
                 static_cast<unsigned long long>(retry_stats.retries),
                 static_cast<unsigned long long>(retry_stats.reconnects),
                 bit_identical ? "true" : "false");
-  std::cout << json;
+  json << line;
+
+  std::cout << json.str();
   if (!out_path.empty()) {
     std::ofstream os(out_path);
-    os << json;
+    os << json.str();
     if (!os) {
       std::cerr << "serve_throughput: cannot write " << out_path << "\n";
       return 1;

@@ -14,10 +14,13 @@
 #   5. Chaos matrix: the seeded fault-injection suite re-runs under
 #      ASan/UBSan with several BMF_CHAOS_SEED values, so each seed's
 #      distinct fault schedule (which calls get short reads, EINTR storms,
-#      corruption, drops) is driven against the live daemon memory-clean.
-#   6. ThreadSanitizer build of the concurrent serving stack (worker pool,
-#      admission queue, fault engine) — the race-freedom proof for the
-#      paths the chaos suite exercises.
+#      corruption, drops) is driven against the live daemon memory-clean —
+#      over BOTH transports (UNIX socket and TCP loopback) when the
+#      sandbox allows AF_INET; TCP legs are skipped (loudly) otherwise.
+#   6. ThreadSanitizer build of the concurrent serving stack (event loop,
+#      worker pool, admission queue, fault engine) — the race-freedom
+#      proof for the paths the chaos suite exercises, again over both
+#      transports.
 #   7. SIMD level matrix: the full Release test suite re-runs with
 #      BMF_SIMD_LEVEL pinned to every level this host can execute (plus
 #      the kernel suite under ASan/UBSan per level), so the scalar and
@@ -27,7 +30,8 @@
 #   8. Serving smoke test: start bmf_served on a temp socket, publish a
 #      tiny model with bmf_client, evaluate it, and shut the daemon down —
 #      proves the daemon/client binaries work end to end, not just the
-#      library they link.
+#      library they link. Repeated over TCP loopback (ephemeral port via
+#      --tcp-announce, pipelined eval) when the sandbox allows it.
 #
 # Usage: ci.sh [jobs]   (default: all cores)
 set -eu
@@ -51,10 +55,30 @@ cmake -S "$src_dir" -B "$src_dir/build-ci-checked" \
 cmake --build "$src_dir/build-ci-checked" -j "$jobs"
 ctest --test-dir "$src_dir/build-ci-checked" --output-on-failure
 
+# Transport matrix: every chaos/TSan leg runs over the UNIX socket, and
+# over TCP loopback too when the sandbox can bind 127.0.0.1. Probe exit 2
+# means the probe itself is broken — that aborts CI rather than skipping.
+tcp_rc=0
+"$src_dir/scripts/tcp_loopback_available.sh" "$src_dir/build-ci-release" \
+    || tcp_rc=$?
+if [ "$tcp_rc" -eq 2 ]; then
+  echo "error: TCP loopback probe is broken" >&2
+  exit 1
+fi
+if [ "$tcp_rc" -eq 0 ]; then
+  transports="unix tcp"
+else
+  transports="unix"
+  echo "-- TCP loopback unavailable in this sandbox: TCP legs skipped --"
+fi
+
 echo "== Chaos matrix (seeded fault plans under ASan/UBSan) =="
 for seed in 1 7 42; do
-  echo "-- chaos seed $seed --"
-  BMF_CHAOS_SEED="$seed" "$src_dir/build-ci-checked/tests/serve_chaos_test"
+  for transport in $transports; do
+    echo "-- chaos seed $seed over $transport --"
+    BMF_CHAOS_SEED="$seed" BMF_CHAOS_TRANSPORT="$transport" \
+        "$src_dir/build-ci-checked/tests/serve_chaos_test"
+  done
   BMF_CHAOS_SEED="$seed" \
       "$src_dir/build-ci-checked/tests/serve_wire_fault_test"
 done
@@ -63,9 +87,14 @@ echo "== ThreadSanitizer: concurrent serving stack =="
 cmake -S "$src_dir" -B "$src_dir/build-ci-tsan" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo -DBMF_SANITIZE=thread
 cmake --build "$src_dir/build-ci-tsan" -j "$jobs" \
-      --target serve_server_test serve_chaos_test
+      --target serve_server_test serve_pipeline_test serve_chaos_test
 "$src_dir/build-ci-tsan/tests/serve_server_test"
-"$src_dir/build-ci-tsan/tests/serve_chaos_test"
+"$src_dir/build-ci-tsan/tests/serve_pipeline_test"
+for transport in $transports; do
+  echo "-- TSan chaos over $transport --"
+  BMF_CHAOS_TRANSPORT="$transport" \
+      "$src_dir/build-ci-tsan/tests/serve_chaos_test"
+done
 
 echo "== Benchmark smoke run =="
 "$src_dir/build-ci-release/bench/ablation_solver_scaling" \
@@ -117,6 +146,34 @@ predictions="$(tr '\n' ' ' < "$serve_tmp/pred.txt")"
 if [ "$predictions" != "1.5 3 " ]; then
   echo "error: serve smoke predictions were '$predictions', expected '1.5 3 '" >&2
   exit 1
+fi
+
+if [ "$tcp_rc" -eq 0 ]; then
+  echo "== Serving smoke test (TCP loopback, pipelined) =="
+  "$src_dir/build-ci-release/bin/bmf_served" --tcp 127.0.0.1:0 \
+      --tcp-announce "$serve_tmp/endpoint" --quiet &
+  served_pid=$!
+  i=0
+  while [ ! -s "$serve_tmp/endpoint" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+      echo "error: bmf_served never announced its TCP endpoint" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  hostport="$(sed 's/^tcp://' "$serve_tmp/endpoint")"
+  "$client" --tcp "$hostport" ping
+  "$client" --tcp "$hostport" publish smoke "$serve_tmp/model.bmfmodel"
+  "$client" --tcp "$hostport" eval smoke "$serve_tmp/points.csv" \
+      --pipeline 2 --chunk-rows 1 > "$serve_tmp/pred_tcp.txt"
+  "$client" --tcp "$hostport" shutdown
+  wait "$served_pid"
+  predictions="$(tr '\n' ' ' < "$serve_tmp/pred_tcp.txt")"
+  if [ "$predictions" != "1.5 3 " ]; then
+    echo "error: TCP smoke predictions were '$predictions', expected '1.5 3 '" >&2
+    exit 1
+  fi
 fi
 
 echo "== CI passed =="

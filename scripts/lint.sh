@@ -20,6 +20,11 @@
 #      legal behind the runtime dispatcher (per-file ISA flags + cpuid
 #      gate); an intrinsic anywhere else either SIGILLs on older hosts or
 #      forks the FP accumulation order outside the kernel contract.
+#   8. No socket-option plumbing (setsockopt/fcntl/epoll_ctl/eventfd)
+#      outside src/serve/wire.cpp and src/fault — transport tuning
+#      (TCP_NODELAY, SO_REUSEADDR, O_NONBLOCK) lives behind the wire/fault
+#      layer so every code path gets the same socket semantics and the
+#      chaos suite covers them.
 #
 # Usage: lint.sh   (run from anywhere; exits non-zero on any violation)
 set -eu
@@ -111,6 +116,20 @@ for f in $all_sources; do
   hits=$(strip_comments "$f" | grep -nE \
     'immintrin\.h|__m256|__m512|_mm256_|_mm512_' || true)
   [ -n "$hits" ] && fail "SIMD intrinsics outside src/linalg/kernels in $f" "$hits"
+done
+
+# Rule 8: socket-option plumbing confined to the wire/fault layer.  A
+# setsockopt/fcntl/epoll_ctl/eventfd call anywhere else forks the socket
+# semantics (Nagle, nonblocking mode, event registration) away from the
+# one audited implementation.
+for f in $all_sources; do
+  case "$f" in
+    "$src_dir/src/fault/"*|"$src_dir/src/serve/wire.cpp") continue ;;
+  esac
+  hits=$(strip_comments "$f" | grep -nE \
+    '::(setsockopt|fcntl|epoll_ctl|epoll_create1?|eventfd)[[:space:]]*\(' \
+    || true)
+  [ -n "$hits" ] && fail "socket-option plumbing outside wire/fault layer in $f" "$hits"
 done
 
 if [ "$status" -ne 0 ]; then

@@ -1,0 +1,47 @@
+#!/usr/bin/env sh
+# Probe whether TCP loopback serving works in this environment. Some
+# sandboxes allow UNIX-domain sockets but refuse AF_INET bind/listen even
+# on 127.0.0.1 — CI must skip the TCP legs there instead of failing, and
+# must not silently "pass" them either, so callers get a tri-state:
+#
+#   exit 0  TCP loopback works end to end (bind, connect, round trip)
+#   exit 1  TCP loopback unavailable: skip TCP coverage
+#   exit 2  probe itself is broken (missing binaries): abort CI
+#
+# Usage: tcp_loopback_available.sh <build-dir>
+set -eu
+
+build_dir="${1:?usage: tcp_loopback_available.sh <build-dir>}"
+served="$build_dir/bin/bmf_served"
+client="$build_dir/bin/bmf_client"
+[ -x "$served" ] && [ -x "$client" ] || exit 2
+
+tmp="$(mktemp -d)"
+pid=""
+cleanup() {
+  [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+  [ -n "$pid" ] && wait "$pid" 2>/dev/null || true
+  rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+# Port 0 = kernel-assigned ephemeral port, announced through a file.
+"$served" --tcp 127.0.0.1:0 --tcp-announce "$tmp/endpoint" --quiet \
+    2>/dev/null &
+pid=$!
+
+i=0
+while [ ! -s "$tmp/endpoint" ]; do
+  kill -0 "$pid" 2>/dev/null || { pid=""; exit 1; }  # died: no TCP here
+  i=$((i + 1))
+  [ "$i" -gt 50 ] && exit 1
+  sleep 0.1
+done
+
+endpoint="$(cat "$tmp/endpoint")"
+hostport="${endpoint#tcp:}"
+"$client" --tcp "$hostport" --timeout-ms 2000 ping >/dev/null 2>&1 || exit 1
+"$client" --tcp "$hostport" --timeout-ms 2000 shutdown >/dev/null 2>&1 || true
+wait "$pid" 2>/dev/null || true
+pid=""
+exit 0

@@ -14,8 +14,8 @@ namespace bmf::fault {
 
 namespace {
 
-const char* const kSiteNames[kSiteCount] = {"read", "send", "poll", "connect",
-                                            "accept"};
+const char* const kSiteNames[kSiteCount] = {"read",    "send",   "poll",
+                                            "connect", "accept", "epoll"};
 const char* const kActionNames[] = {"short", "eintr", "delay", "drop",
                                     "corrupt"};
 
@@ -364,10 +364,35 @@ int sys_accept(int fd) noexcept {
         return conn;
       }
       case Action::kShortIo:
+        // "Short accept": the wakeup had no connection behind it (raced
+        // away, or a spurious event-loop readiness report).
+        errno = EAGAIN;
+        return -1;
       case Action::kCorrupt:
         break;
     }
   return ::accept(fd, nullptr, nullptr);
+}
+
+int sys_epoll_wait(int epfd, struct epoll_event* events, int max_events,
+                   int timeout_ms) noexcept {
+  Engine* e = g_engine.load(std::memory_order_acquire);
+  if (e == nullptr) return ::epoll_wait(epfd, events, max_events, timeout_ms);
+  const Decision d = decide(*e, Site::kEpoll);
+  if (d.fire) switch (d.action) {
+      case Action::kEintr:
+        errno = EINTR;
+        return -1;
+      case Action::kShortIo:
+        return 0;  // spurious "nothing ready" wakeup
+      case Action::kDelay:
+        sleep_ms(d.delay_ms);
+        break;
+      case Action::kDrop:
+      case Action::kCorrupt:
+        break;  // no single fd to tear down, no bytes to corrupt
+    }
+  return ::epoll_wait(epfd, events, max_events, timeout_ms);
 }
 
 #else  // !BMF_FAULT_INJECTION

@@ -17,7 +17,9 @@
 //
 // Actions by site:
 //   short    read/send: clamp the byte count to 1 (partial-I/O storm);
-//            poll: report 0 ready fds (spurious timeout).
+//            poll/epoll: report 0 ready fds (spurious timeout); accept:
+//            fail with errno = EAGAIN (a wakeup with no connection behind
+//            it — the "short accept" an event loop must absorb).
 //   eintr    fail with errno = EINTR before touching the kernel.
 //   delay    sleep delay_ms, then perform the real call (pushes a peer
 //            past its deadline without breaking the stream).
@@ -30,6 +32,7 @@
 #pragma once
 
 #include <poll.h>
+#include <sys/epoll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -46,8 +49,9 @@ enum class Site : std::uint8_t {
   kPoll = 2,
   kConnect = 3,
   kAccept = 4,
+  kEpoll = 5,  // epoll_wait: the event loop's own blocking point
 };
-inline constexpr std::size_t kSiteCount = 5;
+inline constexpr std::size_t kSiteCount = 6;
 
 enum class Action : std::uint8_t {
   kShortIo = 0,
@@ -134,6 +138,8 @@ ssize_t sys_send(int fd, const void* buf, std::size_t n, int flags) noexcept;
 int sys_poll(struct pollfd* fds, nfds_t nfds, int timeout_ms) noexcept;
 int sys_connect(int fd, const struct sockaddr* addr, socklen_t len) noexcept;
 int sys_accept(int fd) noexcept;
+int sys_epoll_wait(int epfd, struct epoll_event* events, int max_events,
+                   int timeout_ms) noexcept;
 
 #else
 
@@ -154,6 +160,10 @@ inline int sys_connect(int fd, const struct sockaddr* addr,
   return ::connect(fd, addr, len);
 }
 inline int sys_accept(int fd) noexcept { return ::accept(fd, nullptr, nullptr); }
+inline int sys_epoll_wait(int epfd, struct epoll_event* events, int max_events,
+                          int timeout_ms) noexcept {
+  return ::epoll_wait(epfd, events, max_events, timeout_ms);
+}
 
 #endif  // BMF_FAULT_INJECTION
 

@@ -1,19 +1,24 @@
 // bmf_client — command-line client for bmf_served.
 //
-//   bmf_client --socket <path> ping
+//   bmf_client --socket <path> ping            (or --tcp <host:port>)
 //   bmf_client --socket <path> publish <name> <model-file>
 //   bmf_client --socket <path> eval <name> <points.csv> [--version N]
-//              [--out <pred.csv>]
+//              [--out <pred.csv>] [--pipeline D] [--chunk-rows N]
 //   bmf_client --socket <path> list
 //   bmf_client --socket <path> shutdown
 //
-// publish accepts both model formats by content sniffing: the text format
-// of src/io/model_io ("bmf-model ...", provenance recorded as none) and
-// the binary BMFB format of src/serve/model_codec (provenance preserved).
-// eval reads a headerless CSV of points (one row per sample) and prints
-// one prediction per line at full precision, or writes them as a
-// single-column CSV with --out. Exit status 0 on success, 1 on any error
-// (server-side errors print their structured status/context/message).
+// The endpoint comes from --tcp HOST:PORT, or --socket, which accepts a
+// bare UNIX socket path as well as the explicit "tcp:HOST:PORT" /
+// "unix:PATH" spec forms. publish accepts both model formats by content
+// sniffing: the text format of src/io/model_io ("bmf-model ...",
+// provenance recorded as none) and the binary BMFB format of
+// src/serve/model_codec (provenance preserved). eval reads a headerless
+// CSV of points (one row per sample) and prints one prediction per line
+// at full precision, or writes them as a single-column CSV with --out;
+// with --pipeline D the batch is split into --chunk-rows row chunks
+// evaluated with D requests in flight on the one connection. Exit status
+// 0 on success, 1 on any error (server-side errors print their
+// structured status/context/message).
 #include <cstdio>
 #include <exception>
 #include <fstream>
@@ -32,11 +37,13 @@ namespace {
 int usage(const std::string& program) {
   std::fprintf(
       stderr,
-      "usage: %s --socket <path> [--timeout-ms N] <command>\n"
+      "usage: %s (--socket <path> | --tcp <host:port>) [--timeout-ms N]"
+      " <command>\n"
       "commands:\n"
       "  ping\n"
       "  publish <name> <model-file>        (text bmf-model or binary BMFB)\n"
       "  eval <name> <points.csv> [--version N] [--out <pred.csv>]\n"
+      "       [--pipeline D] [--chunk-rows N]\n"
       "  list\n"
       "  shutdown\n",
       program.c_str());
@@ -68,23 +75,60 @@ int run_publish(bmf::serve::Client& client, const std::string& name,
   return 0;
 }
 
+/// Split `points` into row chunks of at most `chunk_rows` (last one may be
+/// smaller) for pipelined evaluation.
+std::vector<bmf::linalg::Matrix> chunk_rows(const bmf::linalg::Matrix& points,
+                                            std::size_t rows_per_chunk) {
+  std::vector<bmf::linalg::Matrix> chunks;
+  for (std::size_t row = 0; row < points.rows(); row += rows_per_chunk) {
+    const std::size_t n = std::min(rows_per_chunk, points.rows() - row);
+    bmf::linalg::Matrix chunk(n, points.cols());
+    for (std::size_t r = 0; r < n; ++r)
+      for (std::size_t c = 0; c < points.cols(); ++c)
+        chunk(r, c) = points(row + r, c);
+    chunks.push_back(std::move(chunk));
+  }
+  return chunks;
+}
+
 int run_eval(bmf::serve::Client& client, const bmf::io::Args& args,
              const std::string& name, const std::string& csv_path) {
   const bmf::linalg::Matrix points =
       bmf::io::read_csv(csv_path, /*has_header=*/false);
   const auto version =
       static_cast<std::uint64_t>(args.get_int("version", 0));
-  const bmf::serve::Client::Evaluation result =
-      client.evaluate(name, points, version);
+  const auto depth = static_cast<std::size_t>(args.get_int("pipeline", 1));
+
+  bmf::linalg::Vector values;
+  std::uint64_t served_version = 0;
+  if (depth > 1 && points.rows() > 0) {
+    const auto rows_per_chunk =
+        static_cast<std::size_t>(args.get_int("chunk-rows", 4096));
+    const std::vector<bmf::serve::Client::Evaluation> parts =
+        client.evaluate_pipeline(name, chunk_rows(points, rows_per_chunk),
+                                 version, depth);
+    values = bmf::linalg::Vector(points.rows());
+    std::size_t at = 0;
+    for (const auto& part : parts) {
+      served_version = part.version;
+      for (double v : part.values) values[at++] = v;
+    }
+  } else {
+    bmf::serve::Client::Evaluation result =
+        client.evaluate(name, points, version);
+    served_version = result.version;
+    values = std::move(result.values);
+  }
+
   const std::string out = args.get("out");
   if (!out.empty()) {
-    bmf::io::write_csv_columns(out, {"prediction"}, {result.values});
+    bmf::io::write_csv_columns(out, {"prediction"}, {values});
   } else {
-    for (double v : result.values) std::printf("%.17g\n", v);
+    for (double v : values) std::printf("%.17g\n", v);
   }
   std::fprintf(stderr, "evaluated %zu point(s) against %s v%llu\n",
-               result.values.size(), name.c_str(),
-               static_cast<unsigned long long>(result.version));
+               values.size(), name.c_str(),
+               static_cast<unsigned long long>(served_version));
   return 0;
 }
 
@@ -105,15 +149,16 @@ int run_list(bmf::serve::Client& client) {
 
 int main(int argc, char** argv) {
   const bmf::io::Args args(argc, argv);
-  const std::string socket_path = args.get("socket");
+  std::string endpoint = args.get("socket");
+  const std::string tcp = args.get("tcp");
+  if (!tcp.empty()) endpoint = "tcp:" + tcp;
   const auto& positional = args.positional();
-  if (socket_path.empty() || positional.empty())
-    return usage(args.program());
+  if (endpoint.empty() || positional.empty()) return usage(args.program());
   const std::string& command = positional[0];
   const int timeout_ms = static_cast<int>(args.get_int("timeout-ms", 5000));
 
   try {
-    bmf::serve::Client client(socket_path, timeout_ms);
+    bmf::serve::Client client(endpoint, timeout_ms);
     if (command == "ping" && positional.size() == 1) {
       client.ping();
       std::printf("ok\n");

@@ -1,19 +1,28 @@
 // bmf_served — the model-serving daemon.
 //
-//   bmf_served --socket /tmp/bmf.sock [--capacity 64] [--timeout-ms 5000]
-//              [--block-rows 2048] [--workers 4] [--max-pending 8] [--quiet]
+//   bmf_served [--socket /tmp/bmf.sock] [--tcp HOST:PORT]
+//              [--capacity 64] [--timeout-ms 5000] [--block-rows 2048]
+//              [--workers 4] [--max-pending 8] [--max-connections N]
+//              [--max-pipeline 128] [--tcp-announce <file>] [--quiet]
 //
-// Listens on a UNIX-domain socket for the length-prefixed binary protocol
-// (see src/serve/protocol.hpp): publish versioned models, evaluate batches,
-// list the registry, solve MAP systems, shut down. Connections are served
-// by --workers threads; past --max-pending queued connections new ones are
-// shed with kOverloaded. SIGINT/SIGTERM drain gracefully, as does a client
-// "shutdown" request. Setting BMF_FAULT_PLAN arms the fault-injection
-// layer (testing only). Exit status 0 on graceful shutdown, 1 on a startup
-// or fatal runtime error.
+// Serves the length-prefixed binary protocol (src/serve/protocol.hpp) —
+// publish versioned models, evaluate batches, list the registry, solve
+// MAP systems, shut down — on a UNIX-domain socket (--socket), a TCP
+// listener (--tcp; port 0 binds an ephemeral port), or both at once. An
+// epoll event loop owns every connection and hands decoded requests to
+// --workers compute threads; clients may pipeline up to --max-pipeline
+// requests per connection. Up to --max-connections are served at once
+// (default: the worker count), --max-pending more wait parked, and past
+// that new connections are shed with kOverloaded. SIGINT/SIGTERM drain
+// gracefully, as does a client "shutdown" request. --tcp-announce writes
+// the resolved "tcp:HOST:PORT" endpoint to a file once listening, so
+// scripts that bound port 0 can find the daemon. Setting BMF_FAULT_PLAN
+// arms the fault-injection layer (testing only). Exit status 0 on
+// graceful shutdown, 1 on a startup or fatal runtime error.
 #include <csignal>
 #include <cstdio>
 #include <exception>
+#include <fstream>
 
 #include "fault/fault.hpp"
 #include "io/args.hpp"
@@ -33,17 +42,21 @@ extern "C" void handle_signal(int) {
 int main(int argc, char** argv) {
   const bmf::io::Args args(argc, argv);
   const std::string socket_path = args.get("socket");
-  if (socket_path.empty()) {
+  const std::string tcp_address = args.get("tcp");
+  if (socket_path.empty() && tcp_address.empty()) {
     std::fprintf(stderr,
-                 "usage: %s --socket <path> [--capacity N] [--timeout-ms N]"
-                 " [--block-rows N] [--workers N] [--max-pending N]"
-                 " [--quiet]\n",
+                 "usage: %s [--socket <path>] [--tcp <host:port>]"
+                 " [--capacity N] [--timeout-ms N] [--block-rows N]"
+                 " [--workers N] [--max-pending N] [--max-connections N]"
+                 " [--max-pipeline N] [--tcp-announce <file>] [--quiet]\n"
+                 "at least one of --socket / --tcp is required\n",
                  args.program().c_str());
     return 1;
   }
 
   bmf::serve::ServerOptions options;
   options.socket_path = socket_path;
+  options.tcp_address = tcp_address;
   options.registry_capacity =
       static_cast<std::size_t>(args.get_int("capacity", 64));
   options.request_timeout_ms =
@@ -54,6 +67,11 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(args.get_int("workers", 4));
   options.max_pending =
       static_cast<std::size_t>(args.get_int("max-pending", 8));
+  options.max_connections =
+      static_cast<std::size_t>(args.get_int("max-connections", 0));
+  options.max_pipeline =
+      static_cast<std::size_t>(args.get_int("max-pipeline", 128));
+  const std::string announce_path = args.get("tcp-announce");
   const bool quiet = args.flag("quiet");
 
   try {
@@ -64,9 +82,22 @@ int main(int argc, char** argv) {
     g_server = &server;
     std::signal(SIGINT, handle_signal);
     std::signal(SIGTERM, handle_signal);
-    if (!quiet)
-      std::fprintf(stderr, "bmf_served: listening on %s\n",
+    if (!socket_path.empty() && !quiet)
+      std::fprintf(stderr, "bmf_served: listening on unix:%s\n",
                    socket_path.c_str());
+    if (!tcp_address.empty()) {
+      const std::string resolved = to_string(server.tcp_endpoint());
+      if (!quiet)
+        std::fprintf(stderr, "bmf_served: listening on %s\n",
+                     resolved.c_str());
+      if (!announce_path.empty()) {
+        std::ofstream announce(announce_path, std::ios::trunc);
+        announce << resolved << "\n";
+        if (!announce)
+          throw std::runtime_error("cannot write --tcp-announce file " +
+                                   announce_path);
+      }
+    }
     server.run();
     g_server = nullptr;
     if (!quiet)

@@ -44,6 +44,10 @@ bool pre_execution_status(Status status) {
 
 }  // namespace
 
+std::size_t default_pipeline_depth() {
+  return static_cast<std::size_t>(env_long("BMF_SERVE_PIPELINE", 16, 1, 4096));
+}
+
 RetryPolicy RetryPolicy::from_env() {
   RetryPolicy policy;
   policy.max_attempts = static_cast<int>(env_long(
@@ -60,21 +64,22 @@ RetryPolicy RetryPolicy::from_env() {
   return policy;
 }
 
-Client::Client(const std::string& socket_path, int timeout_ms,
+Client::Client(const std::string& endpoint, int timeout_ms,
                std::size_t max_frame_bytes, RetryPolicy policy)
-    : fd_(connect_unix(socket_path, timeout_ms)),
-      socket_path_(socket_path),
+    : endpoint_(parse_endpoint(endpoint)),
       timeout_ms_(timeout_ms),
       max_frame_bytes_(max_frame_bytes),
       policy_(policy),
-      jitter_rng_(policy.seed) {}
+      jitter_rng_(policy.seed) {
+  fd_ = connect_endpoint(endpoint_, timeout_ms_);
+}
 
 std::vector<std::uint8_t> Client::attempt_once(
     const std::vector<std::uint8_t>& frame, bool first_attempt,
     FailurePoint& failed_at) {
   failed_at = FailurePoint::kConnect;
   if (!fd_.valid()) {
-    fd_ = connect_unix(socket_path_, timeout_ms_);
+    fd_ = connect_endpoint(endpoint_, timeout_ms_);
     if (!first_attempt) ++stats_.reconnects;
   }
   failed_at = FailurePoint::kTransport;
@@ -120,54 +125,49 @@ std::vector<std::uint8_t> Client::attempt_once(
   return unwrap(*reply);
 }
 
+bool Client::retry_allowed(const ServeError& e, FailurePoint failed_at,
+                           Idempotency idempotency) {
+  if (failed_at == FailurePoint::kServerReply) {
+    // Structured reply. Pre-execution rejections (shed at admission, or
+    // timed out before the request was decoded) are retryable for every
+    // request — the server provably never ran it — and precede the
+    // server closing the connection, so drop ours too. Anything else
+    // (kNotFound, kBadRequest, ...) is the request's final verdict:
+    // rethrow and keep the connection usable.
+    const bool retryable = pre_execution_status(e.status());
+    if (retryable) fd_.reset();
+    return retryable;
+  }
+  // Local transport failure: the stream position is unknown, so the
+  // connection is gone either way. Retry if re-executing is safe
+  // (idempotent request), or if nothing was ever sent (connect failed).
+  // kTooLarge is permanent — the frame will never fit.
+  fd_.reset();
+  return e.status() != Status::kTooLarge &&
+         (idempotency == Idempotency::kRetryable ||
+          failed_at == FailurePoint::kConnect);
+}
+
+void Client::backoff_sleep(int& prev_backoff_ms, Clock::time_point deadline) {
+  // Decorrelated jitter: each sleep draws uniformly from
+  // [base, 3 * previous], capped, so recovering clients spread out
+  // instead of synchronizing on a common backoff schedule.
+  const double lo = static_cast<double>(policy_.base_backoff_ms);
+  const double hi = static_cast<double>(prev_backoff_ms) * 3.0 + 1.0;
+  int sleep_ms = static_cast<int>(jitter_rng_.uniform(lo, std::max(lo, hi)));
+  sleep_ms = std::min(sleep_ms, policy_.max_backoff_ms);
+  sleep_ms = std::min(sleep_ms, remaining_ms(deadline));
+  if (sleep_ms > 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+  prev_backoff_ms = std::max(sleep_ms, policy_.base_backoff_ms);
+}
+
 std::vector<std::uint8_t> Client::round_trip(
     const std::vector<std::uint8_t>& frame, Idempotency idempotency) {
-  const auto deadline =
-      Clock::now() + std::chrono::milliseconds(policy_.budget_ms);
-  int prev_backoff_ms = policy_.base_backoff_ms;
-  for (int attempt = 1;; ++attempt) {
-    ++stats_.attempts;
-    FailurePoint failed_at = FailurePoint::kConnect;
-    try {
-      return attempt_once(frame, attempt == 1, failed_at);
-    } catch (const ServeError& e) {
-      bool retryable;
-      if (failed_at == FailurePoint::kServerReply) {
-        // Structured reply. Pre-execution rejections (shed at admission,
-        // or timed out before the request was decoded) are retryable for
-        // every request — the server provably never ran it — and precede
-        // the server closing the connection, so drop ours too. Anything
-        // else (kNotFound, kBadRequest, ...) is the request's final
-        // verdict: rethrow and keep the connection usable.
-        retryable = pre_execution_status(e.status());
-        if (retryable) fd_.reset();
-      } else {
-        // Local transport failure: the stream position is unknown, so the
-        // connection is gone either way. Retry if re-executing is safe
-        // (idempotent request), or if nothing was ever sent (connect
-        // failed). kTooLarge is permanent — the frame will never fit.
-        fd_.reset();
-        retryable = e.status() != Status::kTooLarge &&
-                    (idempotency == Idempotency::kRetryable ||
-                     failed_at == FailurePoint::kConnect);
-      }
-      if (!retryable || attempt >= policy_.max_attempts ||
-          remaining_ms(deadline) == 0)
-        throw;
-    }
-    ++stats_.retries;
-    // Decorrelated jitter: each sleep draws uniformly from
-    // [base, 3 * previous], capped, so recovering clients spread out
-    // instead of synchronizing on a common backoff schedule.
-    const double lo = static_cast<double>(policy_.base_backoff_ms);
-    const double hi = static_cast<double>(prev_backoff_ms) * 3.0 + 1.0;
-    int sleep_ms = static_cast<int>(jitter_rng_.uniform(lo, std::max(lo, hi)));
-    sleep_ms = std::min(sleep_ms, policy_.max_backoff_ms);
-    sleep_ms = std::min(sleep_ms, remaining_ms(deadline));
-    if (sleep_ms > 0)
-      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
-    prev_backoff_ms = std::max(sleep_ms, policy_.base_backoff_ms);
-  }
+  return with_retries(idempotency,
+                      [&](bool first_attempt, FailurePoint& failed_at) {
+                        return attempt_once(frame, first_attempt, failed_at);
+                      });
 }
 
 void Client::ping() {
@@ -203,6 +203,94 @@ Client::Evaluation Client::evaluate(const std::string& name,
   EvaluateResponse response = decode_or_drop(
       [&] { return decode_evaluate_response(body.data(), body.size()); });
   return Evaluation{response.version, std::move(response.values)};
+}
+
+std::vector<Client::Evaluation> Client::pipeline_once(
+    const std::string& name, const std::vector<linalg::Matrix>& batches,
+    std::uint64_t version, std::size_t depth, bool first_attempt,
+    FailurePoint& failed_at) {
+  failed_at = FailurePoint::kConnect;
+  if (!fd_.valid()) {
+    fd_ = connect_endpoint(endpoint_, timeout_ms_);
+    if (!first_attempt) ++stats_.reconnects;
+  }
+  failed_at = FailurePoint::kTransport;
+
+  std::vector<Evaluation> results;
+  results.reserve(batches.size());
+  std::size_t next_send = 0;
+  std::size_t next_recv = 0;
+  std::vector<std::uint8_t> wire;
+  std::vector<std::uint8_t> reply;
+  while (next_recv < batches.size()) {
+    // Top up the in-flight window. Every frame queued in this round —
+    // the whole initial burst, one frame per reply thereafter — leaves
+    // in a single coalesced write.
+    wire.clear();
+    while (next_send < batches.size() && next_send - next_recv < depth) {
+      frame_ = encode_evaluate_request(name, version, batches[next_send],
+                                       std::move(frame_));
+      append_frame(wire, frame_.data(), frame_.size(), max_frame_bytes_);
+      ++next_send;
+    }
+    if (!wire.empty())
+      write_bytes(fd_.get(), wire.data(), wire.size(), timeout_ms_);
+
+    if (!read_frame_into(fd_.get(), timeout_ms_, max_frame_bytes_, reply))
+      throw ServeError(Status::kInternal, "Client::evaluate_pipeline",
+                       "server closed the connection mid-pipeline (" +
+                           std::to_string(next_recv) + " of " +
+                           std::to_string(batches.size()) +
+                           " replies received)");
+    failed_at = FailurePoint::kServerReply;
+    try {
+      auto [body, size] = expect_ok(reply);
+      EvaluateResponse response = decode_or_drop(
+          [&] { return decode_evaluate_response(body, size); });
+      results.push_back(
+          Evaluation{response.version, std::move(response.values)});
+    } catch (const ServeError& e) {
+      if (e.context() == "expect_ok") {
+        // The reply frame itself would not parse: transport-grade.
+        failed_at = FailurePoint::kTransport;
+        fd_.reset();
+        throw;
+      }
+      // Semantic verdict mid-pipeline (kNotFound, dimension mismatch...).
+      // Replies for the requests already in flight are still coming;
+      // absorb them so the stream stays aligned, then rethrow the first
+      // verdict. (A pre-execution status closes the connection server
+      // side; retry_allowed resets fd_ for those.)
+      try {
+        for (std::size_t i = next_recv + 1; i < next_send; ++i)
+          if (!read_frame_into(fd_.get(), timeout_ms_, max_frame_bytes_,
+                               reply)) {
+            fd_.reset();
+            break;
+          }
+      } catch (const ServeError&) {
+        fd_.reset();
+      }
+      throw;
+    }
+    failed_at = FailurePoint::kTransport;
+    ++next_recv;
+  }
+  return results;
+}
+
+std::vector<Client::Evaluation> Client::evaluate_pipeline(
+    const std::string& name, const std::vector<linalg::Matrix>& batches,
+    std::uint64_t version, std::size_t depth) {
+  if (batches.empty()) return {};
+  if (depth == 0) depth = default_pipeline_depth();
+  // Idempotent like evaluate: a transport failure replays the whole
+  // pipeline on a fresh connection.
+  return with_retries(Idempotency::kRetryable,
+                      [&](bool first_attempt, FailurePoint& failed_at) {
+                        return pipeline_once(name, batches, version, depth,
+                                             first_attempt, failed_at);
+                      });
 }
 
 Client::Solve Client::solve(const linalg::Matrix& g, const linalg::Vector& f,

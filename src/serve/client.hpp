@@ -1,7 +1,10 @@
 // Client library for the bmf_served protocol. One Client owns one
-// connection; requests are issued synchronously (send frame, await reply).
-// Server-side failures surface as the same ServeError the server threw —
-// status, context, and message cross the wire intact.
+// connection — UNIX-domain or TCP, chosen by the endpoint spec — and
+// requests are issued synchronously (send frame, await reply) or
+// pipelined (evaluate_pipeline: many frames in flight, coalesced writes,
+// replies consumed strictly in order). Server-side failures surface as
+// the same ServeError the server threw — status, context, and message
+// cross the wire intact.
 //
 // The client is self-healing: when a request fails in transit (connection
 // refused, dropped mid-frame, timed out) or the server sheds it
@@ -18,10 +21,13 @@
 // are never retried.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "serve/error.hpp"
 
 #include "linalg/matrix.hpp"
 #include "serve/fitted_model.hpp"
@@ -65,11 +71,17 @@ struct RetryStats {
   std::uint64_t reconnects = 0;  // connect calls after the initial one
 };
 
+/// Default in-flight window for evaluate_pipeline when the caller passes
+/// depth 0; BMF_SERVE_PIPELINE overrides it (clamped to [1, 4096]).
+std::size_t default_pipeline_depth();
+
 class Client {
  public:
   /// Connects (retrying until `timeout_ms` while the daemon comes up).
-  /// The same timeout is then the per-request deadline.
-  explicit Client(const std::string& socket_path, int timeout_ms = 5000,
+  /// The same timeout is then the per-request deadline. `endpoint` is a
+  /// spec per parse_endpoint: "tcp:HOST:PORT", "unix:PATH", or a bare
+  /// UNIX socket path (the historical form).
+  explicit Client(const std::string& endpoint, int timeout_ms = 5000,
                   std::size_t max_frame_bytes = kDefaultMaxFrameBytes,
                   RetryPolicy policy = RetryPolicy{});
 
@@ -92,6 +104,18 @@ class Client {
   /// Evaluate a B x R batch against `name` (version 0 = latest).
   Evaluation evaluate(const std::string& name, const linalg::Matrix& points,
                       std::uint64_t version = 0);
+
+  /// Evaluate many batches with up to `depth` requests in flight on the
+  /// one connection (depth 0 = default_pipeline_depth()). Frames queued
+  /// for the same window coalesce into single writes, and replies are
+  /// consumed strictly in request order, so results[i] always answers
+  /// batches[i]. Idempotent like evaluate: a transport failure reconnects
+  /// and replays the whole pipeline under the retry policy. A semantic
+  /// error reply (kNotFound, ...) absorbs the remaining in-flight replies
+  /// to keep the stream aligned, then throws.
+  std::vector<Evaluation> evaluate_pipeline(
+      const std::string& name, const std::vector<linalg::Matrix>& batches,
+      std::uint64_t version = 0, std::size_t depth = 0);
 
   /// Registry snapshot (sorted by name).
   std::vector<ModelInfo> list();
@@ -125,7 +149,7 @@ class Client {
   /// classification (a locally-thrown kTimeout means something very
   /// different from a server reply carrying kTimeout).
   enum class FailurePoint {
-    kConnect,      // connect_unix failed: nothing was ever sent
+    kConnect,      // connect failed: nothing was ever sent
     kTransport,    // send/receive failed: execution state unknown
     kServerReply,  // a structured error reply arrived intact
   };
@@ -141,6 +165,47 @@ class Client {
   std::vector<std::uint8_t> attempt_once(
       const std::vector<std::uint8_t>& frame, bool first_attempt,
       FailurePoint& failed_at);
+
+  /// One pipelined-evaluate attempt over the whole batch list.
+  std::vector<Evaluation> pipeline_once(const std::string& name,
+                                        const std::vector<linalg::Matrix>&
+                                            batches,
+                                        std::uint64_t version,
+                                        std::size_t depth, bool first_attempt,
+                                        FailurePoint& failed_at);
+
+  /// Classify a failed attempt (resetting fd_ where the stream is no
+  /// longer trustworthy) and report whether a retry is allowed.
+  bool retry_allowed(const ServeError& error, FailurePoint failed_at,
+                     Idempotency idempotency);
+
+  /// Decorrelated-jitter sleep between attempts (never past `deadline`).
+  void backoff_sleep(int& prev_backoff_ms,
+                     std::chrono::steady_clock::time_point deadline);
+
+  /// The shared reconnect-and-retry loop: run `attempt(first, failed_at)`
+  /// under policy_, retrying as `idempotency` and the failure
+  /// classification allow.
+  template <typename Attempt>
+  auto with_retries(Idempotency idempotency, Attempt&& attempt) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(policy_.budget_ms);
+    int prev_backoff_ms = policy_.base_backoff_ms;
+    for (int attempt_no = 1;; ++attempt_no) {
+      ++stats_.attempts;
+      FailurePoint failed_at = FailurePoint::kConnect;
+      try {
+        return attempt(attempt_no == 1, failed_at);
+      } catch (const ServeError& e) {
+        if (!retry_allowed(e, failed_at, idempotency) ||
+            attempt_no >= policy_.max_attempts ||
+            std::chrono::steady_clock::now() >= deadline)
+          throw;
+      }
+      ++stats_.retries;
+      backoff_sleep(prev_backoff_ms, deadline);
+    }
+  }
 
   /// Run a response-body decoder; if it throws, the reply was structurally
   /// invalid (e.g. truncated by a corrupted length prefix), so the stream
@@ -160,7 +225,7 @@ class Client {
   /// Scratch frame reused across evaluate calls: batches are large enough
   /// that a fresh allocation per request costs as much as encoding itself.
   std::vector<std::uint8_t> frame_;
-  std::string socket_path_;
+  Endpoint endpoint_;
   int timeout_ms_;
   std::size_t max_frame_bytes_;
   RetryPolicy policy_;

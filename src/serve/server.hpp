@@ -1,36 +1,40 @@
-// The bmf_served daemon core: registry + evaluator behind the protocol.
+// The bmf_served daemon core: registry + evaluator behind the protocol,
+// served by an epoll event loop.
 //
-// Lifecycle: construct (binds and listens on the UNIX socket immediately,
-// so a caller that sees the constructor return can connect), then run()
-// blocks in the accept loop until a kShutdown request arrives or
-// request_stop() is called (signal-handler safe: it only stores to an
-// atomic). Accepted connections are dispatched to a bounded pool of worker
-// threads — a client that stalls mid-frame no longer blocks every other
-// client behind it — with explicit admission control: when all workers are
-// busy and the pending queue is full, a new connection is shed with a
-// structured kOverloaded reply instead of queueing unboundedly, so load
-// beyond capacity degrades into fast, retryable rejections rather than
-// ever-growing latency. Per-request throughput still comes from batching
-// (one evaluate request carries thousands of points through the parallel
-// design-matrix/gemv path); the pool exists for isolation and tail
-// latency, not kernel parallelism. Every request has a deadline; a client
-// that stalls mid-frame times out and is disconnected without affecting
-// other connections. Request failures — corrupt model blob, unknown name,
-// malformed frame — produce a structured error reply (status + context +
-// message, the ServeError triple) and the connection stays usable; only
-// transport-level failures drop the connection.
+// Architecture (DESIGN.md §8): one event-loop thread owns every socket —
+// the listeners (UNIX and/or TCP, both speaking the same length-prefixed
+// framing), the non-blocking connection fds, and a wakeup eventfd — plus
+// per-connection read/write buffers. Requests are parsed incrementally
+// (FrameBuffer), so a client may pipeline many frames per connection;
+// replies are re-serialized in arrival order (OrderedReplies) and
+// consecutive replies coalesce into single writes. Deadlines come from
+// one DeadlineWheel instead of a poll() timeout per blocking call.
 //
-// Stopping drains gracefully: workers finish the request in flight on
-// their connection, idle connections and queued-but-unserved ones are
-// rejected (kShuttingDown), and new connections are no longer accepted.
+// The worker pool survives as the compute stage behind the loop: a
+// decoded frame is handed off (decode -> evaluate -> encode run on the
+// worker), its completion returns through the wakeup fd, and the loop
+// flushes the reply. Requests on one connection execute one at a time, in
+// order — pipelining amortizes round-trips and syscalls, it never
+// reorders a connection's semantics. When exactly one connection has work
+// and no worker job is outstanding, the request runs inline on the loop
+// thread instead: the single-stream fast path, which keeps a lone
+// ping-pong client free of handoff latency.
+//
+// Admission control keeps the PR 5 semantics: up to max_connections
+// (default: worker_threads) connections are registered with the loop,
+// max_pending more wait parked (accepted, unread), and beyond that a
+// connection is shed with a structured kOverloaded reply. Stopping
+// drains gracefully: parked connections are shed kShuttingDown, idle
+// connections close, and every request already received runs to
+// completion with its reply flushed. A frame that cannot be decoded (or
+// an oversized length prefix) is a torn stream: the error reply is
+// delivered in order behind any earlier replies, then the connection
+// closes — bytes past a lost frame boundary cannot be trusted.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
-#include <deque>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -42,45 +46,58 @@
 namespace bmf::serve {
 
 struct ServerOptions {
-  /// UNIX-domain socket path to listen on. Required.
+  /// UNIX-domain socket path to listen on; empty = no UNIX listener.
   std::string socket_path;
+  /// TCP listen spec "host:port" (e.g. "127.0.0.1:8191"); empty = no TCP
+  /// listener. Port 0 binds an ephemeral port — tcp_endpoint() reports
+  /// the kernel's choice. At least one of socket_path / tcp_address must
+  /// be set.
+  std::string tcp_address;
   /// Registry LRU bound (total retained model versions).
   std::size_t registry_capacity = 64;
-  /// Per-request deadline for reading a frame and writing its reply.
+  /// Per-connection deadline: idle time before a connection is timed out,
+  /// and the bound on finishing a stalled read or write.
   int request_timeout_ms = 5000;
   /// Upper bound on a request/response frame payload.
   std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
   /// Rows per design-matrix tile in the evaluator.
   std::size_t evaluator_block_rows = 2048;
-  /// Connections served concurrently. 1 reproduces the historical
-  /// one-at-a-time behaviour (requests on distinct connections serialize).
+  /// Compute-stage worker threads behind the event loop.
   std::size_t worker_threads = 4;
-  /// Accepted connections allowed to wait for a free worker before new
-  /// ones are shed with kOverloaded. 0 = shed whenever all workers are
-  /// busy (strict admission).
+  /// Accepted connections allowed to wait (parked, unread) for an active
+  /// slot before new ones are shed with kOverloaded. 0 = strict admission.
   std::size_t max_pending = 8;
+  /// Connections registered with the event loop at once. 0 = use
+  /// worker_threads, which reproduces the historical thread-per-connection
+  /// admission bound; an event-loop deployment raises it well past the
+  /// worker count.
+  std::size_t max_connections = 0;
+  /// Requests one connection may have queued or executing before the loop
+  /// stops reading from it (pipelining backpressure; the client blocks in
+  /// its own send once the kernel buffers fill).
+  std::size_t max_pipeline = 128;
 };
 
 class Server {
  public:
-  /// Binds and listens; throws ServeError if the socket cannot be set up.
+  /// Binds and listens (on every configured transport) immediately, so a
+  /// caller that sees the constructor return can connect. Throws
+  /// ServeError if any listener cannot be set up.
   explicit Server(ServerOptions options);
 
-  /// Unlinks the socket path.
+  /// Unlinks the UNIX socket path (if any).
   ~Server();
 
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Accept/dispatch loop; spawns the worker pool, returns after a
-  /// graceful drain (kShutdown request or request_stop()). Call from one
-  /// thread only.
+  /// Event loop; spawns the worker pool, returns after a graceful drain
+  /// (kShutdown request or request_stop()). Call from one thread only.
   void run();
 
-  /// Ask run() to drain and return (noticed within ~100 ms: accept loop
-  /// and idle workers poll the flag on that tick). Async-signal-safe: only
-  /// performs a relaxed atomic store — deliberately no condition-variable
-  /// notify, which is not safe from a signal handler.
+  /// Ask run() to drain and return (noticed within ~100 ms: the loop's
+  /// epoll timeout is capped at that tick). Async-signal-safe: only
+  /// performs a relaxed atomic store.
   void request_stop() noexcept { stop_.store(true, std::memory_order_relaxed); }
 
   bool stop_requested() const noexcept {
@@ -91,6 +108,10 @@ class Server {
   ModelRegistry& registry() { return registry_; }
   const ServerOptions& options() const { return options_; }
 
+  /// The TCP endpoint actually bound (port resolved when tcp_address
+  /// asked for port 0). endpoint.tcp is false when TCP is not configured.
+  Endpoint tcp_endpoint() const { return tcp_endpoint_; }
+
   /// Requests served since construction (for logs/tests; any thread).
   std::uint64_t requests_served() const { return requests_served_.load(); }
 
@@ -99,32 +120,35 @@ class Server {
   std::uint64_t connections_shed() const { return connections_shed_.load(); }
 
  private:
-  /// Worker thread body: pop accepted connections, serve each to EOF.
-  void worker_loop();
+  friend class EventLoop;  // run()'s loop state, defined in server.cpp
 
-  /// Serve one connection until EOF/stop/transport error.
-  void serve_connection(int fd);
+  /// Outcome of executing one decoded request frame (compute stage; runs
+  /// on a worker thread or inline on the loop).
+  struct ExecuteResult {
+    std::vector<std::uint8_t> reply;
+    bool close_after = false;  // torn stream or shutdown: reply, then close
+    bool shutdown = false;     // kShutdown acknowledged: drain the server
+  };
+
+  /// Decode, dispatch, and encode the reply for one request frame. Takes
+  /// a raw view so the loop's inline fast path executes straight out of
+  /// the connection's read buffer without copying the frame. Thread-safe:
+  /// registry and evaluator tolerate concurrent workers.
+  ExecuteResult execute_request(const std::uint8_t* frame, std::size_t size);
 
   /// Reject a connection with a best-effort structured error reply
   /// (kOverloaded / kShuttingDown) and close it.
   void shed(UniqueFd conn, Status status) noexcept;
 
-  /// Decode, dispatch, and reply to one request frame. Returns false when
-  /// the connection should close (shutdown request).
-  bool handle_request(int fd, const std::vector<std::uint8_t>& frame);
-
   ServerOptions options_;
   ModelRegistry registry_;
   BatchEvaluator evaluator_;
-  UniqueFd listen_fd_;
+  UniqueFd unix_listen_;
+  UniqueFd tcp_listen_;
+  Endpoint tcp_endpoint_;
   std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> requests_served_{0};
   std::atomic<std::uint64_t> connections_shed_{0};
-
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<UniqueFd> pending_;   // accepted, waiting for a worker
-  std::size_t active_ = 0;         // connections being served (queue_mu_)
 };
 
 }  // namespace bmf::serve

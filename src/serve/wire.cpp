@@ -6,7 +6,13 @@
 #include <cstring>
 #include <thread>
 
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -130,7 +136,83 @@ Clock::time_point deadline_from(int timeout_ms) {
   return Clock::now() + std::chrono::milliseconds(timeout_ms);
 }
 
+/// RAII guard for a getaddrinfo result list.
+struct AddrInfoList {
+  addrinfo* head = nullptr;
+  ~AddrInfoList() {
+    if (head != nullptr) ::freeaddrinfo(head);
+  }
+};
+
+/// Resolve host:port for a stream socket. Empty host + passive resolves
+/// to the wildcard address.
+AddrInfoList resolve_tcp(const std::string& host, std::uint16_t port,
+                         bool passive, const char* context) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_NUMERICSERV | (passive ? AI_PASSIVE : 0);
+  const std::string service = std::to_string(port);
+  AddrInfoList list;
+  const int rc =
+      ::getaddrinfo(host.empty() ? nullptr : host.c_str(), service.c_str(),
+                    &hints, &list.head);
+  if (rc != 0)
+    throw ServeError(Status::kInternal, context,
+                     "getaddrinfo '" + host + "': " + ::gai_strerror(rc));
+  return list;
+}
+
+/// The port a bound socket actually listens on (resolves a port-0 bind).
+std::uint16_t bound_port(int fd, const char* context) {
+  sockaddr_storage addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0)
+    sys_fail(context, "getsockname");
+  if (addr.ss_family == AF_INET)
+    return ntohs(reinterpret_cast<const sockaddr_in*>(&addr)->sin_port);
+  if (addr.ss_family == AF_INET6)
+    return ntohs(reinterpret_cast<const sockaddr_in6*>(&addr)->sin6_port);
+  throw ServeError(Status::kInternal, context,
+                   "bound socket is not an inet socket");
+}
+
 }  // namespace
+
+Endpoint parse_endpoint(const std::string& spec) {
+  const char* context = "parse_endpoint";
+  Endpoint ep;
+  if (spec.rfind("tcp:", 0) == 0) {
+    ep.tcp = true;
+    const std::string rest = spec.substr(4);
+    const std::size_t colon = rest.rfind(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 == rest.size())
+      throw ServeError(Status::kBadRequest, context,
+                       "'" + spec + "' is not of the form tcp:HOST:PORT");
+    ep.host = rest.substr(0, colon);
+    const std::string port_str = rest.substr(colon + 1);
+    long port = 0;
+    std::size_t used = 0;
+    try {
+      port = std::stol(port_str, &used);
+    } catch (const std::exception&) {
+      used = 0;
+    }
+    if (used != port_str.size() || port < 0 || port > 65535)
+      throw ServeError(Status::kBadRequest, context,
+                       "'" + port_str + "' is not a port number (0-65535)");
+    ep.port = static_cast<std::uint16_t>(port);
+    return ep;
+  }
+  ep.unix_path = spec.rfind("unix:", 0) == 0 ? spec.substr(5) : spec;
+  return ep;
+}
+
+std::string to_string(const Endpoint& endpoint) {
+  if (endpoint.tcp)
+    return "tcp:" + endpoint.host + ":" + std::to_string(endpoint.port);
+  return "unix:" + endpoint.unix_path;
+}
 
 UniqueFd& UniqueFd::operator=(UniqueFd&& other) noexcept {
   if (this != &other) reset(other.release());
@@ -178,6 +260,37 @@ UniqueFd listen_unix(const std::string& path, int backlog) {
   return fd;
 }
 
+TcpListener listen_tcp(const std::string& host, std::uint16_t port,
+                       int backlog) {
+  const char* context = "listen_tcp";
+  const AddrInfoList list = resolve_tcp(host, port, /*passive=*/true, context);
+  int last_errno = 0;
+  for (const addrinfo* ai = list.head; ai != nullptr; ai = ai->ai_next) {
+    UniqueFd fd(::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
+    if (!fd.valid()) {
+      last_errno = errno;
+      continue;
+    }
+    // SO_REUSEADDR: a restarting daemon rebinds immediately instead of
+    // waiting out TIME_WAIT from its previous incarnation's connections.
+    const int one = 1;
+    if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof(one)) != 0)
+      sys_fail(context, "setsockopt SO_REUSEADDR");
+    if (::bind(fd.get(), ai->ai_addr, ai->ai_addrlen) != 0 ||
+        ::listen(fd.get(), backlog) != 0) {
+      last_errno = errno;
+      continue;
+    }
+    TcpListener listener;
+    listener.port = bound_port(fd.get(), context);
+    listener.fd = std::move(fd);
+    return listener;
+  }
+  errno = last_errno;
+  sys_fail(context, "bind/listen tcp:" + host + ":" + std::to_string(port));
+}
+
 UniqueFd connect_unix(const std::string& path, int timeout_ms) {
   const char* context = "connect_unix";
   const auto deadline = deadline_from(timeout_ms);
@@ -207,6 +320,50 @@ UniqueFd connect_unix(const std::string& path, int timeout_ms) {
   }
 }
 
+UniqueFd connect_tcp(const std::string& host, std::uint16_t port,
+                     int timeout_ms) {
+  const char* context = "connect_tcp";
+  const auto deadline = deadline_from(timeout_ms);
+  const AddrInfoList list =
+      resolve_tcp(host, port, /*passive=*/false, context);
+  int backoff_ms = 1;
+  for (;;) {
+    int last_errno = 0;
+    for (const addrinfo* ai = list.head; ai != nullptr; ai = ai->ai_next) {
+      UniqueFd fd(::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol));
+      if (!fd.valid()) {
+        last_errno = errno;
+        continue;
+      }
+      if (fault::sys_connect(fd.get(), ai->ai_addr, ai->ai_addrlen) == 0) {
+        set_tcp_nodelay(fd.get());
+        return fd;
+      }
+      last_errno = errno;
+      if (errno != ECONNREFUSED && errno != EINTR && errno != ETIMEDOUT)
+        sys_fail(context,
+                 "connect tcp:" + host + ":" + std::to_string(port));
+    }
+    // Refused while the daemon is still coming up: same capped backoff as
+    // connect_unix, so "start daemon; connect" scripts need no sleep.
+    errno = last_errno;
+    const int left = remaining_ms(deadline);
+    if (left == 0)
+      throw ServeError(Status::kTimeout, context,
+                       "no daemon accepted tcp:" + host + ":" +
+                           std::to_string(port) + " within " +
+                           std::to_string(timeout_ms) + " ms");
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(std::min(backoff_ms, left)));
+    backoff_ms = std::min(backoff_ms * 2, 64);
+  }
+}
+
+UniqueFd connect_endpoint(const Endpoint& endpoint, int timeout_ms) {
+  if (endpoint.tcp) return connect_tcp(endpoint.host, endpoint.port, timeout_ms);
+  return connect_unix(endpoint.unix_path, timeout_ms);
+}
+
 std::optional<UniqueFd> accept_connection(int listen_fd, int timeout_ms) {
   const char* context = "accept_connection";
   const auto deadline = deadline_from(timeout_ms);
@@ -223,6 +380,30 @@ std::optional<UniqueFd> accept_connection(int listen_fd, int timeout_ms) {
         errno != EWOULDBLOCK)
       sys_fail(context, "accept");
   }
+}
+
+std::optional<UniqueFd> accept_pending(int listen_fd) {
+  const char* context = "accept_pending";
+  for (;;) {
+    const int fd = fault::sys_accept(listen_fd);
+    if (fd >= 0) return UniqueFd(fd);
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNABORTED)
+      return std::nullopt;
+    if (errno != EINTR) sys_fail(context, "accept");
+  }
+}
+
+void set_nonblocking(int fd) {
+  const char* context = "set_nonblocking";
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0)
+    sys_fail(context, "fcntl O_NONBLOCK");
+}
+
+void set_tcp_nodelay(int fd) {
+  const int one = 1;
+  if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) != 0)
+    sys_fail("set_tcp_nodelay", "setsockopt TCP_NODELAY");
 }
 
 bool poll_readable(int fd, int timeout_ms) {
@@ -282,6 +463,79 @@ std::optional<std::vector<std::uint8_t>> read_frame(int fd, int timeout_ms,
   if (!read_frame_into(fd, timeout_ms, max_frame, payload))
     return std::nullopt;
   return payload;
+}
+
+void write_bytes(int fd, const std::uint8_t* data, std::size_t size,
+                 int timeout_ms) {
+  write_exact(fd, data, size, deadline_from(timeout_ms), "write_bytes");
+}
+
+void append_frame(std::vector<std::uint8_t>& out, const std::uint8_t* data,
+                  std::size_t size, std::size_t max_frame) {
+  if (size > max_frame)
+    throw ServeError(Status::kTooLarge, "append_frame",
+                     "frame of " + std::to_string(size) +
+                         " byte(s) exceeds the " + std::to_string(max_frame) +
+                         "-byte bound");
+  std::uint8_t prefix[kFramePrefixBytes];
+  encode_length(prefix, static_cast<std::uint32_t>(size));
+  out.insert(out.end(), prefix, prefix + sizeof(prefix));
+  out.insert(out.end(), data, data + size);
+}
+
+std::uint32_t decode_frame_length(const std::uint8_t* prefix) {
+  return decode_length(prefix);
+}
+
+Poller::Poller() : epfd_(::epoll_create1(EPOLL_CLOEXEC)) {
+  if (!epfd_.valid()) sys_fail("Poller", "epoll_create1");
+}
+
+void Poller::add(int fd, std::uint32_t events, std::uint64_t tag) {
+  struct epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = tag;
+  if (::epoll_ctl(epfd_.get(), EPOLL_CTL_ADD, fd, &ev) != 0)
+    sys_fail("Poller::add", "epoll_ctl ADD");
+}
+
+void Poller::modify(int fd, std::uint32_t events, std::uint64_t tag) {
+  struct epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = tag;
+  if (::epoll_ctl(epfd_.get(), EPOLL_CTL_MOD, fd, &ev) != 0)
+    sys_fail("Poller::modify", "epoll_ctl MOD");
+}
+
+void Poller::remove(int fd) {
+  if (::epoll_ctl(epfd_.get(), EPOLL_CTL_DEL, fd, nullptr) != 0)
+    sys_fail("Poller::remove", "epoll_ctl DEL");
+}
+
+int Poller::wait(struct epoll_event* out, int max_events, int timeout_ms) {
+  const int rc =
+      fault::sys_epoll_wait(epfd_.get(), out, max_events, timeout_ms);
+  if (rc >= 0) return rc;
+  if (errno == EINTR) return 0;  // spurious wakeup: loop re-checks state
+  sys_fail("Poller::wait", "epoll_wait");
+}
+
+WakeupFd::WakeupFd() : fd_(::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC)) {
+  if (!fd_.valid()) sys_fail("WakeupFd", "eventfd");
+}
+
+void WakeupFd::signal() noexcept {
+  const std::uint64_t one = 1;
+  // The counter saturating (EAGAIN) still leaves the fd readable, which
+  // is all a wakeup needs; nothing to do on any failure.
+  [[maybe_unused]] const ssize_t rc =
+      ::write(fd_.get(), &one, sizeof(one));
+}
+
+void WakeupFd::drain() noexcept {
+  std::uint64_t count = 0;
+  [[maybe_unused]] const ssize_t rc =
+      ::read(fd_.get(), &count, sizeof(count));
 }
 
 }  // namespace bmf::serve

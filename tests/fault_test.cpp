@@ -7,9 +7,13 @@
 #include <gtest/gtest.h>
 
 #include <cerrno>
+#include <cstddef>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
+#include <sys/un.h>
 #include <unistd.h>
 
 namespace bmf::fault {
@@ -66,6 +70,20 @@ TEST(FaultPlanGrammar, RoundTripsThroughToString) {
   EXPECT_STREQ(to_string(plan.rules[1].site), "accept");
   EXPECT_STREQ(to_string(Site::kPoll), "poll");
   EXPECT_STREQ(to_string(Action::kShortIo), "short");
+}
+
+TEST(FaultPlanGrammar, ParsesTheEventLoopSites) {
+  const FaultPlan plan = parse_plan("accept:short*2;epoll:short@0.25;epoll:eintr");
+  ASSERT_EQ(plan.rules.size(), 3u);
+  EXPECT_EQ(plan.rules[0].site, Site::kAccept);
+  EXPECT_EQ(plan.rules[0].action, Action::kShortIo);
+  EXPECT_EQ(plan.rules[0].max_triggers, 2u);
+  EXPECT_EQ(plan.rules[1].site, Site::kEpoll);
+  EXPECT_DOUBLE_EQ(plan.rules[1].probability, 0.25);
+  EXPECT_EQ(plan.rules[2].site, Site::kEpoll);
+  EXPECT_EQ(plan.rules[2].action, Action::kEintr);
+  EXPECT_STREQ(to_string(Site::kEpoll), "epoll");
+  EXPECT_STREQ(to_string(Site::kAccept), "accept");
 }
 
 TEST(FaultPlanGrammar, RejectsMalformedSpecs) {
@@ -150,6 +168,75 @@ TEST(FaultEngine, SpuriousPollTimeout) {
   pfd.revents = 0;
   EXPECT_EQ(sys_poll(&pfd, 1, 1000), 0);  // injected "nothing ready"
   EXPECT_EQ(sys_poll(&pfd, 1, 1000), 1);  // real poll sees the byte
+}
+
+TEST(FaultEngine, SpuriousEpollWakeup) {
+  DisarmGuard guard;
+  arm(parse_plan("epoll:short*1"));
+  ReadyPipe pipe;
+  const int epfd = ::epoll_create1(0);
+  ASSERT_GE(epfd, 0);
+  struct epoll_event want = {};
+  want.events = EPOLLIN;
+  want.data.fd = pipe.fds[0];
+  ASSERT_EQ(::epoll_ctl(epfd, EPOLL_CTL_ADD, pipe.fds[0], &want), 0);
+  struct epoll_event got = {};
+  // Injected "nothing ready" despite a readable byte; the retry sees it.
+  EXPECT_EQ(sys_epoll_wait(epfd, &got, 1, 1000), 0);
+  EXPECT_EQ(sys_epoll_wait(epfd, &got, 1, 1000), 1);
+  EXPECT_EQ(got.data.fd, pipe.fds[0]);
+  EXPECT_EQ(stats().site[5].triggered, 1u);
+  ::close(epfd);
+}
+
+TEST(FaultEngine, EpollEintrThenRealWait) {
+  DisarmGuard guard;
+  arm(parse_plan("epoll:eintr*1"));
+  ReadyPipe pipe;
+  const int epfd = ::epoll_create1(0);
+  ASSERT_GE(epfd, 0);
+  struct epoll_event want = {};
+  want.events = EPOLLIN;
+  want.data.fd = pipe.fds[0];
+  ASSERT_EQ(::epoll_ctl(epfd, EPOLL_CTL_ADD, pipe.fds[0], &want), 0);
+  struct epoll_event got = {};
+  errno = 0;
+  EXPECT_EQ(sys_epoll_wait(epfd, &got, 1, 1000), -1);
+  EXPECT_EQ(errno, EINTR);
+  EXPECT_EQ(sys_epoll_wait(epfd, &got, 1, 1000), 1);
+  ::close(epfd);
+}
+
+TEST(FaultEngine, ShortAcceptReportsNoConnectionBehindTheWakeup) {
+  DisarmGuard guard;
+  // Abstract-namespace UNIX listener (no filesystem cleanup needed).
+  const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  struct sockaddr_un addr = {};
+  addr.sun_family = AF_UNIX;
+  std::snprintf(addr.sun_path + 1, sizeof(addr.sun_path) - 1,
+                "bmf-fault-accept-%d", static_cast<int>(::getpid()));
+  const auto len = static_cast<socklen_t>(
+      offsetof(struct sockaddr_un, sun_path) + 1 +
+      std::strlen(addr.sun_path + 1));
+  ASSERT_EQ(::bind(listener, reinterpret_cast<struct sockaddr*>(&addr), len),
+            0);
+  ASSERT_EQ(::listen(listener, 1), 0);
+  const int client = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(client, 0);
+  ASSERT_EQ(
+      ::connect(client, reinterpret_cast<struct sockaddr*>(&addr), len), 0);
+
+  arm(parse_plan("accept:short*1"));
+  errno = 0;
+  EXPECT_EQ(sys_accept(listener), -1);  // wakeup with no connection behind it
+  EXPECT_EQ(errno, EAGAIN);
+  const int conn = sys_accept(listener);  // the pending client is still there
+  EXPECT_GE(conn, 0);
+  EXPECT_EQ(stats().site[4].triggered, 1u);
+  ::close(conn);
+  ::close(client);
+  ::close(listener);
 }
 
 TEST(FaultEngine, DisarmRestoresRawBehaviorAndStatsReset) {

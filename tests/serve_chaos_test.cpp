@@ -47,6 +47,21 @@ std::uint64_t chaos_seed() {
   return (end == raw || *end != '\0') ? 1 : static_cast<std::uint64_t>(v);
 }
 
+/// BMF_CHAOS_TRANSPORT=tcp runs every scenario over TCP loopback instead
+/// of a UNIX socket: same protocol, same fault sites, second transport.
+/// ci.sh probes whether the sandbox allows loopback listeners before
+/// setting it.
+bool chaos_tcp() {
+  const char* raw = std::getenv("BMF_CHAOS_TRANSPORT");
+  return raw != nullptr && std::string(raw) == "tcp";
+}
+
+/// Transport-agnostic raw connection (for hog/queued fds the scenarios
+/// hold open without speaking the protocol).
+UniqueFd raw_connect(const std::string& spec, int timeout_ms) {
+  return connect_endpoint(parse_endpoint(spec), timeout_ms);
+}
+
 fault::FaultPlan seeded(const std::string& spec) {
   fault::FaultPlan plan = fault::parse_plan(spec);
   plan.seed = chaos_seed();
@@ -112,10 +127,17 @@ linalg::Matrix make_points(std::size_t rows, std::size_t cols,
 class ServerFixture {
  public:
   explicit ServerFixture(const char* tag, ServerOptions options = {}) {
-    path_ = ::testing::TempDir() + "/bmf_chaos_" + tag + "_" +
-            std::to_string(::getpid()) + ".sock";
-    options.socket_path = path_;
-    server_ = std::make_unique<Server>(std::move(options));
+    if (chaos_tcp()) {
+      options.tcp_address = "127.0.0.1:0";  // ephemeral port per fixture
+      server_ = std::make_unique<Server>(std::move(options));
+      path_ = to_string(server_->tcp_endpoint());
+    } else {
+      unix_path_ = ::testing::TempDir() + "/bmf_chaos_" + tag + "_" +
+                   std::to_string(::getpid()) + ".sock";
+      options.socket_path = unix_path_;
+      path_ = unix_path_;
+      server_ = std::make_unique<Server>(std::move(options));
+    }
     thread_ = std::thread([this] { server_->run(); });
   }
 
@@ -123,14 +145,17 @@ class ServerFixture {
     fault::disarm();  // never drain through an armed plan
     server_->request_stop();
     thread_.join();
-    std::remove(path_.c_str());
+    if (!unix_path_.empty()) std::remove(unix_path_.c_str());
   }
 
+  /// Endpoint spec for Client / raw_connect: the UNIX socket path, or
+  /// "tcp:127.0.0.1:PORT" under BMF_CHAOS_TRANSPORT=tcp.
   const std::string& path() const { return path_; }
   Server& server() { return *server_; }
 
  private:
   std::string path_;
+  std::string unix_path_;  // empty over TCP (nothing to unlink)
   std::unique_ptr<Server> server_;
   std::thread thread_;
 };
@@ -290,30 +315,38 @@ TEST(ServeChaos, ConnectRefusalBacksOffAndConnects) {
 
 TEST(ServeChaos, ConnectStormBeforeServerStartsAllSucceed) {
   Watchdog dog(120);
-  // Clients race a daemon that does not exist yet: connect_unix's capped
-  // exponential backoff must carry all of them into the live server once
-  // it binds.
-  const std::string path = ::testing::TempDir() + "/bmf_chaos_storm_" +
-                           std::to_string(::getpid()) + ".sock";
+  // Clients race a daemon that does not exist yet: the connect backoff
+  // (capped exponential) must carry all of them into the live server once
+  // it binds. Over TCP the endpoint is reserved up front by binding an
+  // ephemeral port and releasing it for the late server to claim.
+  const std::string unix_path = ::testing::TempDir() + "/bmf_chaos_storm_" +
+                                std::to_string(::getpid()) + ".sock";
+  std::string spec = unix_path;
+  ServerOptions options;
+  if (chaos_tcp()) {
+    const TcpListener probe = listen_tcp("127.0.0.1", 0);
+    options.tcp_address = "127.0.0.1:" + std::to_string(probe.port);
+    spec = "tcp:" + options.tcp_address;
+  } else {
+    options.socket_path = unix_path;
+  }
   std::atomic<int> connected{0};
   std::vector<std::thread> stampede;
   stampede.reserve(6);
   for (int i = 0; i < 6; ++i)
-    stampede.emplace_back([&path, &connected] {
-      UniqueFd fd = connect_unix(path, 5000);
+    stampede.emplace_back([&spec, &connected] {
+      UniqueFd fd = raw_connect(spec, 5000);
       if (fd.valid()) connected.fetch_add(1);
     });
   std::this_thread::sleep_for(std::chrono::milliseconds(150));
   {
-    ServerOptions options;
-    options.socket_path = path;
     Server late(std::move(options));
     std::thread run([&late] { late.run(); });
     for (std::thread& t : stampede) t.join();
     late.request_stop();
     run.join();
   }
-  std::remove(path.c_str());
+  if (!chaos_tcp()) std::remove(unix_path.c_str());
   EXPECT_EQ(connected.load(), 6);
 }
 
@@ -378,8 +411,8 @@ TEST(ServeChaos, OverloadShedsWithStructuredReply) {
   ServerFixture fixture("overload", options);
   DisarmGuard guard;
 
-  // Park an idle connection on the only worker.
-  UniqueFd hog = connect_unix(fixture.path(), 2000);
+  // Park an idle connection on the only active-connection slot.
+  UniqueFd hog = raw_connect(fixture.path(), 2000);
   std::this_thread::sleep_for(std::chrono::milliseconds(300));
 
   Client client(fixture.path(), 2000, kDefaultMaxFrameBytes,
@@ -405,9 +438,9 @@ TEST(ServeChaos, QueuedConnectionIsShedWithShuttingDownOnDrain) {
   ServerFixture fixture("drain_shed", options);
   DisarmGuard guard;
 
-  UniqueFd hog = connect_unix(fixture.path(), 2000);  // owns the worker
+  UniqueFd hog = raw_connect(fixture.path(), 2000);  // owns the active slot
   std::this_thread::sleep_for(std::chrono::milliseconds(300));
-  UniqueFd queued = connect_unix(fixture.path(), 2000);  // waits in pending_
+  UniqueFd queued = raw_connect(fixture.path(), 2000);  // waits parked
   std::this_thread::sleep_for(std::chrono::milliseconds(200));
 
   fixture.server().request_stop();
