@@ -6,6 +6,14 @@
 #   2. Repo-invariant lint + static analysis (clang-tidy when available,
 #      GCC strict-warning fallback otherwise), reusing the Release build's
 #      compile_commands.json so no extra configure is paid.
+#   2b. Thread-safety gate (clang only): build the library tree under
+#      clang with -Wthread-safety -Werror=thread-safety — every lock in
+#      the serving stack flows through the annotated sync layer
+#      (src/sync), so a missed lock is a compile error — then run the
+#      negative-compile harness, which proves the gate *fires* (each
+#      known-bad TU in tests/negcompile must be rejected with its
+#      expected diagnostic). Skipped loudly when no clang is installed;
+#      a clang whose analysis is vacuous aborts CI (probe exit 2).
 #   3. Checked Debug build with Address+UndefinedBehaviorSanitizer + full
 #      test suite: one build dir covers memory errors, UB, and the
 #      BMF_CHECKED contract layer (contract_test's throwing half) at once.
@@ -47,6 +55,24 @@ ctest --test-dir "$src_dir/build-ci-release" --output-on-failure
 echo "== Lint + static analysis =="
 "$src_dir/scripts/lint.sh"
 BMF_ANALYZE_BUILD_DIR="$src_dir/build-ci-release" "$src_dir/scripts/analyze.sh"
+
+echo "== Thread-safety gate (clang -Wthread-safety) =="
+clang_rc=0
+clang_cxx="$("$src_dir/scripts/clang_available.sh")" || clang_rc=$?
+if [ "$clang_rc" -eq 2 ]; then
+  echo "error: clang present but its thread-safety analysis is vacuous" >&2
+  exit 1
+fi
+if [ "$clang_rc" -eq 0 ]; then
+  echo "-- clang: $clang_cxx --"
+  cmake -S "$src_dir" -B "$src_dir/build-ci-clang" \
+        -DCMAKE_BUILD_TYPE=Release -DCMAKE_CXX_COMPILER="$clang_cxx"
+  cmake --build "$src_dir/build-ci-clang" -j "$jobs"
+  echo "-- negative-compile harness --"
+  "$src_dir/scripts/negative_compile.sh" "$clang_cxx" "$src_dir"
+else
+  echo "-- no clang on this host: thread-safety stages skipped --"
+fi
 
 echo "== Checked Debug + Address/UB sanitizers + tests =="
 cmake -S "$src_dir" -B "$src_dir/build-ci-checked" \

@@ -10,11 +10,25 @@
 #
 # Usage: analyze.sh [build-dir]
 #   build-dir: directory holding compile_commands.json.  Defaults to
-#   $BMF_ANALYZE_BUILD_DIR, then ./build-analyze (configured on demand).
+#   $BMF_ANALYZE_BUILD_DIR, then the first existing build tree that already
+#   exported one (every CMake configure does), then ./build-analyze
+#   (configured on demand) — so a developer who has built anything never
+#   pays a second configure just to analyze.
 set -eu
 
 src_dir="$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)"
-build_dir="${1:-${BMF_ANALYZE_BUILD_DIR:-$src_dir/build-analyze}}"
+build_dir="${1:-${BMF_ANALYZE_BUILD_DIR:-}}"
+if [ -z "$build_dir" ]; then
+  for cand in "$src_dir/build" "$src_dir/build-ci-release" \
+              "$src_dir/build-analyze"; do
+    if [ -f "$cand/compile_commands.json" ]; then
+      build_dir="$cand"
+      echo "analyze.sh: reusing $cand/compile_commands.json"
+      break
+    fi
+  done
+  build_dir="${build_dir:-$src_dir/build-analyze}"
+fi
 
 if [ ! -f "$build_dir/compile_commands.json" ]; then
   echo "analyze.sh: configuring $build_dir for compile_commands.json"
@@ -51,7 +65,8 @@ echo "== analyze.sh: clang-tidy not found; GCC strict-warning fallback =="
 gcc_flags="-std=c++20 -fsyntax-only -Werror -Wall -Wextra -Wpedantic \
   -Wshadow -Wundef -Wcast-align -Wpointer-arith -Wnon-virtual-dtor \
   -Woverloaded-virtual -Wdouble-promotion -Wfloat-conversion \
-  -Wswitch-enum -Wvla -Wformat=2"
+  -Wswitch-enum -Wvla -Wformat=2 \
+  -Wlogical-op -Wduplicated-cond -Wduplicated-branches"
 includes="-I$src_dir/src -I$src_dir/tests"
 # googletest headers for the test TUs: either a FetchContent checkout under
 # the build dir or a system install on the default include path.

@@ -1,0 +1,88 @@
+#!/usr/bin/env sh
+# Probe whether a clang with working Thread Safety Analysis is available.
+# The container this repo usually builds in ships only GCC, where the
+# sync-layer annotations (src/sync) compile to nothing — so the clang
+# -Wthread-safety gate must skip loudly there instead of failing, and
+# must not silently "pass" either. Callers get a tri-state:
+#
+#   exit 0  clang found and its analysis fires (prints the compiler path
+#           on stdout — feed it to -DCMAKE_CXX_COMPILER)
+#   exit 1  no usable clang: skip the thread-safety stages
+#   exit 2  clang exists but the analysis self-test failed: the gate
+#           would be vacuous — abort CI rather than fake coverage
+#
+# The self-test is hermetic: a known-bad TU (guarded field read without
+# the lock) must be *rejected* under -Wthread-safety -Werror=thread-safety.
+# A clang that accepts it would turn every negative-compile check into a
+# false pass, which is worse than having no gate.
+set -eu
+
+find_clang() {
+  for cand in clang++ clang++-20 clang++-19 clang++-18 clang++-17 \
+              clang++-16 clang++-15 clang++-14; do
+    if command -v "$cand" >/dev/null 2>&1; then
+      command -v "$cand"
+      return 0
+    fi
+  done
+  return 1
+}
+
+cxx="$(find_clang)" || exit 1
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT INT TERM
+
+cat > "$tmp/bad.cpp" <<'EOF'
+#include <mutex>
+class __attribute__((capability("mutex"))) Mu {
+ public:
+  void lock() __attribute__((acquire_capability())) { mu_.lock(); }
+  void unlock() __attribute__((release_capability())) { mu_.unlock(); }
+ private:
+  std::mutex mu_;
+};
+struct S {
+  Mu mu;
+  int x __attribute__((guarded_by(mu))) = 0;
+};
+int read_unlocked(S& s) { return s.x; }  // must be rejected
+EOF
+
+# Sanity leg: the same TU with the violation fixed must compile, or the
+# toolchain (headers, std library) is broken rather than merely absent.
+cat > "$tmp/good.cpp" <<'EOF'
+#include <mutex>
+class __attribute__((capability("mutex"))) Mu {
+ public:
+  void lock() __attribute__((acquire_capability())) { mu_.lock(); }
+  void unlock() __attribute__((release_capability())) { mu_.unlock(); }
+ private:
+  std::mutex mu_;
+};
+struct S {
+  Mu mu;
+  int x __attribute__((guarded_by(mu))) = 0;
+};
+int read_locked(S& s) {
+  s.mu.lock();
+  const int v = s.x;
+  s.mu.unlock();
+  return v;
+}
+EOF
+
+flags="-std=c++20 -fsyntax-only -Wthread-safety -Werror=thread-safety"
+
+# shellcheck disable=SC2086  # flags is a deliberate word list
+if ! "$cxx" $flags "$tmp/good.cpp" >/dev/null 2>&1; then
+  exit 1  # clang present but can't compile C++20 here: treat as absent
+fi
+# shellcheck disable=SC2086
+if "$cxx" $flags "$tmp/bad.cpp" >/dev/null 2>&1; then
+  echo "clang_available: $cxx accepted a thread-safety violation" >&2
+  exit 2  # analysis is vacuous: the gate must not pretend to run
+fi
+
+printf '%s\n' "$cxx"
+exit 0

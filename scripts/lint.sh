@@ -25,6 +25,11 @@
 #      (TCP_NODELAY, SO_REUSEADDR, O_NONBLOCK) lives behind the wire/fault
 #      layer so every code path gets the same socket semantics and the
 #      chaos suite covers them.
+#   9. No raw std::mutex/std::condition_variable/std::lock_guard/... outside
+#      src/sync — all locking goes through the annotated sync layer
+#      (sync::Mutex & co.), or clang's -Wthread-safety gate silently stops
+#      covering it: a raw std::mutex carries no capability, so the analysis
+#      has nothing to check and misses every bug behind it.
 #
 # Usage: lint.sh   (run from anywhere; exits non-zero on any violation)
 set -eu
@@ -130,6 +135,19 @@ for f in $all_sources; do
     '::(setsockopt|fcntl|epoll_ctl|epoll_create1?|eventfd)[[:space:]]*\(' \
     || true)
   [ -n "$hits" ] && fail "socket-option plumbing outside wire/fault layer in $f" "$hits"
+done
+
+# Rule 9: raw standard-library synchronization outside the sync layer.
+# Only src/sync may name the std:: primitives; everyone else uses the
+# annotated wrappers so the thread-safety analysis sees every lock.
+for f in $all_sources; do
+  case "$f" in
+    "$src_dir/src/sync/"*) continue ;;
+  esac
+  hits=$(strip_comments "$f" | grep -nE \
+    'std::(mutex|shared_mutex|recursive_mutex|timed_mutex|condition_variable|condition_variable_any|lock_guard|unique_lock|shared_lock|scoped_lock)([^A-Za-z0-9_]|$)' \
+    || true)
+  [ -n "$hits" ] && fail "raw std:: synchronization outside src/sync in $f" "$hits"
 done
 
 if [ "$status" -ne 0 ]; then

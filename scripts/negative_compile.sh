@@ -1,0 +1,63 @@
+#!/usr/bin/env sh
+# Negative-compile harness for the thread-safety gate: proves the gate
+# actually *fires*, not merely that clean code passes. Each
+# tests/negcompile/bad_*.cpp contains one concurrency bug the sync layer
+# (src/sync) must reject at compile time, plus an `// EXPECT-DIAGNOSTIC:`
+# line naming a substring clang's diagnostic must contain. A bad TU that
+# compiles — or fails with the *wrong* diagnostic (e.g. a typo'd include
+# masking the real check) — fails the harness.
+#
+# good_annotated.cpp is the positive control: same headers, same flags,
+# violations fixed. If it doesn't compile, every "bad TU rejected" result
+# below is meaningless, so it runs first and aborts on failure.
+#
+# Usage: negative_compile.sh <clang++> [src-dir]
+#   <clang++>  compiler to use — take it from scripts/clang_available.sh
+#              so a vacuous analysis (exit 2 there) never reaches here.
+set -eu
+
+cxx="${1:?usage: negative_compile.sh <clang++> [src-dir]}"
+root="${2:-$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)}"
+src="$root/src"
+neg="$root/tests/negcompile"
+
+flags="-std=c++20 -fsyntax-only -Wall -Wextra \
+       -Wthread-safety -Werror=thread-safety -I$src"
+
+log="$(mktemp)"
+trap 'rm -f "$log"' EXIT INT TERM
+
+# shellcheck disable=SC2086  # flags is a deliberate word list
+if ! "$cxx" $flags "$neg/good_annotated.cpp" 2> "$log"; then
+  echo "negative_compile: positive control good_annotated.cpp FAILED:" >&2
+  cat "$log" >&2
+  exit 1
+fi
+echo "  ok   good_annotated.cpp (positive control compiles)"
+
+fail=0
+for tu in "$neg"/bad_*.cpp; do
+  name="$(basename "$tu")"
+  expect="$(sed -n 's|^// EXPECT-DIAGNOSTIC: ||p' "$tu" | head -n 1)"
+  if [ -z "$expect" ]; then
+    echo "  FAIL $name: no // EXPECT-DIAGNOSTIC: line" >&2
+    fail=1
+    continue
+  fi
+  # shellcheck disable=SC2086
+  if "$cxx" $flags "$tu" 2> "$log"; then
+    echo "  FAIL $name: compiled — the gate did not fire" >&2
+    fail=1
+    continue
+  fi
+  if ! grep -F -q -- "$expect" "$log"; then
+    echo "  FAIL $name: rejected, but diagnostic lacks '$expect':" >&2
+    cat "$log" >&2
+    fail=1
+    continue
+  fi
+  echo "  ok   $name (rejected: '$expect')"
+done
+
+[ "$fail" -eq 0 ] || exit 1
+echo "negative_compile: all known-bad TUs rejected with expected diagnostics"

@@ -4,11 +4,12 @@
 #include <chrono>
 #include <cstdlib>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 
 #include <cerrno>
+
+#include "sync/mutex.hpp"
 
 namespace bmf::fault {
 
@@ -146,10 +147,16 @@ struct Engine {
 // using the pointer it loaded — the test-only cost is a few retained
 // Engine objects per process.
 std::atomic<Engine*> g_engine{nullptr};
-std::mutex g_arm_mu;
-std::vector<std::unique_ptr<Engine>>& park_list() {
-  static std::vector<std::unique_ptr<Engine>> list;
-  return list;
+
+// Serializes arm(): the park list is only ever touched while publishing a
+// new engine, so it lives behind the same mutex instead of a bare static.
+struct ArmState {
+  sync::Mutex mu;
+  std::vector<std::unique_ptr<Engine>> parked BMF_GUARDED_BY(mu);
+};
+ArmState& arm_state() {
+  static ArmState state;
+  return state;
 }
 
 struct Decision {
@@ -213,9 +220,10 @@ void arm(const FaultPlan& plan) {
     rs->rule = r;
     engine->rules.push_back(std::move(rs));
   }
-  std::lock_guard<std::mutex> lock(g_arm_mu);
+  ArmState& state = arm_state();
+  sync::LockGuard lock(state.mu);
   g_engine.store(engine.get(), std::memory_order_release);
-  park_list().push_back(std::move(engine));
+  state.parked.push_back(std::move(engine));
 }
 
 void disarm() noexcept {

@@ -2,12 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstdlib>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
+
+#include "sync/mutex.hpp"
 
 namespace bmf::parallel {
 
@@ -45,9 +45,9 @@ struct Job {
   std::uint64_t id = 0;
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
-  std::mutex mu;                  // guards error; done_cv waits on it
-  std::condition_variable done_cv;
-  std::exception_ptr error;
+  sync::Mutex mu;  // done_cv waits on it
+  sync::CondVar done_cv;
+  std::exception_ptr error BMF_GUARDED_BY(mu);
 };
 
 class ThreadPool {
@@ -60,7 +60,7 @@ class ThreadPool {
   ~ThreadPool() { stop_workers(); }
 
   std::size_t size() {
-    std::lock_guard<std::mutex> g(config_mu_);
+    sync::LockGuard g(config_mu_);
     return threads_;
   }
 
@@ -68,8 +68,8 @@ class ThreadPool {
     if (t_in_parallel)
       throw std::logic_error(
           "set_num_threads: cannot resize from inside a parallel region");
-    std::lock_guard<std::mutex> dispatch(dispatch_mu_);
-    std::lock_guard<std::mutex> g(config_mu_);
+    sync::LockGuard dispatch(dispatch_mu_);
+    sync::LockGuard g(config_mu_);
     threads_ = n == 0 ? default_num_threads() : n;
     stop_workers_locked();
   }
@@ -80,7 +80,7 @@ class ThreadPool {
     const std::size_t chunks = (count + grain - 1) / grain;
     std::size_t threads;
     {
-      std::lock_guard<std::mutex> g(config_mu_);
+      sync::LockGuard g(config_mu_);
       threads = threads_;
     }
     if (threads <= 1 || chunks <= 1 || t_in_parallel) {
@@ -89,7 +89,7 @@ class ThreadPool {
     }
 
     // One job at a time; nested calls never reach here (flag above).
-    std::lock_guard<std::mutex> dispatch(dispatch_mu_);
+    sync::LockGuard dispatch(dispatch_mu_);
     ensure_workers(threads - 1);
 
     auto job = std::make_shared<Job>();
@@ -99,7 +99,7 @@ class ThreadPool {
     job->grain = grain;
     job->num_chunks = chunks;
     {
-      std::lock_guard<std::mutex> g(wake_mu_);
+      sync::LockGuard g(wake_mu_);
       job->id = ++job_counter_;
       current_ = job;
     }
@@ -109,17 +109,21 @@ class ThreadPool {
       ScopedParallelFlag flag;
       participate(*job);
     }
+    std::exception_ptr error;
     {
-      std::unique_lock<std::mutex> g(job->mu);
+      sync::UniqueLock g(job->mu);
+      // Lambda predicate is fine here: it reads only atomics, never
+      // guarded state (see sync/mutex.hpp on predicate lambdas).
       job->done_cv.wait(g, [&] {
         return job->done.load(std::memory_order_acquire) == job->num_chunks;
       });
+      error = job->error;
     }
     {
-      std::lock_guard<std::mutex> g(wake_mu_);
+      sync::LockGuard g(wake_mu_);
       if (current_ == job) current_.reset();
     }
-    if (job->error) std::rethrow_exception(job->error);
+    if (error) std::rethrow_exception(error);
   }
 
  private:
@@ -143,23 +147,24 @@ class ThreadPool {
       try {
         (*job.body)(i0, i1);
       } catch (...) {
-        std::lock_guard<std::mutex> g(job.mu);
+        sync::LockGuard g(job.mu);
         if (!job.error) job.error = std::current_exception();
       }
       if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
           job.num_chunks) {
-        std::lock_guard<std::mutex> g(job.mu);
+        sync::LockGuard g(job.mu);
         job.done_cv.notify_all();
       }
     }
   }
 
-  // Callers hold dispatch_mu_.
-  void ensure_workers(std::size_t want) {
+  // Callers hold dispatch_mu_ (BMF_REQUIRES below), which also makes the
+  // workers_.size() fast-path read race-free: every workers_ mutation
+  // happens under dispatch_mu_.
+  void ensure_workers(std::size_t want) BMF_REQUIRES(dispatch_mu_) {
     if (workers_.size() == want) return;
-    std::lock_guard<std::mutex> g(config_mu_);
-    stop_workers_locked();
-    stop_ = false;
+    sync::LockGuard g(config_mu_);
+    stop_workers_locked();  // leaves stop_ == false for the new workers
     workers_.reserve(want);
     for (std::size_t i = 0; i < want; ++i)
       workers_.emplace_back([this] { worker_loop(); });
@@ -171,10 +176,12 @@ class ThreadPool {
     while (true) {
       std::shared_ptr<Job> job;
       {
-        std::unique_lock<std::mutex> g(wake_mu_);
-        wake_cv_.wait(g, [&] {
-          return stop_ || (current_ && current_->id != last_id);
-        });
+        sync::UniqueLock g(wake_mu_);
+        // Explicit loop, not a predicate lambda: stop_ and current_ are
+        // guarded by wake_mu_, and the analysis checks these reads
+        // against the lock held *in this function*.
+        while (!stop_ && (!current_ || current_->id == last_id))
+          wake_cv_.wait(g);
         if (stop_) return;
         job = current_;
         last_id = job->id;
@@ -184,34 +191,37 @@ class ThreadPool {
   }
 
   void stop_workers() {
-    std::lock_guard<std::mutex> dispatch(dispatch_mu_);
-    std::lock_guard<std::mutex> g(config_mu_);
+    sync::LockGuard dispatch(dispatch_mu_);
+    sync::LockGuard g(config_mu_);
     stop_workers_locked();
   }
 
-  // Callers hold config_mu_ (and dispatch_mu_, so no job is in flight).
-  void stop_workers_locked() {
+  // dispatch_mu_ guarantees no job is in flight while workers restart.
+  void stop_workers_locked() BMF_REQUIRES(dispatch_mu_, config_mu_) {
     if (workers_.empty()) return;
     {
-      std::lock_guard<std::mutex> g(wake_mu_);
+      sync::LockGuard g(wake_mu_);
       stop_ = true;
     }
     wake_cv_.notify_all();
     for (std::thread& t : workers_) t.join();
     workers_.clear();
-    stop_ = false;
+    {
+      sync::LockGuard g(wake_mu_);
+      stop_ = false;
+    }
   }
 
-  std::mutex config_mu_;    // guards threads_ and worker lifecycle
-  std::mutex dispatch_mu_;  // serializes jobs
-  std::size_t threads_;
-  std::vector<std::thread> workers_;
+  sync::Mutex config_mu_;    // guards threads_
+  sync::Mutex dispatch_mu_;  // serializes jobs; guards the worker vector
+  std::size_t threads_ BMF_GUARDED_BY(config_mu_);
+  std::vector<std::thread> workers_ BMF_GUARDED_BY(dispatch_mu_);
 
-  std::mutex wake_mu_;  // guards current_/stop_/job_counter_
-  std::condition_variable wake_cv_;
-  std::shared_ptr<Job> current_;
-  std::uint64_t job_counter_ = 0;
-  bool stop_ = false;
+  sync::Mutex wake_mu_;
+  sync::CondVar wake_cv_;
+  std::shared_ptr<Job> current_ BMF_GUARDED_BY(wake_mu_);
+  std::uint64_t job_counter_ BMF_GUARDED_BY(wake_mu_) = 0;
+  bool stop_ BMF_GUARDED_BY(wake_mu_) = false;
 };
 
 }  // namespace

@@ -25,7 +25,6 @@ linalg::Vector BatchEvaluator::evaluate(const basis::PerformanceModel& model,
 void BatchEvaluator::evaluate_into(const basis::PerformanceModel& model,
                                    const linalg::Matrix& points,
                                    linalg::Vector& out) const {
-  const std::size_t b = points.rows();
   const std::size_t r = points.cols();
   if (r != model.basis().dimension())
     throw std::invalid_argument(

@@ -19,6 +19,13 @@
 // rejected the connection at admission before reading the request).
 // Permanent errors — unknown model, malformed request, oversized frame —
 // are never retried.
+//
+// Threading model: a Client is *externally synchronized*. It owns one
+// connection and mutates per-request state (socket, RNG, pipeline queue)
+// without internal locking, so concurrent calls on one Client are a data
+// race by construction. Use one Client per thread (they are cheap — one
+// fd each); the server side handles the concurrency. This is why the
+// capability map in DESIGN.md §11 lists no capabilities for Client.
 #pragma once
 
 #include <chrono>

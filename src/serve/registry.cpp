@@ -16,10 +16,11 @@ std::uint64_t ModelRegistry::publish(const std::string& name,
   entry->name = name;
   entry->model = std::move(model);
 
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::ExclusiveLock lock(mu_);
   Record& record = records_[name];
   entry->version = record.next_version++;
-  record.versions[entry->version] = Slot{entry, ++clock_};
+  record.versions.try_emplace(
+      entry->version, entry, clock_.fetch_add(1, std::memory_order_relaxed) + 1);
   ++entries_;
   evict_locked(entry.get());
   return entry->version;
@@ -27,27 +28,30 @@ std::uint64_t ModelRegistry::publish(const std::string& name,
 
 std::shared_ptr<const ModelEntry> ModelRegistry::latest(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::SharedLock lock(mu_);
   auto it = records_.find(name);
   if (it == records_.end() || it->second.versions.empty()) return nullptr;
   Slot& slot = it->second.versions.rbegin()->second;
-  slot.last_used = ++clock_;
+  slot.last_used.store(clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+                       std::memory_order_relaxed);
   return slot.entry;
 }
 
 std::shared_ptr<const ModelEntry> ModelRegistry::at(
     const std::string& name, std::uint64_t version) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::SharedLock lock(mu_);
   auto it = records_.find(name);
   if (it == records_.end()) return nullptr;
   auto vit = it->second.versions.find(version);
   if (vit == it->second.versions.end()) return nullptr;
-  vit->second.last_used = ++clock_;
+  vit->second.last_used.store(
+      clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+      std::memory_order_relaxed);
   return vit->second.entry;
 }
 
 std::vector<ModelInfo> ModelRegistry::list() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::SharedLock lock(mu_);
   std::vector<ModelInfo> rows;
   rows.reserve(records_.size());
   for (const auto& [name, record] : records_) {
@@ -65,7 +69,7 @@ std::vector<ModelInfo> ModelRegistry::list() const {
 }
 
 std::size_t ModelRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  sync::SharedLock lock(mu_);
   return entries_;
 }
 
@@ -79,8 +83,10 @@ void ModelRegistry::evict_locked(const ModelEntry* spare) {
       for (auto vit = rit->second.versions.begin();
            vit != rit->second.versions.end(); ++vit) {
         if (vit->second.entry.get() == spare) continue;
-        if (!found || vit->second.last_used < oldest) {
-          oldest = vit->second.last_used;
+        const std::uint64_t used =
+            vit->second.last_used.load(std::memory_order_relaxed);
+        if (!found || used < oldest) {
+          oldest = used;
           victim_record = rit;
           victim_slot = vit;
           found = true;

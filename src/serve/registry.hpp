@@ -4,10 +4,12 @@
 // version for that name (1, 2, 3, ... — never reused, even after eviction)
 // and installs an immutable, refcounted ModelEntry. Readers resolve a name
 // (latest) or an exact (name, version) to a shared_ptr<const ModelEntry>
-// under a short critical section; evaluation then proceeds entirely on the
-// snapshot, so a concurrent publish hot-swaps the "latest" pointer without
-// ever invalidating an in-flight evaluation — an evicted or superseded
-// entry dies only when its last reader drops it.
+// under a short *shared* lock (writers — publish and its eviction — take
+// the lock exclusive, so concurrent resolves never serialize on each
+// other); evaluation then proceeds entirely on the snapshot, so a
+// concurrent publish hot-swaps the "latest" pointer without ever
+// invalidating an in-flight evaluation — an evicted or superseded entry
+// dies only when its last reader drops it.
 //
 // Memory bound: the registry retains at most `capacity` entries across all
 // names. On overflow the least-recently-*used* entry (resolved or
@@ -17,14 +19,15 @@
 // monotonicity of published versions.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "serve/fitted_model.hpp"
+#include "sync/mutex.hpp"
 
 namespace bmf::serve {
 
@@ -73,24 +76,32 @@ class ModelRegistry {
 
  private:
   struct Slot {
+    Slot(std::shared_ptr<const ModelEntry> e, std::uint64_t stamp)
+        : entry(std::move(e)), last_used(stamp) {}
     std::shared_ptr<const ModelEntry> entry;
-    std::uint64_t last_used = 0;  // LRU clock stamp
+    /// LRU clock stamp. Atomic so resolve paths (latest/at) can stamp it
+    /// under a *shared* lock — the map structure is read-only there, and
+    /// concurrent resolves of the same slot race only on this counter.
+    std::atomic<std::uint64_t> last_used;
   };
   struct Record {
     std::uint64_t next_version = 1;  // survives eviction: versions never reuse
     std::map<std::uint64_t, Slot> versions;
   };
 
-  /// Drop LRU entries until size <= capacity, sparing `spare`. Caller holds
-  /// mu_.
-  void evict_locked(const ModelEntry* spare);
+  /// Drop LRU entries until size <= capacity, sparing `spare`.
+  void evict_locked(const ModelEntry* spare) BMF_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
+  /// Reader/writer capability (DESIGN.md §11): publish/evict take it
+  /// exclusive; latest/at/list/size — the serving hot path, hit once per
+  /// evaluate — take it shared and run concurrently across workers.
+  mutable sync::SharedMutex mu_;
   std::size_t capacity_;
-  mutable std::uint64_t clock_ = 0;
+  /// LRU clock. Atomic (not guarded): shared-lock readers advance it.
+  mutable std::atomic<std::uint64_t> clock_{0};
   // mutable: latest()/at() are logically const lookups but stamp last_used.
-  mutable std::map<std::string, Record> records_;
-  std::size_t entries_ = 0;
+  mutable std::map<std::string, Record> records_ BMF_GUARDED_BY(mu_);
+  std::size_t entries_ BMF_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace bmf::serve

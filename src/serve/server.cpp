@@ -7,11 +7,9 @@
 #include <cerrno>
 #include <chrono>
 #include <cmath>
-#include <condition_variable>
 #include <deque>
 #include <exception>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <utility>
@@ -22,6 +20,7 @@
 #include "serve/connection.hpp"
 #include "serve/model_codec.hpp"
 #include "serve/protocol.hpp"
+#include "sync/mutex.hpp"
 
 namespace bmf::serve {
 
@@ -157,11 +156,14 @@ class EventLoop {
   std::uint64_t next_tag_ = kConnTagBase;
   bool draining_ = false;
 
-  std::mutex jobs_mu_;
-  std::condition_variable jobs_cv_;
-  std::deque<Job> jobs_;
-  std::mutex done_mu_;
-  std::deque<Completion> done_;
+  /// The two hand-off points between the loop thread and the worker pool
+  /// (DESIGN.md §11). Lock order: jobs_mu_ and done_mu_ are never held
+  /// together — each critical section touches exactly one queue.
+  sync::Mutex jobs_mu_;
+  sync::CondVar jobs_cv_;
+  std::deque<Job> jobs_ BMF_GUARDED_BY(jobs_mu_);
+  sync::Mutex done_mu_;
+  std::deque<Completion> done_ BMF_GUARDED_BY(done_mu_);
   /// Jobs handed to the pool whose completions the loop has not yet
   /// applied. Loop-thread only (incremented at enqueue, decremented when
   /// the completion — or a drain-time steal — is applied).
@@ -233,12 +235,16 @@ void EventLoop::worker_body() {
   for (;;) {
     Job job;
     {
-      std::unique_lock<std::mutex> lk(jobs_mu_);
+      sync::UniqueLock lk(jobs_mu_);
       // Timed wait: request_stop() deliberately does not notify (it must
       // stay async-signal-safe), so the flag is re-checked on this tick.
-      jobs_cv_.wait_for(lk, std::chrono::milliseconds(kLoopTickMs), [this] {
-        return server_.stop_requested() || !jobs_.empty();
-      });
+      // Written as an explicit loop, not a predicate lambda: jobs_ is
+      // guarded by jobs_mu_, and the analysis checks the read against the
+      // lock held in *this* function (see sync/mutex.hpp).
+      const auto tick = Clock::now() + std::chrono::milliseconds(kLoopTickMs);
+      while (!server_.stop_requested() && jobs_.empty()) {
+        if (jobs_cv_.wait_until(lk, tick) == std::cv_status::timeout) break;
+      }
       if (jobs_.empty()) {
         if (server_.stop_requested()) return;
         continue;
@@ -251,7 +257,7 @@ void EventLoop::worker_body() {
     done.seq = job.seq;
     done.result = server_.execute_request(job.frame.data(), job.frame.size());
     {
-      std::lock_guard<std::mutex> lk(done_mu_);
+      sync::LockGuard lk(done_mu_);
       done_.push_back(std::move(done));
     }
     wakeup_.signal();
@@ -330,7 +336,8 @@ bool EventLoop::drain_reads(Conn& c) {
         break;
       }
       if (errno == EINTR) continue;
-      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      // EWOULDBLOCK is EAGAIN on Linux (the only platform: epoll/eventfd).
+      if (errno == EAGAIN) break;
       return false;  // ECONNRESET and friends: transport is gone
     }
   } catch (const ServeError& e) {
@@ -377,7 +384,8 @@ bool EventLoop::try_flush(Conn& c) {
       continue;
     }
     if (errno == EINTR) continue;
-    if (errno == EAGAIN || errno == EWOULDBLOCK)
+    // EWOULDBLOCK is EAGAIN on Linux (the only platform: epoll/eventfd).
+    if (errno == EAGAIN)
       return true;  // kernel buffer full: EPOLLOUT re-arms via settle
     return false;  // EPIPE/ECONNRESET: peer gone
   }
@@ -462,7 +470,7 @@ void EventLoop::apply_completion(Completion done) {
 void EventLoop::process_completions() {
   std::deque<Completion> batch;
   {
-    std::lock_guard<std::mutex> lk(done_mu_);
+    sync::LockGuard lk(done_mu_);
     batch.swap(done_);
   }
   for (Completion& done : batch) apply_completion(std::move(done));
@@ -490,7 +498,7 @@ void EventLoop::dispatch_ready() {
   }
 
   {
-    std::lock_guard<std::mutex> lk(jobs_mu_);
+    sync::LockGuard lk(jobs_mu_);
     for (const std::uint64_t tag : ready_scratch_) {
       Conn& c = conns_.find(tag)->second;
       Job job;
@@ -532,7 +540,7 @@ void EventLoop::steal_queued_jobs() {
   for (;;) {
     Job job;
     {
-      std::lock_guard<std::mutex> lk(jobs_mu_);
+      sync::LockGuard lk(jobs_mu_);
       if (jobs_.empty()) return;
       job = std::move(jobs_.front());
       jobs_.pop_front();

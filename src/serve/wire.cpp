@@ -387,8 +387,8 @@ std::optional<UniqueFd> accept_pending(int listen_fd) {
   for (;;) {
     const int fd = fault::sys_accept(listen_fd);
     if (fd >= 0) return UniqueFd(fd);
-    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNABORTED)
-      return std::nullopt;
+    // EWOULDBLOCK is EAGAIN on Linux (the only platform: epoll/eventfd).
+    if (errno == EAGAIN || errno == ECONNABORTED) return std::nullopt;
     if (errno != EINTR) sys_fail(context, "accept");
   }
 }

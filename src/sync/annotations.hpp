@@ -1,0 +1,108 @@
+// Clang Thread Safety Analysis attribute macros (BMF_ spelling).
+//
+// Mirrors the src/check contract-layer idiom: under clang every macro
+// expands to the matching capability attribute, so -Wthread-safety proves
+// locking invariants (which mutex guards which field, which methods
+// require or exclude a lock, lock pairing in scoped guards) at compile
+// time for every build and every path — including paths no test reaches.
+// Under any other compiler every macro expands to nothing, and the
+// sync:: primitives in mutex.hpp collapse to plain std:: types, so the
+// annotation layer is exactly zero-cost where it cannot be checked.
+//
+// The macros are the only way attributes enter the codebase: annotate
+// with BMF_GUARDED_BY(mu) / BMF_REQUIRES(mu) / ... — never with raw
+// __attribute__ spellings — so the GCC build stays attribute-free and the
+// negative-compile harness (scripts/negative_compile.sh) exercises the
+// exact macros production code uses.
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+#pragma once
+
+// BMF_SYNC_ANNOTATED is 1 when the compiler understands capability
+// attributes (clang), 0 otherwise. tests/sync_test.cpp keys its
+// zero-cost assertions on it.
+#if defined(__clang__) && !defined(SWIG) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define BMF_SYNC_ANNOTATED 1
+#endif
+#endif
+#ifndef BMF_SYNC_ANNOTATED
+#define BMF_SYNC_ANNOTATED 0
+#endif
+
+#if BMF_SYNC_ANNOTATED
+#define BMF_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define BMF_THREAD_ANNOTATION(x)  // expands to nothing: plain std:: types
+#endif
+
+/// Class attribute: the type is a lockable capability ("mutex").
+#define BMF_CAPABILITY(x) BMF_THREAD_ANNOTATION(capability(x))
+
+/// Class attribute: RAII object that acquires on construction and
+/// releases on destruction (LockGuard, UniqueLock, SharedLock, ...).
+#define BMF_SCOPED_CAPABILITY BMF_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field attribute: reads require the capability held (shared suffices),
+/// writes require it held exclusively.
+#define BMF_GUARDED_BY(x) BMF_THREAD_ANNOTATION(guarded_by(x))
+
+/// Field attribute: the *pointee* of this pointer is guarded by x.
+#define BMF_PT_GUARDED_BY(x) BMF_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function attribute: caller must hold the capability exclusively.
+#define BMF_REQUIRES(...) \
+  BMF_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function attribute: caller must hold the capability at least shared.
+#define BMF_REQUIRES_SHARED(...) \
+  BMF_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function attribute: acquires the capability exclusively (not held on
+/// entry, held on exit).
+#define BMF_ACQUIRE(...) \
+  BMF_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function attribute: acquires the capability shared.
+#define BMF_ACQUIRE_SHARED(...) \
+  BMF_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function attribute: releases the (exclusively held) capability.
+#define BMF_RELEASE(...) \
+  BMF_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function attribute: releases the shared-held capability.
+#define BMF_RELEASE_SHARED(...) \
+  BMF_THREAD_ANNOTATION(release_shared_capability(__VA_ARGS__))
+
+/// Function attribute: releases a capability held in either mode.
+#define BMF_RELEASE_GENERIC(...) \
+  BMF_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+
+/// Function attribute: acquires the capability iff the return value
+/// equals `ret` (try_lock).
+#define BMF_TRY_ACQUIRE(...) \
+  BMF_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+#define BMF_TRY_ACQUIRE_SHARED(...) \
+  BMF_THREAD_ANNOTATION(try_acquire_shared_capability(__VA_ARGS__))
+
+/// Function attribute: caller must NOT hold the capability (deadlock
+/// guard for self-locking entry points).
+#define BMF_EXCLUDES(...) BMF_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function attribute: runtime assertion that the capability is held
+/// (adds it to the static lock set without an acquire).
+#define BMF_ASSERT_CAPABILITY(x) \
+  BMF_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function attribute: the function returns a reference to the named
+/// capability (accessor pattern).
+#define BMF_RETURN_CAPABILITY(x) BMF_THREAD_ANNOTATION(lock_returned(x))
+
+/// Function attribute: opt this function out of the analysis. Every use
+/// must carry a comment explaining why the invariant cannot be expressed
+/// (the analysis is deliberately conservative; silent opt-outs are how
+/// gates rot).
+#define BMF_NO_THREAD_SAFETY_ANALYSIS \
+  BMF_THREAD_ANNOTATION(no_thread_safety_analysis)

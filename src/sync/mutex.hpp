@@ -1,0 +1,226 @@
+// Annotated synchronization primitives: the only locking surface in the
+// repo (scripts/lint.sh rule 9 forbids raw std::mutex / std::lock_guard /
+// std::condition_variable outside this directory).
+//
+// Two personalities, one API:
+//
+//   clang  — thin wrappers over the std:: types carrying Clang Thread
+//            Safety Analysis capability attributes, so -Wthread-safety
+//            (wired into CMake for clang builds, enforced by ci.sh) proves
+//            every BMF_GUARDED_BY / BMF_REQUIRES invariant at compile
+//            time. The wrappers hold exactly one std:: object and every
+//            method is an inline forward: same size, same code.
+//
+//   other  — type aliases straight onto the std:: primitives. Nothing is
+//            wrapped, nothing is virtual, nothing is added: sync::Mutex
+//            *is* std::mutex (tests/sync_test.cpp asserts this), so the
+//            annotation layer is provably zero-cost where it cannot be
+//            checked — the same contract as src/check in Release builds.
+//
+// Call-site rules the analysis imposes (see DESIGN.md §11):
+//   - Guarded state is declared `T field BMF_GUARDED_BY(mu_);` and only
+//     touched with the lock held (LockGuard/UniqueLock scope, or inside a
+//     BMF_REQUIRES(mu_) method).
+//   - Condition-variable predicates that read guarded fields must be
+//     written as explicit `while (!cond) cv.wait(lk);` loops in the
+//     function that holds the lock. A predicate *lambda* is analyzed as a
+//     separate function with an empty lock set, so guarded reads inside
+//     it would (correctly) fail the analysis. Lambda predicates are fine
+//     when they read only atomics.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "sync/annotations.hpp"
+
+namespace bmf::sync {
+
+#if BMF_SYNC_ANNOTATED
+
+/// Exclusive mutex (std::mutex) carrying the "mutex" capability.
+class BMF_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() BMF_ACQUIRE() { mu_.lock(); }
+  void unlock() BMF_RELEASE() { mu_.unlock(); }
+  bool try_lock() BMF_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// The wrapped std::mutex — for CondVar's adopt-and-wait only. Code
+  /// outside this header has no business calling it (and lint rule 9
+  /// keeps std::unique_lock out of reach anyway).
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Reader/writer mutex (std::shared_mutex): exclusive for writers,
+/// shared for readers. BMF_REQUIRES_SHARED methods may run under either.
+class BMF_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() BMF_ACQUIRE() { mu_.lock(); }
+  void unlock() BMF_RELEASE() { mu_.unlock(); }
+  bool try_lock() BMF_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  void lock_shared() BMF_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void unlock_shared() BMF_RELEASE_SHARED() { mu_.unlock_shared(); }
+  bool try_lock_shared() BMF_TRY_ACQUIRE_SHARED(true) {
+    return mu_.try_lock_shared();
+  }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// Scoped exclusive lock on a Mutex (std::lock_guard shape: not movable,
+/// not manually unlockable — use UniqueLock for that).
+class BMF_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& mu) BMF_ACQUIRE(mu) : mu_(mu) { mu.lock(); }
+  ~LockGuard() BMF_RELEASE() { mu_.unlock(); }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Scoped exclusive lock on a Mutex that supports manual unlock/relock
+/// and is the handle CondVar waits on (std::unique_lock shape).
+class BMF_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) BMF_ACQUIRE(mu) : mu_(mu), owned_(true) {
+    mu.lock();
+  }
+  ~UniqueLock() BMF_RELEASE() {
+    if (owned_) mu_.unlock();
+  }
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock() BMF_ACQUIRE() {
+    mu_.lock();
+    owned_ = true;
+  }
+  void unlock() BMF_RELEASE() {
+    mu_.unlock();
+    owned_ = false;
+  }
+  bool owns_lock() const noexcept { return owned_; }
+
+ private:
+  friend class CondVar;
+  Mutex& mu_;
+  bool owned_;
+};
+
+/// Scoped shared (reader) lock on a SharedMutex.
+class BMF_SCOPED_CAPABILITY SharedLock {
+ public:
+  explicit SharedLock(SharedMutex& mu) BMF_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu.lock_shared();
+  }
+  // RELEASE_GENERIC: the scope holds the capability in shared mode; the
+  // generic form releases whatever mode the scope tracked.
+  ~SharedLock() BMF_RELEASE_GENERIC() { mu_.unlock_shared(); }
+  SharedLock(const SharedLock&) = delete;
+  SharedLock& operator=(const SharedLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Scoped exclusive (writer) lock on a SharedMutex.
+class BMF_SCOPED_CAPABILITY ExclusiveLock {
+ public:
+  explicit ExclusiveLock(SharedMutex& mu) BMF_ACQUIRE(mu) : mu_(mu) {
+    mu.lock();
+  }
+  ~ExclusiveLock() BMF_RELEASE() { mu_.unlock(); }
+  ExclusiveLock(const ExclusiveLock&) = delete;
+  ExclusiveLock& operator=(const ExclusiveLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// Condition variable over Mutex/UniqueLock (std::condition_variable
+/// surface: wait/wait_for/wait_until, optional predicate overloads).
+///
+/// The waits carry no annotations: the caller keeps holding the
+/// capability through its UniqueLock for the whole call, and the
+/// release/reacquire inside the wait is invisible to (and sound for) the
+/// analysis. Predicates that read guarded state must be explicit while
+/// loops at the call site — see the header comment.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  void wait(UniqueLock& lk) {
+    std::unique_lock<std::mutex> native(lk.mu_.native(), std::adopt_lock);
+    cv_.wait(native);
+    native.release();  // ownership stays with lk
+  }
+
+  template <typename Pred>
+  void wait(UniqueLock& lk, Pred pred) {
+    while (!pred()) wait(lk);
+  }
+
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(
+      UniqueLock& lk, const std::chrono::time_point<Clock, Duration>& tp) {
+    std::unique_lock<std::mutex> native(lk.mu_.native(), std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(native, tp);
+    native.release();
+    return status;
+  }
+
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(UniqueLock& lk,
+                          const std::chrono::duration<Rep, Period>& d) {
+    return wait_until(lk, std::chrono::steady_clock::now() + d);
+  }
+
+  template <typename Rep, typename Period, typename Pred>
+  bool wait_for(UniqueLock& lk, const std::chrono::duration<Rep, Period>& d,
+                Pred pred) {
+    const auto deadline = std::chrono::steady_clock::now() + d;
+    while (!pred()) {
+      if (wait_until(lk, deadline) == std::cv_status::timeout) return pred();
+    }
+    return true;
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+#else  // !BMF_SYNC_ANNOTATED — the primitives ARE the std:: types.
+
+using Mutex = std::mutex;
+using SharedMutex = std::shared_mutex;
+using CondVar = std::condition_variable;
+using LockGuard = std::lock_guard<std::mutex>;
+using UniqueLock = std::unique_lock<std::mutex>;
+using SharedLock = std::shared_lock<std::shared_mutex>;
+using ExclusiveLock = std::lock_guard<std::shared_mutex>;
+
+#endif  // BMF_SYNC_ANNOTATED
+
+}  // namespace bmf::sync

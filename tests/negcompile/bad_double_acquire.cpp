@@ -1,0 +1,27 @@
+// EXPECT-DIAGNOSTIC: is already held
+// Acquiring a non-recursive mutex twice on one thread: undefined
+// behaviour at runtime (deadlock in practice), rejected statically here.
+#include "sync/mutex.hpp"
+
+namespace {
+
+class Widget {
+ public:
+  int snapshot() {
+    bmf::sync::LockGuard outer(mu_);
+    // BUG: mu_ is not recursive; this self-deadlocks.
+    bmf::sync::LockGuard inner(mu_);
+    return value_;
+  }
+
+ private:
+  bmf::sync::Mutex mu_;
+  int value_ BMF_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int negcompile_bad_main() {
+  Widget w;
+  return w.snapshot();
+}

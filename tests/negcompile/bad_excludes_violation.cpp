@@ -1,0 +1,35 @@
+// EXPECT-DIAGNOSTIC: while mutex 'mu_' is held
+// Calling a BMF_EXCLUDES(mu_) function with mu_ held: the callee takes
+// mu_ itself, so this self-deadlocks (the locked-wrapper-calls-public-API
+// bug, e.g. a registry method calling size() under its own lock).
+#include "sync/mutex.hpp"
+
+namespace {
+
+class Ledger {
+ public:
+  int total() BMF_EXCLUDES(mu_) {
+    bmf::sync::LockGuard lk(mu_);
+    return sum_;
+  }
+
+  void add(int v) {
+    bmf::sync::LockGuard lk(mu_);
+    sum_ += v;
+    // BUG: total() re-acquires mu_; calling it here deadlocks.
+    last_total_ = total();
+  }
+
+ private:
+  bmf::sync::Mutex mu_;
+  int sum_ BMF_GUARDED_BY(mu_) = 0;
+  int last_total_ BMF_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int negcompile_bad_main() {
+  Ledger l;
+  l.add(3);
+  return l.total();
+}

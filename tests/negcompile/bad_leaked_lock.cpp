@@ -1,0 +1,29 @@
+// EXPECT-DIAGNOSTIC: still held at the end of function
+// A manual lock() with a return path that never unlocks: every later
+// waiter deadlocks. Scoped guards make this impossible; the analysis
+// catches the cases that bypass them.
+#include "sync/mutex.hpp"
+
+namespace {
+
+class Gate {
+ public:
+  bool enter(bool ok) {
+    mu_.lock();
+    if (!ok) return false;  // BUG: early return leaks mu_
+    ++entries_;
+    mu_.unlock();
+    return true;
+  }
+
+ private:
+  bmf::sync::Mutex mu_;
+  int entries_ BMF_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int negcompile_bad_main() {
+  Gate g;
+  return g.enter(false) ? 0 : 1;
+}

@@ -1,0 +1,27 @@
+// EXPECT-DIAGNOSTIC: requires holding mutex 'mu_'
+// Calling a BMF_REQUIRES(mu_) function without holding mu_ — the
+// "forgot the lock around the _locked helper" bug (cf. ModelRegistry::
+// evict_locked, which is only ever called under the exclusive lock).
+#include "sync/mutex.hpp"
+
+namespace {
+
+class Store {
+ public:
+  void clear_locked() BMF_REQUIRES(mu_) { value_ = 0; }
+
+  // BUG: calls the _locked helper without taking mu_ first.
+  void reset() { clear_locked(); }
+
+ private:
+  bmf::sync::Mutex mu_;
+  int value_ BMF_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int negcompile_bad_main() {
+  Store s;
+  s.reset();
+  return 0;
+}

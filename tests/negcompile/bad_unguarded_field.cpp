@@ -1,0 +1,29 @@
+// EXPECT-DIAGNOSTIC: requires holding mutex 'mu_'
+// A BMF_GUARDED_BY field read without its mutex: the canonical data race
+// the sync layer exists to reject at compile time.
+#include "sync/mutex.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void bump() {
+    bmf::sync::LockGuard lk(mu_);
+    ++value_;
+  }
+
+  // BUG: reads value_ with mu_ not held.
+  int peek() const { return value_; }
+
+ private:
+  mutable bmf::sync::Mutex mu_;
+  int value_ BMF_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int negcompile_bad_main() {
+  Counter c;
+  c.bump();
+  return c.peek();
+}

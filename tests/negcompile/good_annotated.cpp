@@ -1,0 +1,70 @@
+// Positive control for scripts/negative_compile.sh: exercises every shape
+// the bad_*.cpp TUs break — guarded fields, REQUIRES/EXCLUDES contracts,
+// scoped locks, shared locking, CondVar waits — written *correctly*. It
+// must compile clean under -Wthread-safety -Werror=thread-safety; if it
+// doesn't, the harness is miscompiling everything and the "bad TU failed"
+// results prove nothing.
+#include <cstddef>
+#include <deque>
+
+#include "sync/mutex.hpp"
+
+namespace {
+
+class Queue {
+ public:
+  void push(int v) {
+    {
+      bmf::sync::LockGuard lk(mu_);
+      items_.push_back(v);
+    }
+    cv_.notify_one();
+  }
+
+  int pop_blocking() {
+    bmf::sync::UniqueLock lk(mu_);
+    while (items_.empty()) cv_.wait(lk);
+    const int v = items_.front();
+    items_.pop_front();
+    return v;
+  }
+
+  std::size_t size_locked() const BMF_REQUIRES(mu_) { return items_.size(); }
+
+  std::size_t size() const BMF_EXCLUDES(mu_) {
+    bmf::sync::LockGuard lk(mu_);
+    return size_locked();
+  }
+
+ private:
+  mutable bmf::sync::Mutex mu_;
+  bmf::sync::CondVar cv_;
+  std::deque<int> items_ BMF_GUARDED_BY(mu_);
+};
+
+class Table {
+ public:
+  int get() const {
+    bmf::sync::SharedLock lk(mu_);
+    return value_;
+  }
+
+  void set(int v) {
+    bmf::sync::ExclusiveLock lk(mu_);
+    value_ = v;
+  }
+
+ private:
+  mutable bmf::sync::SharedMutex mu_;
+  int value_ BMF_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int negcompile_good_main() {
+  Queue q;
+  q.push(1);
+  Table t;
+  t.set(q.pop_blocking());
+  return t.get() + static_cast<int>(q.size());
+}

@@ -61,8 +61,9 @@ TEST(FrameBuffer, ManyFramesInOneFeedDrainInOrder) {
   for (const auto& p : payloads) {
     ASSERT_GT(fb.complete_frames(), 0u);
     ASSERT_EQ(fb.front_size(), p.size());
-    if (!p.empty())
+    if (!p.empty()) {
       EXPECT_EQ(std::memcmp(fb.front_data(), p.data(), p.size()), 0);
+    }
     fb.pop_front();
   }
   EXPECT_EQ(fb.complete_frames(), 0u);
