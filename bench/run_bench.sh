@@ -89,4 +89,4 @@ if [ ! -x "$serve_bin" ]; then
   echo "error: $serve_bin not found after build" >&2
   exit 1
 fi
-"$serve_bin" --out "$build_dir/BENCH_serve.json"
+"$serve_bin" --router --out "$build_dir/BENCH_serve.json"

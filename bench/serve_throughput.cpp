@@ -15,8 +15,14 @@
 // Usage: serve_throughput [--batch 4096] [--dim 24] [--requests 300]
 //                         [--warmup 20] [--workers 4]
 //                         [--connections 1,2,4] [--pipeline 1,8]
-//                         [--transport both|unix|tcp]
+//                         [--transport both|unix|tcp] [--router]
 //                         [--out BENCH_serve.json]
+//
+// --router appends sharded-serving scenarios to the sweep: the same grid
+// through a bmf_router fronting one in-process shard ("router1": the
+// price of the extra proxy hop at equal pipeline depth) and three shards
+// ("router3": per-connection model names pinned to distinct shards, so
+// aggregate throughput measures horizontal scaling past one daemon).
 //
 // Writes a flat JSON object (not google-benchmark format: the interesting
 // numbers here are end-to-end request statistics, which gbench's
@@ -42,6 +48,7 @@
 #include "io/args.hpp"
 #include "linalg/kernels/kernels.hpp"
 #include "parallel/thread_pool.hpp"
+#include "router/router.hpp"
 #include "serve/client.hpp"
 #include "serve/server.hpp"
 #include "stats/rng.hpp"
@@ -80,13 +87,16 @@ struct ScenarioResult {
 
 /// One sweep point: `connections` clients on `endpoint`, each issuing its
 /// share of `requests` evaluate requests with `depth` frames in flight.
-/// Request latency is wall time per request; for pipelined windows it is
-/// the window time amortized over its requests.
+/// Connection c addresses names[c % names.size()] — a single name for the
+/// direct sweep, one name per shard for the router sweep so the load
+/// actually spreads. Request latency is wall time per request; for
+/// pipelined windows it is the window time amortized over its requests.
 ScenarioResult run_scenario(const std::string& endpoint,
                             const std::string& transport,
                             std::size_t connections, std::size_t depth,
                             const bmf::linalg::Matrix& points,
-                            std::size_t requests, std::size_t warmup) {
+                            std::size_t requests, std::size_t warmup,
+                            const std::vector<std::string>& names) {
   const std::size_t per_conn = std::max<std::size_t>(requests / connections, depth);
   const std::size_t windows = std::max<std::size_t>(per_conn / depth, 1);
 
@@ -97,18 +107,19 @@ ScenarioResult run_scenario(const std::string& endpoint,
   for (std::size_t c = 0; c < connections; ++c) {
     threads.emplace_back([&, c] {
       bmf::serve::Client client(endpoint, /*timeout_ms=*/30000);
+      const std::string& name = names[c % names.size()];
       const std::vector<bmf::linalg::Matrix> window(depth, points);
       for (std::size_t i = 0; i < warmup; ++i)
-        (void)client.evaluate("bench", points);
+        (void)client.evaluate(name, points);
       gate.arrive_and_wait();  // all connections warm before the clock
       auto& lat = latencies[c];
       lat.reserve(windows * depth);
       for (std::size_t w = 0; w < windows; ++w) {
         const auto r0 = Clock::now();
         if (depth == 1) {
-          (void)client.evaluate("bench", points);
+          (void)client.evaluate(name, points);
         } else {
-          (void)client.evaluate_pipeline("bench", window, 0, depth);
+          (void)client.evaluate_pipeline(name, window, 0, depth);
         }
         const auto r1 = Clock::now();
         const double us =
@@ -158,6 +169,7 @@ int main(int argc, char** argv) {
   const std::vector<std::size_t> depths =
       parse_list(args.get("pipeline", "1,8"));
   const std::string transport = args.get("transport", "both");
+  const bool with_router = args.flag("router");
   const std::string out_path = args.get("out", "");
 
   const char* tmpdir = std::getenv("TMPDIR");
@@ -219,11 +231,13 @@ int main(int argc, char** argv) {
     if (transport == "both" || transport == "unix")
       endpoints.emplace_back("unix", socket_path);
     if (!tcp_endpoint.empty()) endpoints.emplace_back("tcp", tcp_endpoint);
+    const std::vector<std::string> direct_names{"bench"};
     for (const auto& [name, endpoint] : endpoints)
       for (std::size_t conns : connection_counts)
         for (std::size_t depth : depths) {
           scenarios.push_back(run_scenario(endpoint, name, conns, depth,
-                                           points, requests, warmup));
+                                           points, requests, warmup,
+                                           direct_names));
           const auto& s = scenarios.back();
           std::fprintf(stderr,
                        "  %-4s conns=%zu depth=%zu  %.0f evals/s  "
@@ -231,6 +245,76 @@ int main(int argc, char** argv) {
                        s.transport.c_str(), s.connections, s.pipeline,
                        s.evals_per_sec, s.p50_us, s.p99_us);
         }
+
+    // Sharded-serving sweep: the same grid through a bmf_router fronting
+    // `shards` fresh in-process daemons over UNIX sockets. replicas=1 —
+    // this measures routing throughput, not durability.
+    const auto run_router_sweep = [&](std::size_t shards,
+                                      const std::string& label) {
+      std::vector<std::unique_ptr<serve::Server>> shard_servers;
+      std::vector<std::thread> shard_threads;
+      router::RouterOptions ropt;
+      for (std::size_t i = 0; i < shards; ++i) {
+        serve::ServerOptions so;
+        so.socket_path =
+            socket_path + "." + label + "." + std::to_string(i);
+        so.request_timeout_ms = 30000;
+        so.worker_threads = workers;
+        so.max_connections = 64;
+        ropt.backends.push_back("unix:" + so.socket_path);
+        shard_servers.push_back(
+            std::make_unique<serve::Server>(std::move(so)));
+      }
+      for (auto& s : shard_servers)
+        shard_threads.emplace_back([&s] { s->run(); });
+      ropt.socket_path = socket_path + "." + label;
+      ropt.replicas = 1;
+      ropt.request_timeout_ms = 30000;
+      ropt.backend_timeout_ms = 30000;
+      ropt.max_connections = 64;
+      router::Router router(ropt);
+      std::thread router_thread([&router] { router.run(); });
+
+      // One model name per shard, found by probing the ring, so that
+      // connection c's traffic lands on shard c % shards.
+      std::vector<std::string> names(shards);
+      std::vector<bool> covered(shards, false);
+      for (std::size_t k = 0, found = 0; found < shards; ++k) {
+        const std::string candidate = "bench_" + std::to_string(k);
+        const std::size_t primary = router.ring().primary(candidate);
+        if (covered[primary]) continue;
+        covered[primary] = true;
+        names[primary] = candidate;
+        ++found;
+      }
+      {
+        serve::Client rc(ropt.socket_path, /*timeout_ms=*/30000);
+        for (const std::string& n : names) rc.publish(n, fitted);
+      }
+      for (std::size_t conns : connection_counts)
+        for (std::size_t depth : depths) {
+          scenarios.push_back(run_scenario(ropt.socket_path, label, conns,
+                                           depth, points, requests, warmup,
+                                           names));
+          const auto& s = scenarios.back();
+          std::fprintf(stderr,
+                       "  %-7s conns=%zu depth=%zu  %.0f evals/s  "
+                       "p50=%.0fus p99=%.0fus\n",
+                       s.transport.c_str(), s.connections, s.pipeline,
+                       s.evals_per_sec, s.p50_us, s.p99_us);
+        }
+      router.request_stop();
+      router_thread.join();
+      for (auto& s : shard_servers) s->request_stop();
+      for (auto& t : shard_threads) t.join();
+      std::remove(ropt.socket_path.c_str());
+      for (const std::string& spec : ropt.backends)
+        std::remove(spec.substr(5).c_str());
+    };
+    if (with_router) {
+      run_router_sweep(1, "router1");
+      run_router_sweep(3, "router3");
+    }
 
     // Determinism gate: the served values must not depend on the server's
     // thread count.

@@ -40,6 +40,10 @@
 #      proves the daemon/client binaries work end to end, not just the
 #      library they link. Repeated over TCP loopback (ephemeral port via
 #      --tcp-announce, pipelined eval) when the sandbox allows it.
+#   9. Sharded serving smoke test: three bmf_served shards behind one
+#      bmf_router (--replicas 2), driven with the ordinary bmf_client —
+#      publish replicates, evict converges, and killing one shard
+#      mid-service must not change a single predicted byte (failover).
 #
 # Usage: ci.sh [jobs]   (default: all cores)
 set -eu
@@ -104,6 +108,10 @@ for seed in 1 7 42; do
     echo "-- chaos seed $seed over $transport --"
     BMF_CHAOS_SEED="$seed" BMF_CHAOS_TRANSPORT="$transport" \
         "$src_dir/build-ci-checked/tests/serve_chaos_test"
+    echo "-- router chaos seed $seed over $transport --"
+    BMF_CHAOS_SEED="$seed" BMF_CHAOS_TRANSPORT="$transport" \
+        "$src_dir/build-ci-checked/tests/router_test" \
+        --gtest_filter='RouterChaos.*'
   done
   BMF_CHAOS_SEED="$seed" \
       "$src_dir/build-ci-checked/tests/serve_wire_fault_test"
@@ -113,13 +121,16 @@ echo "== ThreadSanitizer: concurrent serving stack =="
 cmake -S "$src_dir" -B "$src_dir/build-ci-tsan" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo -DBMF_SANITIZE=thread
 cmake --build "$src_dir/build-ci-tsan" -j "$jobs" \
-      --target serve_server_test serve_pipeline_test serve_chaos_test
+      --target serve_server_test serve_pipeline_test serve_chaos_test \
+               router_test
 "$src_dir/build-ci-tsan/tests/serve_server_test"
 "$src_dir/build-ci-tsan/tests/serve_pipeline_test"
 for transport in $transports; do
   echo "-- TSan chaos over $transport --"
   BMF_CHAOS_TRANSPORT="$transport" \
       "$src_dir/build-ci-tsan/tests/serve_chaos_test"
+  echo "-- TSan router over $transport --"
+  BMF_CHAOS_TRANSPORT="$transport" "$src_dir/build-ci-tsan/tests/router_test"
 done
 
 echo "== Benchmark smoke run =="
@@ -200,6 +211,47 @@ if [ "$tcp_rc" -eq 0 ]; then
     echo "error: TCP smoke predictions were '$predictions', expected '1.5 3 '" >&2
     exit 1
   fi
+fi
+
+echo "== Sharded serving smoke test (router) =="
+shard_pids=""
+for i in 1 2 3; do
+  "$src_dir/build-ci-release/bin/bmf_served" \
+      --socket "$serve_tmp/shard$i.sock" --quiet &
+  shard_pids="$shard_pids $!"
+done
+"$src_dir/build-ci-release/bin/bmf_router" --socket "$serve_tmp/router.sock" \
+    --backend "unix:$serve_tmp/shard1.sock" \
+    --backend "unix:$serve_tmp/shard2.sock" \
+    --backend "unix:$serve_tmp/shard3.sock" \
+    --replicas 2 --quiet &
+router_pid=$!
+"$client" --socket "$serve_tmp/router.sock" ping
+"$client" --socket "$serve_tmp/router.sock" publish smoke \
+    "$serve_tmp/model.bmfmodel"
+"$client" --socket "$serve_tmp/router.sock" stats > /dev/null
+"$client" --socket "$serve_tmp/router.sock" evict smoke
+if "$client" --socket "$serve_tmp/router.sock" list | grep -q smoke; then
+  echo "error: evict through the router did not converge" >&2
+  exit 1
+fi
+"$client" --socket "$serve_tmp/router.sock" publish smoke \
+    "$serve_tmp/model.bmfmodel"
+# Kill one shard mid-service: with --replicas 2 every model survives any
+# single death, so the predictions must be byte-identical to the direct
+# smoke run above regardless of which shard owned them.
+kill "${shard_pids##* }"
+"$client" --socket "$serve_tmp/router.sock" eval smoke \
+    "$serve_tmp/points.csv" > "$serve_tmp/pred_router.txt"
+"$client" --socket "$serve_tmp/router.sock" shutdown
+wait "$router_pid"
+for pid in $shard_pids; do
+  kill "$pid" 2> /dev/null || true
+done
+predictions="$(tr '\n' ' ' < "$serve_tmp/pred_router.txt")"
+if [ "$predictions" != "1.5 3 " ]; then
+  echo "error: router smoke predictions were '$predictions', expected '1.5 3 '" >&2
+  exit 1
 fi
 
 echo "== CI passed =="

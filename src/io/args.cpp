@@ -15,15 +15,18 @@ Args::Args(int argc, const char* const* argv) {
     token.erase(0, 2);
     const auto eq = token.find('=');
     if (eq != std::string::npos) {
-      values_[token.substr(0, eq)] = token.substr(eq + 1);
+      std::string key = token.substr(0, eq);
+      std::string value = token.substr(eq + 1);
+      values_[key] = value;
+      ordered_.emplace_back(std::move(key), std::move(value));
       continue;
     }
     // "--key value" unless the next token is another option or missing.
-    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-      values_[token] = argv[++i];
-    } else {
-      values_[token] = "";
-    }
+    std::string value;
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0)
+      value = argv[++i];
+    values_[token] = value;
+    ordered_.emplace_back(std::move(token), std::move(value));
   }
 }
 
@@ -33,6 +36,13 @@ bool Args::flag(const std::string& key) const {
   const auto it = values_.find(key);
   if (it == values_.end()) return false;
   return it->second.empty() || it->second == "true" || it->second == "1";
+}
+
+std::vector<std::string> Args::get_all(const std::string& key) const {
+  std::vector<std::string> values;
+  for (const auto& [k, v] : ordered_)
+    if (k == key) values.push_back(v);
+  return values;
 }
 
 std::string Args::get(const std::string& key,

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace bmf::io {
@@ -25,6 +26,10 @@ class Args {
   std::uint64_t get_seed(const std::string& key,
                          std::uint64_t fallback) const;
 
+  /// Every value given for a repeatable --key, in command-line order
+  /// (get() sees only the last one). Empty when the key never appeared.
+  std::vector<std::string> get_all(const std::string& key) const;
+
   /// Positional (non --key) arguments in order.
   const std::vector<std::string>& positional() const { return positional_; }
 
@@ -33,6 +38,9 @@ class Args {
  private:
   std::string program_;
   std::map<std::string, std::string> values_;
+  /// (key, value) in command-line order, one entry per occurrence — the
+  /// backing store for get_all's repeatable-flag semantics.
+  std::vector<std::pair<std::string, std::string>> ordered_;
   std::vector<std::string> positional_;
 };
 

@@ -1,0 +1,83 @@
+#include "router/hash_ring.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bmf::router {
+
+namespace {
+
+/// SplitMix64 finalizer: shears apart the clusters FNV-1a leaves for
+/// short keys that differ only in trailing bytes.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t ring_hash(const std::string& key) {
+  std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a offset basis
+  for (const char ch : key) {
+    h ^= static_cast<std::uint8_t>(ch);
+    h *= 0x100000001b3ull;  // FNV-1a prime
+  }
+  return mix64(h);
+}
+
+HashRing::HashRing(const std::vector<std::string>& backend_specs)
+    : num_backends_(backend_specs.size()) {
+  if (backend_specs.empty())
+    throw std::invalid_argument("HashRing: at least one backend required");
+  for (std::size_t i = 0; i < backend_specs.size(); ++i)
+    for (std::size_t j = i + 1; j < backend_specs.size(); ++j)
+      if (backend_specs[i] == backend_specs[j])
+        throw std::invalid_argument("HashRing: duplicate backend '" +
+                                    backend_specs[i] + "'");
+  points_.reserve(num_backends_ * kVirtualNodes);
+  for (std::size_t b = 0; b < num_backends_; ++b)
+    for (std::size_t v = 0; v < kVirtualNodes; ++v)
+      points_.push_back(
+          Point{ring_hash(backend_specs[b] + "#" + std::to_string(v)), b});
+  std::sort(points_.begin(), points_.end(),
+            [](const Point& a, const Point& b) {
+              // Backend index breaks hash ties so placement is total-ordered
+              // (a 64-bit collision is absurdly unlikely, but determinism
+              // must not hinge on sort stability).
+              return a.hash != b.hash ? a.hash < b.hash
+                                      : a.backend < b.backend;
+            });
+}
+
+std::vector<std::size_t> HashRing::owners(const std::string& name,
+                                          std::size_t replicas) const {
+  if (replicas == 0) replicas = 1;
+  replicas = std::min(replicas, num_backends_);
+  std::vector<std::size_t> out;
+  out.reserve(replicas);
+  const std::uint64_t h = ring_hash(name);
+  // First point clockwise of h (wrapping), then keep walking until R
+  // distinct backends are collected.
+  std::size_t at = static_cast<std::size_t>(
+      std::lower_bound(points_.begin(), points_.end(), h,
+                       [](const Point& p, std::uint64_t value) {
+                         return p.hash < value;
+                       }) -
+      points_.begin());
+  for (std::size_t steps = 0; steps < points_.size() && out.size() < replicas;
+       ++steps, ++at) {
+    if (at == points_.size()) at = 0;
+    const std::size_t backend = points_[at].backend;
+    if (std::find(out.begin(), out.end(), backend) == out.end())
+      out.push_back(backend);
+  }
+  return out;
+}
+
+std::size_t HashRing::primary(const std::string& name) const {
+  return owners(name, 1).front();
+}
+
+}  // namespace bmf::router

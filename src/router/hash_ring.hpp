@@ -1,0 +1,69 @@
+// Consistent-hash ring mapping model names onto a static set of backend
+// shards (DESIGN.md §12).
+//
+// Each backend contributes kVirtualNodes points on a 64-bit ring (hashes
+// of "spec#i"), and a model name resolves by hashing the name and walking
+// clockwise until R *distinct* backends have been collected: owners()[0]
+// is the primary shard, the rest are replicas. Virtual nodes smooth the
+// per-backend share of the keyspace to within a few percent; without them
+// a 3-shard ring routinely lands 50%+ of names on one shard.
+//
+// Membership is static for the life of the router: a backend that goes
+// down KEEPS its ring positions. Routing to a down backend is the
+// router's failover problem, not the ring's — removing points on failure
+// would remap names onto shards that never saw their publishes, turning
+// one dead backend into a cluster-wide kNotFound storm. Static membership
+// means ownership is a pure function of (backend specs, name), so every
+// router instance given the same --backend list computes identical
+// placements.
+//
+// Hashing is FNV-1a over the bytes followed by a SplitMix64 finalizer:
+// FNV alone clusters short ASCII keys (model names differ in a few
+// trailing bytes) and the finalizer shears those clusters apart. No
+// unordered containers and no floating point: this is routing, not
+// numerics, but it lives by the same repo lint.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bmf::router {
+
+/// Ring points per backend. 64 keeps the largest/smallest keyspace share
+/// within ~2x of each other for small clusters while the sorted-point
+/// table stays a few KiB.
+constexpr std::size_t kVirtualNodes = 64;
+
+/// FNV-1a + SplitMix64 finalizer. Deterministic across runs and builds —
+/// placement must not depend on process randomization.
+std::uint64_t ring_hash(const std::string& key);
+
+class HashRing {
+ public:
+  /// `backend_specs` are the canonical endpoint strings, in --backend
+  /// order; index i in every owners() result refers to backend_specs[i].
+  /// Throws std::invalid_argument on an empty set or duplicate specs.
+  explicit HashRing(const std::vector<std::string>& backend_specs);
+
+  std::size_t num_backends() const { return num_backends_; }
+
+  /// The R distinct backends owning `name`, primary first, collected
+  /// clockwise from hash(name). R is clamped to num_backends().
+  std::vector<std::size_t> owners(const std::string& name,
+                                  std::size_t replicas) const;
+
+  /// owners(name, 1)[0] without the vector.
+  std::size_t primary(const std::string& name) const;
+
+ private:
+  struct Point {
+    std::uint64_t hash;
+    std::size_t backend;
+  };
+  std::size_t num_backends_;
+  std::vector<Point> points_;  // sorted by hash
+};
+
+}  // namespace bmf::router

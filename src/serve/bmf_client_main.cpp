@@ -5,6 +5,8 @@
 //   bmf_client --socket <path> eval <name> <points.csv> [--version N]
 //              [--out <pred.csv>] [--pipeline D] [--chunk-rows N]
 //   bmf_client --socket <path> list
+//   bmf_client --socket <path> stats
+//   bmf_client --socket <path> evict <name> [--version N]
 //   bmf_client --socket <path> shutdown
 //
 // The endpoint comes from --tcp HOST:PORT, or --socket, which accepts a
@@ -45,6 +47,8 @@ int usage(const std::string& program) {
       "  eval <name> <points.csv> [--version N] [--out <pred.csv>]\n"
       "       [--pipeline D] [--chunk-rows N]\n"
       "  list\n"
+      "  stats\n"
+      "  evict <name> [--version N]        (N omitted or 0 = every version)\n"
       "  shutdown\n",
       program.c_str());
   return 1;
@@ -145,6 +149,29 @@ int run_list(bmf::serve::Client& client) {
   return 0;
 }
 
+int run_stats(bmf::serve::Client& client) {
+  const bmf::serve::StatsResponse s = client.stats();
+  std::printf(
+      "uptime_ms=%llu models_resident=%llu evals_served=%llu"
+      " requests_served=%llu queue_depth=%llu\n",
+      static_cast<unsigned long long>(s.uptime_ms),
+      static_cast<unsigned long long>(s.models_resident),
+      static_cast<unsigned long long>(s.evals_served),
+      static_cast<unsigned long long>(s.requests_served),
+      static_cast<unsigned long long>(s.queue_depth));
+  return 0;
+}
+
+int run_evict(bmf::serve::Client& client, const bmf::io::Args& args,
+              const std::string& name) {
+  const auto version = static_cast<std::uint64_t>(args.get_int("version", 0));
+  const std::uint64_t removed = client.evict(name, version);
+  std::printf("evicted %llu entr%s of %s\n",
+              static_cast<unsigned long long>(removed),
+              removed == 1 ? "y" : "ies", name.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -169,6 +196,9 @@ int main(int argc, char** argv) {
     if (command == "eval" && positional.size() == 3)
       return run_eval(client, args, positional[1], positional[2]);
     if (command == "list" && positional.size() == 1) return run_list(client);
+    if (command == "stats" && positional.size() == 1) return run_stats(client);
+    if (command == "evict" && positional.size() == 2)
+      return run_evict(client, args, positional[1]);
     if (command == "shutdown" && positional.size() == 1) {
       client.shutdown_server();
       std::printf("server shutting down\n");

@@ -316,6 +316,23 @@ std::vector<ModelInfo> Client::list() {
       [&] { return decode_list_response(body.data(), body.size()); });
 }
 
+StatsResponse Client::stats() {
+  const std::vector<std::uint8_t> body =
+      round_trip(encode_request(StatsRequest{}), Idempotency::kRetryable);
+  return decode_or_drop(
+      [&] { return decode_stats_response(body.data(), body.size()); });
+}
+
+std::uint64_t Client::evict(const std::string& name, std::uint64_t version) {
+  EvictRequest request;
+  request.name = name;
+  request.version = version;
+  const std::vector<std::uint8_t> body =
+      round_trip(encode_request(request), Idempotency::kRetryable);
+  return decode_or_drop(
+      [&] { return decode_evict_response(body.data(), body.size()); });
+}
+
 void Client::shutdown_server() {
   // Re-requesting shutdown is harmless (the flag is idempotent), but a
   // retry against an already-draining daemon would just consume the

@@ -38,6 +38,7 @@
 
 #include "linalg/matrix.hpp"
 #include "serve/fitted_model.hpp"
+#include "serve/protocol.hpp"
 #include "serve/registry.hpp"
 #include "serve/wire.hpp"
 #include "stats/rng.hpp"
@@ -138,6 +139,17 @@ class Client {
   /// Idempotent, so it retries like evaluate.
   Solve solve(const linalg::Matrix& g, const linalg::Vector& f,
               const linalg::Vector& q, const linalg::Vector& mu, double tau);
+
+  /// Daemon counters (uptime, models resident, evals served, queue depth).
+  /// Read-only and cheap server-side: the shard router uses it as its
+  /// health probe. Idempotent, so it retries like ping.
+  StatsResponse stats();
+
+  /// Drop retained versions of `name` server-side: the exact `version`, or
+  /// every version when `version` is 0. Returns the number of entries
+  /// removed. Idempotent (evicting what is already gone removes 0), so
+  /// transport failures retry freely.
+  std::uint64_t evict(const std::string& name, std::uint64_t version = 0);
 
   /// Ask the daemon to drain and exit (acknowledged before it stops).
   void shutdown_server();

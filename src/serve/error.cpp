@@ -24,12 +24,14 @@ const char* to_string(Status status) {
       return "internal";
     case Status::kOverloaded:
       return "overloaded";
+    case Status::kUpstreamUnavailable:
+      return "upstream-unavailable";
   }
   return "internal";
 }
 
 Status status_from_byte(std::uint8_t byte) {
-  if (byte > static_cast<std::uint8_t>(Status::kOverloaded))
+  if (byte > static_cast<std::uint8_t>(Status::kUpstreamUnavailable))
     throw std::invalid_argument("status_from_byte: unknown status code " +
                                 std::to_string(byte));
   return static_cast<Status>(byte);

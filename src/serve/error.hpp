@@ -29,6 +29,7 @@ enum class Status : std::uint8_t {
   kShuttingDown = 7,     // server rejected the request while draining
   kInternal = 8,         // anything else (bug surface, not client error)
   kOverloaded = 9,       // admission limit hit; connection shed, retry later
+  kUpstreamUnavailable = 10,  // router: no healthy shard owns the request
 };
 
 /// Stable lowercase token for a status, e.g. "not-found". Unknown values

@@ -39,6 +39,12 @@ std::vector<std::uint8_t> encode_request(const Request& request) {
                                    w.take());
   } else if (std::holds_alternative<ListRequest>(request)) {
     w.u8(static_cast<std::uint8_t>(MessageType::kList));
+  } else if (std::holds_alternative<StatsRequest>(request)) {
+    w.u8(static_cast<std::uint8_t>(MessageType::kStats));
+  } else if (const auto* evt = std::get_if<EvictRequest>(&request)) {
+    w.u8(static_cast<std::uint8_t>(MessageType::kEvict));
+    w.str16(evt->name);
+    w.u64(evt->version);
   } else if (const auto* sv = std::get_if<SolveRequest>(&request)) {
     w.u8(static_cast<std::uint8_t>(MessageType::kSolve));
     w.u64(sv->g.rows());
@@ -117,6 +123,18 @@ Request decode_request(const std::uint8_t* data, std::size_t size) {
       r.expect_done();
       return ShutdownRequest{};
     }
+    case static_cast<std::uint8_t>(MessageType::kStats): {
+      r.expect_done();
+      return StatsRequest{};
+    }
+    case static_cast<std::uint8_t>(MessageType::kEvict): {
+      EvictRequest evt;
+      evt.name = r.str16();
+      if (evt.name.empty()) bad_request("evict with an empty model name");
+      evt.version = r.u64();
+      r.expect_done();
+      return evt;
+    }
     case static_cast<std::uint8_t>(MessageType::kSolve): {
       SolveRequest sv;
       const std::uint64_t k = r.u64();
@@ -148,6 +166,29 @@ Request decode_request(const std::uint8_t* data, std::size_t size) {
 
 Request decode_request(const std::vector<std::uint8_t>& frame) {
   return decode_request(frame.data(), frame.size());
+}
+
+RouteInfo peek_route(const std::uint8_t* data, std::size_t size) {
+  ByteReader r(data, size, Status::kBadRequest, "peek_route");
+  RouteInfo info;
+  const std::uint8_t type = r.u8();
+  if (type > static_cast<std::uint8_t>(MessageType::kEvict))
+    throw ServeError(Status::kBadRequest, "peek_route",
+                     "unknown message type " + std::to_string(type));
+  info.type = static_cast<MessageType>(type);
+  switch (info.type) {
+    case MessageType::kPublish:
+    case MessageType::kEvaluate:
+    case MessageType::kEvict:
+      info.name = r.str16();
+      if (info.name.empty())
+        throw ServeError(Status::kBadRequest, "peek_route",
+                         "model-addressed request with an empty name");
+      break;
+    default:
+      break;  // not model-addressed; the rest of the body is opaque here
+  }
+  return info;
 }
 
 // ---- Response codecs -------------------------------------------------------
@@ -199,6 +240,24 @@ std::vector<std::uint8_t> encode_solve_response(const SolveResponse& response) {
   w.u64(response.report.discarded);
   w.u64(response.coefficients.size());
   w.f64_array(response.coefficients.data(), response.coefficients.size());
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_stats_response(const StatsResponse& response) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(Status::kOk));
+  w.u64(response.uptime_ms);
+  w.u64(response.models_resident);
+  w.u64(response.evals_served);
+  w.u64(response.requests_served);
+  w.u64(response.queue_depth);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_evict_response(std::uint64_t removed) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(Status::kOk));
+  w.u64(removed);
   return w.take();
 }
 
@@ -300,6 +359,27 @@ SolveResponse decode_solve_response(const std::uint8_t* body,
   r.f64_array(response.coefficients.data(), count);
   r.expect_done();
   return response;
+}
+
+StatsResponse decode_stats_response(const std::uint8_t* body,
+                                    std::size_t size) {
+  ByteReader r = response_reader(body, size, "decode_stats_response");
+  StatsResponse response;
+  response.uptime_ms = r.u64();
+  response.models_resident = r.u64();
+  response.evals_served = r.u64();
+  response.requests_served = r.u64();
+  response.queue_depth = r.u64();
+  r.expect_done();
+  return response;
+}
+
+std::uint64_t decode_evict_response(const std::uint8_t* body,
+                                    std::size_t size) {
+  ByteReader r = response_reader(body, size, "decode_evict_response");
+  const std::uint64_t removed = r.u64();
+  r.expect_done();
+  return removed;
 }
 
 }  // namespace bmf::serve

@@ -31,6 +31,17 @@
 //                  M x f64 precision scale q,       u64 discarded
 //                  M x f64 prior mean mu,           eigenvalues, u64 M,
 //                  f64 tau                          M x f64 coefficients
+//   kStats     ->  (empty)                      <-  u64 uptime_ms,
+//                                                   u64 models resident,
+//                                                   u64 evals served,
+//                                                   u64 requests served,
+//                                                   u64 queue depth
+//   kEvict     ->  str16 name, u64 version      <-  u64 entries removed
+//                  (0 = every version)
+//
+// kStats doubles as the liveness/health probe of the shard router
+// (src/router): a daemon that answers it within the deadline is up, and
+// the counters are the first observability hook on the serve path.
 //
 // kSolve is the degradation-aware MAP solve: the reply is kOk even when
 // the kernel was numerically indefinite — the RobustSpdReport fields say
@@ -63,6 +74,8 @@ enum class MessageType : std::uint8_t {
   kList = 3,
   kShutdown = 4,
   kSolve = 5,
+  kStats = 6,
+  kEvict = 7,
 };
 
 struct PingRequest {};
@@ -77,6 +90,11 @@ struct EvaluateRequest {
 };
 struct ListRequest {};
 struct ShutdownRequest {};
+struct StatsRequest {};
+struct EvictRequest {
+  std::string name;
+  std::uint64_t version = 0;  // 0 = every retained version of `name`
+};
 struct SolveRequest {
   linalg::Matrix g;   // K x M design matrix
   linalg::Vector f;   // K responses
@@ -86,7 +104,8 @@ struct SolveRequest {
 };
 
 using Request = std::variant<PingRequest, PublishRequest, EvaluateRequest,
-                             ListRequest, ShutdownRequest, SolveRequest>;
+                             ListRequest, ShutdownRequest, SolveRequest,
+                             StatsRequest, EvictRequest>;
 
 struct EvaluateResponse {
   std::uint64_t version = 0;  // the version actually evaluated
@@ -96,6 +115,14 @@ struct EvaluateResponse {
 struct SolveResponse {
   linalg::Vector coefficients;     // M MAP coefficients
   linalg::RobustSpdReport report;  // how they were obtained
+};
+
+struct StatsResponse {
+  std::uint64_t uptime_ms = 0;         // since the daemon bound its listeners
+  std::uint64_t models_resident = 0;   // registry entries currently retained
+  std::uint64_t evals_served = 0;      // kEvaluate requests answered
+  std::uint64_t requests_served = 0;   // every request answered, all verbs
+  std::uint64_t queue_depth = 0;       // requests handed off, not yet done
 };
 
 // ---- Request codecs --------------------------------------------------------
@@ -115,6 +142,20 @@ std::vector<std::uint8_t> encode_evaluate_request(
 Request decode_request(const std::uint8_t* data, std::size_t size);
 Request decode_request(const std::vector<std::uint8_t>& frame);
 
+/// What the shard router needs to route a request frame: the verb, and for
+/// the model-addressed verbs (kPublish / kEvaluate / kEvict) the model
+/// name. Everything after the name is left undecoded — the router proxies
+/// frames verbatim and must not pay for (or depend on) full body decode.
+struct RouteInfo {
+  MessageType type = MessageType::kPing;
+  std::string name;  // empty for verbs that are not model-addressed
+};
+
+/// Decode just enough of a request frame to route it. Throws
+/// ServeError(kBadRequest) if the frame is too short to classify or a
+/// model-addressed verb's name field is truncated.
+RouteInfo peek_route(const std::uint8_t* data, std::size_t size);
+
 // ---- Response codecs -------------------------------------------------------
 
 /// Success frames: status byte kOk + the result body.
@@ -125,6 +166,8 @@ std::vector<std::uint8_t> encode_evaluate_response(
 std::vector<std::uint8_t> encode_list_response(
     const std::vector<ModelInfo>& models);
 std::vector<std::uint8_t> encode_solve_response(const SolveResponse& response);
+std::vector<std::uint8_t> encode_stats_response(const StatsResponse& response);
+std::vector<std::uint8_t> encode_evict_response(std::uint64_t removed);
 
 /// Error frame: non-kOk status + context + message.
 std::vector<std::uint8_t> encode_error(const ServeError& error);
@@ -143,6 +186,10 @@ EvaluateResponse decode_evaluate_response(const std::uint8_t* body,
 std::vector<ModelInfo> decode_list_response(const std::uint8_t* body,
                                             std::size_t size);
 SolveResponse decode_solve_response(const std::uint8_t* body,
+                                    std::size_t size);
+StatsResponse decode_stats_response(const std::uint8_t* body,
+                                    std::size_t size);
+std::uint64_t decode_evict_response(const std::uint8_t* body,
                                     std::size_t size);
 
 }  // namespace bmf::serve

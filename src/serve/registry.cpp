@@ -50,6 +50,24 @@ std::shared_ptr<const ModelEntry> ModelRegistry::at(
   return vit->second.entry;
 }
 
+std::size_t ModelRegistry::evict(const std::string& name,
+                                 std::uint64_t version) {
+  sync::ExclusiveLock lock(mu_);
+  auto it = records_.find(name);
+  if (it == records_.end()) return 0;
+  std::size_t removed = 0;
+  if (version == 0) {
+    removed = it->second.versions.size();
+    it->second.versions.clear();
+  } else {
+    removed = it->second.versions.erase(version);
+  }
+  entries_ -= removed;
+  // The Record (and its next_version counter) stays, mirroring LRU
+  // eviction: version numbers are never reused.
+  return removed;
+}
+
 std::vector<ModelInfo> ModelRegistry::list() const {
   sync::SharedLock lock(mu_);
   std::vector<ModelInfo> rows;

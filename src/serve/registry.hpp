@@ -65,6 +65,13 @@ class ModelRegistry {
   std::shared_ptr<const ModelEntry> at(const std::string& name,
                                        std::uint64_t version) const;
 
+  /// Drop retained versions of `name`: the exact `version`, or every
+  /// version when `version` is 0. Returns the number of entries removed
+  /// (0 when nothing matched — eviction is idempotent). The name's
+  /// monotonic version counter survives, so a later publish continues the
+  /// sequence instead of reusing an evicted version number.
+  std::size_t evict(const std::string& name, std::uint64_t version = 0);
+
   /// One row per name that still retains at least one version, sorted by
   /// name (std::map order — deterministic).
   std::vector<ModelInfo> list() const;

@@ -459,6 +459,7 @@ void EventLoop::apply_result(Conn& c, std::uint64_t seq,
 
 void EventLoop::apply_completion(Completion done) {
   --jobs_outstanding_;
+  server_.queue_depth_.fetch_sub(1, std::memory_order_relaxed);
   auto it = conns_.find(done.tag);
   if (it == conns_.end()) return;  // connection died while computing
   it->second.executing = false;
@@ -508,6 +509,7 @@ void EventLoop::dispatch_ready() {
       c.executing = true;
       jobs_.push_back(std::move(job));
       ++jobs_outstanding_;
+      server_.queue_depth_.fetch_add(1, std::memory_order_relaxed);
     }
   }
   jobs_cv_.notify_all();
@@ -546,6 +548,7 @@ void EventLoop::steal_queued_jobs() {
       jobs_.pop_front();
     }
     --jobs_outstanding_;
+    server_.queue_depth_.fetch_sub(1, std::memory_order_relaxed);
     Server::ExecuteResult result =
         server_.execute_request(job.frame.data(), job.frame.size());
     auto it = conns_.find(job.tag);
@@ -711,8 +714,23 @@ Server::ExecuteResult Server::execute_request(const std::uint8_t* frame,
       evaluator_.evaluate_into(entry->model.model, ev->points,
                                response.values);
       out.reply = encode_evaluate_response(response);
+      evals_served_.fetch_add(1, std::memory_order_relaxed);
     } else if (std::holds_alternative<ListRequest>(request)) {
       out.reply = encode_list_response(registry_.list());
+    } else if (std::holds_alternative<StatsRequest>(request)) {
+      StatsResponse stats;
+      stats.uptime_ms = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now() - start_time_)
+              .count());
+      stats.models_resident = registry_.size();
+      stats.evals_served = evals_served_.load(std::memory_order_relaxed);
+      stats.requests_served = requests_served_.load(std::memory_order_relaxed);
+      stats.queue_depth = queue_depth_.load(std::memory_order_relaxed);
+      out.reply = encode_stats_response(stats);
+    } else if (const auto* evt = std::get_if<EvictRequest>(&request)) {
+      out.reply = encode_evict_response(
+          registry_.evict(evt->name, evt->version));
     } else if (const auto* sv = std::get_if<SolveRequest>(&request)) {
       // Explicit validation: the numeric layer's contract checks compile
       // out of Release builds, and a daemon must answer garbage input with

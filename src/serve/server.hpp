@@ -33,6 +33,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -115,6 +116,9 @@ class Server {
   /// Requests served since construction (for logs/tests; any thread).
   std::uint64_t requests_served() const { return requests_served_.load(); }
 
+  /// kEvaluate requests answered successfully since construction.
+  std::uint64_t evals_served() const { return evals_served_.load(); }
+
   /// Connections rejected at admission (kOverloaded) or during the final
   /// drain (kShuttingDown) since construction.
   std::uint64_t connections_shed() const { return connections_shed_.load(); }
@@ -149,6 +153,15 @@ class Server {
   std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> requests_served_{0};
   std::atomic<std::uint64_t> connections_shed_{0};
+  std::atomic<std::uint64_t> evals_served_{0};
+  /// Requests handed to the worker pool whose completions the loop has not
+  /// yet applied (inline fast-path executions never touch it). Mirrors the
+  /// loop's jobs_outstanding_ so kStats — which may run on a worker — can
+  /// report queue depth without reaching into loop-thread state.
+  std::atomic<std::uint64_t> queue_depth_{0};
+  /// kStats uptime reference: when the listeners were bound.
+  std::chrono::steady_clock::time_point start_time_ =
+      std::chrono::steady_clock::now();
 };
 
 }  // namespace bmf::serve

@@ -191,20 +191,26 @@ Endpoint parse_endpoint(const std::string& spec) {
                        "'" + spec + "' is not of the form tcp:HOST:PORT");
     ep.host = rest.substr(0, colon);
     const std::string port_str = rest.substr(colon + 1);
+    // Digits only: std::stol would also take leading whitespace or a sign
+    // ("tcp:host: 80", "tcp:host:+80"), which no resolver accepts — a spec
+    // that only parses here would fail later, far from the typo.
     long port = 0;
-    std::size_t used = 0;
-    try {
-      port = std::stol(port_str, &used);
-    } catch (const std::exception&) {
-      used = 0;
-    }
-    if (used != port_str.size() || port < 0 || port > 65535)
+    bool digits_ok = !port_str.empty() && port_str.size() <= 5;
+    for (const char ch : port_str)
+      if (ch < '0' || ch > '9') digits_ok = false;
+    if (digits_ok) port = std::stol(port_str);
+    if (!digits_ok || port > 65535)
       throw ServeError(Status::kBadRequest, context,
                        "'" + port_str + "' is not a port number (0-65535)");
     ep.port = static_cast<std::uint16_t>(port);
     return ep;
   }
   ep.unix_path = spec.rfind("unix:", 0) == 0 ? spec.substr(5) : spec;
+  if (ep.unix_path.empty())
+    throw ServeError(Status::kBadRequest, context,
+                     spec.empty()
+                         ? std::string("empty endpoint spec")
+                         : "'" + spec + "' names an empty unix socket path");
   return ep;
 }
 

@@ -259,5 +259,66 @@ TEST(WireFault, ResultsIdenticalOnceFaultsClear) {
 
 #endif  // BMF_FAULT_INJECTION
 
+// ---- parse_endpoint hardening ---------------------------------------------
+// A malformed endpoint spec must fail at parse time with a structured
+// kBadRequest naming the offending spec — not slip through and fail later
+// at connect/bind, far from the typo. No fault injection involved.
+
+void expect_rejected(const std::string& spec) {
+  try {
+    parse_endpoint(spec);
+    FAIL() << "expected ServeError for spec '" << spec << "'";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.status(), Status::kBadRequest) << spec;
+    EXPECT_EQ(e.context(), "parse_endpoint") << spec;
+  }
+}
+
+TEST(ParseEndpoint, AcceptsWellFormedSpecs) {
+  Endpoint tcp = parse_endpoint("tcp:127.0.0.1:8191");
+  EXPECT_TRUE(tcp.tcp);
+  EXPECT_EQ(tcp.host, "127.0.0.1");
+  EXPECT_EQ(tcp.port, 8191);
+
+  Endpoint prefixed = parse_endpoint("unix:/tmp/bmf.sock");
+  EXPECT_FALSE(prefixed.tcp);
+  EXPECT_EQ(prefixed.unix_path, "/tmp/bmf.sock");
+
+  Endpoint bare = parse_endpoint("/tmp/bmf.sock");
+  EXPECT_FALSE(bare.tcp);
+  EXPECT_EQ(bare.unix_path, "/tmp/bmf.sock");
+
+  // Port edge values parse exactly.
+  EXPECT_EQ(parse_endpoint("tcp:h:0").port, 0);
+  EXPECT_EQ(parse_endpoint("tcp:h:65535").port, 65535);
+}
+
+TEST(ParseEndpoint, RejectsTcpWithNoHostOrPort) { expect_rejected("tcp:"); }
+
+TEST(ParseEndpoint, RejectsTcpWithEmptyPort) {
+  expect_rejected("tcp:localhost:");
+}
+
+TEST(ParseEndpoint, RejectsTcpWithEmptyHost) { expect_rejected("tcp::8191"); }
+
+TEST(ParseEndpoint, RejectsPortAbove65535) {
+  expect_rejected("tcp:localhost:65536");
+  expect_rejected("tcp:localhost:99999999");
+}
+
+TEST(ParseEndpoint, RejectsNonNumericPort) {
+  expect_rejected("tcp:localhost:http");
+  // std::stol would accept these; the parser must not.
+  expect_rejected("tcp:localhost: 80");
+  expect_rejected("tcp:localhost:+80");
+  expect_rejected("tcp:localhost:-1");
+  expect_rejected("tcp:localhost:80x");
+}
+
+TEST(ParseEndpoint, RejectsEmptyUnixPath) {
+  expect_rejected("");
+  expect_rejected("unix:");
+}
+
 }  // namespace
 }  // namespace bmf::serve
