@@ -13,7 +13,7 @@
 // that responses are bit-identical with BMF_NUM_THREADS=1 and 4.
 //
 // Usage: serve_throughput [--batch 4096] [--dim 24] [--requests 300]
-//                         [--warmup 20] [--workers 4]
+//                         [--warmup 20] [--workers 4] [--publishes 64]
 //                         [--connections 1,2,4] [--pipeline 1,8]
 //                         [--transport both|unix|tcp] [--router]
 //                         [--out BENCH_serve.json]
@@ -23,6 +23,12 @@
 // price of the extra proxy hop at equal pipeline depth) and three shards
 // ("router3": per-connection model names pinned to distinct shards, so
 // aggregate throughput measures horizontal scaling past one daemon).
+//
+// The sweep always ends with the publish-path overhead of the durable
+// store: the same blob published --publishes times against a fresh daemon
+// per store mode — "none" (in-memory baseline), --store-sync=never (WAL
+// append, no fsync), and --store-sync=always (fsync before every ack) —
+// so BENCH_serve.json records what durability costs per publish.
 //
 // Writes a flat JSON object (not google-benchmark format: the interesting
 // numbers here are end-to-end request statistics, which gbench's
@@ -41,6 +47,7 @@
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -50,8 +57,10 @@
 #include "parallel/thread_pool.hpp"
 #include "router/router.hpp"
 #include "serve/client.hpp"
+#include "serve/model_codec.hpp"
 #include "serve/server.hpp"
 #include "stats/rng.hpp"
+#include "store/store.hpp"
 
 namespace {
 
@@ -81,6 +90,13 @@ struct ScenarioResult {
   std::size_t connections = 1;
   std::size_t pipeline = 1;
   double evals_per_sec = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+struct PublishResult {
+  std::string store;  // "none" | "never" | "always"
+  double publishes_per_sec = 0.0;
   double p50_us = 0.0;
   double p99_us = 0.0;
 };
@@ -164,6 +180,8 @@ int main(int argc, char** argv) {
   const std::size_t warmup = static_cast<std::size_t>(args.get_int("warmup", 20));
   const std::size_t workers =
       static_cast<std::size_t>(args.get_int("workers", 4));
+  const std::size_t publishes =
+      static_cast<std::size_t>(args.get_int("publishes", 64));
   const std::vector<std::size_t> connection_counts =
       parse_list(args.get("connections", "1,2,4"));
   const std::vector<std::size_t> depths =
@@ -200,6 +218,7 @@ int main(int argc, char** argv) {
   std::thread server_thread([&] { server->run(); });
 
   std::vector<ScenarioResult> scenarios;
+  std::vector<PublishResult> publish_results;
   serve::RetryStats retry_stats;
   bool bit_identical = false;
   int exit_code = 0;
@@ -316,6 +335,73 @@ int main(int argc, char** argv) {
       run_router_sweep(3, "router3");
     }
 
+    // Publish-path overhead: a fresh daemon per store mode, the same blob
+    // published `publishes` times under one name. The delta between
+    // "none" and "never" is the WAL append; "never" to "always" is the
+    // fsync-per-ack durability tax.
+    const std::vector<std::uint8_t> model_blob = serve::serialize_model(fitted);
+    const auto run_publish_scenario = [&](const std::string& mode) {
+      serve::ServerOptions so;
+      const std::string pub_socket = socket_path + ".pub." + mode;
+      so.socket_path = pub_socket;
+      so.request_timeout_ms = 30000;
+      so.worker_threads = workers;
+      std::string store_dir;
+      if (mode != "none") {
+        char tmpl[] = "/tmp/bmf_bench_store_XXXXXX";
+        char* made = ::mkdtemp(tmpl);
+        if (made == nullptr)
+          throw std::runtime_error("mkdtemp failed for the publish bench");
+        store_dir = made;
+        so.store_dir = store_dir;
+        so.store_sync = store::parse_sync_policy(mode);
+      }
+      serve::Server pub_server(std::move(so));
+      std::thread pub_thread([&pub_server] { pub_server.run(); });
+
+      PublishResult result;
+      result.store = mode;
+      {
+        serve::Client pc(pub_socket, /*timeout_ms=*/30000);
+        for (std::size_t i = 0; i < 4; ++i)
+          (void)pc.publish_blob("pub", model_blob);
+        std::vector<double> lat;
+        lat.reserve(publishes);
+        const auto t0 = Clock::now();
+        for (std::size_t i = 0; i < publishes; ++i) {
+          const auto r0 = Clock::now();
+          (void)pc.publish_blob("pub", model_blob);
+          const auto r1 = Clock::now();
+          lat.push_back(
+              std::chrono::duration<double, std::micro>(r1 - r0).count());
+        }
+        const auto t1 = Clock::now();
+        const double elapsed = std::chrono::duration<double>(t1 - t0).count();
+        std::sort(lat.begin(), lat.end());
+        result.publishes_per_sec = static_cast<double>(lat.size()) / elapsed;
+        result.p50_us = percentile(lat, 0.50);
+        result.p99_us = percentile(lat, 0.99);
+      }
+      pub_server.request_stop();
+      pub_thread.join();
+      std::remove(pub_socket.c_str());
+      if (!store_dir.empty()) {
+        std::remove((store_dir + "/wal.log").c_str());
+        std::remove((store_dir + "/snapshot.bmfs").c_str());
+        std::remove((store_dir + "/snapshot.tmp").c_str());
+        ::rmdir(store_dir.c_str());
+      }
+      return result;
+    };
+    for (const char* mode : {"none", "never", "always"}) {
+      publish_results.push_back(run_publish_scenario(mode));
+      const auto& p = publish_results.back();
+      std::fprintf(stderr,
+                   "  publish store=%-6s %.0f publishes/s  "
+                   "p50=%.0fus p99=%.0fus\n",
+                   p.store.c_str(), p.publishes_per_sec, p.p50_us, p.p99_us);
+    }
+
     // Determinism gate: the served values must not depend on the server's
     // thread count.
     parallel::set_num_threads(1);
@@ -383,6 +469,16 @@ int main(int argc, char** argv) {
                   s.transport.c_str(), s.connections, s.pipeline,
                   s.evals_per_sec, s.p50_us, s.p99_us,
                   i + 1 < scenarios.size() ? "," : "");
+    json << line;
+  }
+  json << "  ],\n  \"publish_scenarios\": [\n";
+  for (std::size_t i = 0; i < publish_results.size(); ++i) {
+    const auto& p = publish_results[i];
+    std::snprintf(line, sizeof(line),
+                  "    {\"store\": \"%s\", \"publishes_per_sec\": %.1f, "
+                  "\"p50_us\": %.2f, \"p99_us\": %.2f}%s\n",
+                  p.store.c_str(), p.publishes_per_sec, p.p50_us, p.p99_us,
+                  i + 1 < publish_results.size() ? "," : "");
     json << line;
   }
   std::snprintf(line, sizeof(line),

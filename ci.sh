@@ -25,6 +25,12 @@
 #      corruption, drops) is driven against the live daemon memory-clean —
 #      over BOTH transports (UNIX socket and TCP loopback) when the
 #      sandbox allows AF_INET; TCP legs are skipped (loudly) otherwise.
+#   5b. Crash-recovery matrix under ASan/UBSan: store_crash_test forks the
+#      real daemon with a durable store and kills it at every injected
+#      durability syscall (Nth WAL write / fsync / snapshot rename), then
+#      proves recovery keeps every acked publish byte-identical and the
+#      version sequence monotonic. Memory-clean recovery is part of the
+#      claim, hence the sanitized build.
 #   6. ThreadSanitizer build of the concurrent serving stack (event loop,
 #      worker pool, admission queue, fault engine) — the race-freedom
 #      proof for the paths the chaos suite exercises, again over both
@@ -44,6 +50,12 @@
 #      bmf_router (--replicas 2), driven with the ordinary bmf_client —
 #      publish replicates, evict converges, and killing one shard
 #      mid-service must not change a single predicted byte (failover).
+#  10. Durable sharded smoke test: the same three-shard topology with a
+#      --store directory per shard. Every shard is kill -9'd after the
+#      publish and restarted from its store; once the router readopts
+#      them, predictions must be byte-identical with zero re-publishes
+#      (store-ls: appends=0 since restart, records_replayed covers the
+#      replica set).
 #
 # Usage: ci.sh [jobs]   (default: all cores)
 set -eu
@@ -116,6 +128,9 @@ for seed in 1 7 42; do
   BMF_CHAOS_SEED="$seed" \
       "$src_dir/build-ci-checked/tests/serve_wire_fault_test"
 done
+
+echo "== Crash-recovery matrix (kill at durability syscalls, ASan/UBSan) =="
+"$src_dir/build-ci-checked/tests/store_crash_test"
 
 echo "== ThreadSanitizer: concurrent serving stack =="
 cmake -S "$src_dir" -B "$src_dir/build-ci-tsan" \
@@ -253,5 +268,76 @@ if [ "$predictions" != "1.5 3 " ]; then
   echo "error: router smoke predictions were '$predictions', expected '1.5 3 '" >&2
   exit 1
 fi
+
+echo "== Durable sharded smoke test (kill -9, restart from disk) =="
+start_durable_shard() {
+  "$src_dir/build-ci-release/bin/bmf_served" \
+      --socket "$serve_tmp/dshard$1.sock" \
+      --store "$serve_tmp/dstore$1" --quiet &
+  shard_pids="$shard_pids $!"
+}
+shard_pids=""
+for i in 1 2 3; do
+  mkdir -p "$serve_tmp/dstore$i"
+  start_durable_shard "$i"
+done
+"$src_dir/build-ci-release/bin/bmf_router" --socket "$serve_tmp/drouter.sock" \
+    --backend "unix:$serve_tmp/dshard1.sock" \
+    --backend "unix:$serve_tmp/dshard2.sock" \
+    --backend "unix:$serve_tmp/dshard3.sock" \
+    --replicas 2 --probe-interval-ms 100 --quiet &
+router_pid=$!
+"$client" --socket "$serve_tmp/drouter.sock" ping
+"$client" --socket "$serve_tmp/drouter.sock" publish smoke \
+    "$serve_tmp/model.bmfmodel"
+# Kill -9 every shard: nothing in memory survives, so the evaluate below
+# can only succeed if the stores carry the model across the restart.
+for pid in $shard_pids; do
+  kill -9 "$pid" 2> /dev/null || true
+  wait "$pid" 2> /dev/null || true
+done
+shard_pids=""
+for i in 1 2 3; do
+  start_durable_shard "$i"
+done
+# Wait for the router's probes to readopt all three restarted shards
+# (store-ls fans out to connected backends, so enabled counts them).
+i=0
+until "$client" --socket "$serve_tmp/drouter.sock" store-ls 2> /dev/null \
+    | grep -q 'enabled=3'; do
+  i=$((i + 1))
+  if [ "$i" -gt 100 ]; then
+    echo "error: router never readopted the restarted durable shards" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+"$client" --socket "$serve_tmp/drouter.sock" eval smoke \
+    "$serve_tmp/points.csv" > "$serve_tmp/pred_durable.txt"
+predictions="$(tr '\n' ' ' < "$serve_tmp/pred_durable.txt")"
+if [ "$predictions" != "1.5 3 " ]; then
+  echo "error: durable smoke predictions were '$predictions', expected '1.5 3 '" >&2
+  exit 1
+fi
+# The model came back from disk alone: since the restart not one publish
+# reached any shard (appends=0), and replay covered the replica set
+# (--replicas 2 wrote the model to two WALs, so two records replayed).
+store_line="$("$client" --socket "$serve_tmp/drouter.sock" store-ls)"
+echo "$store_line"
+for want in 'enabled=3' 'appends=0' 'records_replayed=2' \
+            'truncation_events=0'; do
+  case " $store_line " in
+    *" $want "*) ;;
+    *)
+      echo "error: durable store-ls missing '$want': $store_line" >&2
+      exit 1
+      ;;
+  esac
+done
+"$client" --socket "$serve_tmp/drouter.sock" shutdown
+wait "$router_pid"
+for pid in $shard_pids; do
+  kill "$pid" 2> /dev/null || true
+done
 
 echo "== CI passed =="

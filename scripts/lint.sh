@@ -13,9 +13,12 @@
 #      results.
 #   5. Every header is self-contained (compiles standalone), so include
 #      order can never hide a missing dependency.
-#   6. No raw ::read/::write/::send/::recv/::poll outside src/serve/wire.cpp
-#      and src/fault — all socket I/O must flow through the fault-injection
-#      wrappers (fault::sys_*), or chaos tests silently stop covering it.
+#   6. No raw ::read/::write/::send/::recv/::poll/::fsync/::fdatasync/
+#      ::rename outside src/serve/wire.cpp and src/fault — all socket I/O
+#      and every durability syscall (the WAL appends and atomic renames of
+#      src/store, the crash-atomic model save) must flow through the
+#      fault-injection wrappers (fault::sys_*), or the chaos and crash
+#      tests silently stop covering it.
 #   7. No SIMD intrinsics outside src/linalg/kernels/ — wide code is only
 #      legal behind the runtime dispatcher (per-file ISA flags + cpuid
 #      gate); an intrinsic anywhere else either SIGILLs on older hosts or
@@ -101,13 +104,15 @@ for h in $(find "$src_dir/src" -name '*.hpp' | sort); do
 done
 
 # Rule 6: raw syscall I/O outside the wire/fault layer.  Everything that
-# touches a socket must go through fault::sys_* so injected faults cover it.
+# touches a socket — and every durability syscall (src/store WAL appends,
+# snapshot renames, the crash-atomic model save) — must go through
+# fault::sys_* so injected faults and crash points cover it.
 for f in $all_sources; do
   case "$f" in
     "$src_dir/src/fault/"*|"$src_dir/src/serve/wire.cpp") continue ;;
   esac
   hits=$(strip_comments "$f" | grep -nE \
-    '::(read|write|send|recv|poll)[[:space:]]*\(' || true)
+    '::(read|write|send|recv|poll|fsync|fdatasync|rename)[[:space:]]*\(' || true)
   [ -n "$hits" ] && fail "raw syscall I/O outside wire/fault layer in $f" "$hits"
 done
 

@@ -15,10 +15,13 @@ namespace bmf::fault {
 
 namespace {
 
-const char* const kSiteNames[kSiteCount] = {"read",    "send",   "poll",
-                                            "connect", "accept", "epoll"};
+const char* const kSiteNames[kSiteCount] = {
+    "read",   "send",  "poll",  "connect", "accept",
+    "epoll",  "write", "fsync", "rename"};
 const char* const kActionNames[] = {"short", "eintr", "delay", "drop",
-                                    "corrupt"};
+                                    "corrupt", "crash"};
+constexpr std::size_t kActionCount =
+    sizeof(kActionNames) / sizeof(kActionNames[0]);
 
 [[noreturn]] void bad_spec(const std::string& spec, const std::string& why) {
   throw std::invalid_argument("parse_plan: " + why + " in '" + spec + "'");
@@ -72,7 +75,7 @@ FaultPlan parse_plan(const std::string& spec) {
     if (action_end == std::string::npos) action_end = item.size();
     const std::string action = item.substr(p, action_end - p);
     found = false;
-    for (std::size_t a = 0; a < 5; ++a)
+    for (std::size_t a = 0; a < kActionCount; ++a)
       if (action == kActionNames[a]) {
         rule.action = static_cast<Action>(a);
         found = true;
@@ -207,6 +210,23 @@ void sleep_ms(int ms) {
   std::this_thread::sleep_for(std::chrono::milliseconds(ms));
 }
 
+// The crash action: die like kill -9 would — no atexit handlers, no
+// stream flushing, nothing the store could use to "clean up" state that a
+// real power loss would have left torn. Exit code 137 mirrors SIGKILL so
+// crash-matrix harnesses can tell an injected crash from a normal exit.
+[[noreturn]] void crash_now(Site site) {
+  const char* name = kSiteNames[static_cast<std::size_t>(site)];
+  char msg[64];
+  const int len = std::snprintf(msg, sizeof msg,
+                                "bmf_fault: crash injected at %s\n", name);
+  if (len > 0) {
+    const ssize_t ignored =
+        ::write(2, msg, static_cast<std::size_t>(len));
+    (void)ignored;
+  }
+  std::_Exit(137);
+}
+
 }  // namespace
 
 bool compiled_in() noexcept { return true; }
@@ -278,6 +298,8 @@ ssize_t sys_read(int fd, void* buf, std::size_t n) noexcept {
         }
         return rc;
       }
+      case Action::kCrash:
+        crash_now(Site::kRead);
     }
   return ::read(fd, buf, n);
 }
@@ -308,6 +330,8 @@ ssize_t sys_send(int fd, const void* buf, std::size_t n, int flags) noexcept {
             static_cast<std::uint8_t>(1u << ((d.draw >> 8) % 8));
         return ::send(fd, copy.data(), n, flags);
       }
+      case Action::kCrash:
+        crash_now(Site::kSend);
     }
   return ::send(fd, buf, n, flags);
 }
@@ -330,6 +354,8 @@ int sys_poll(struct pollfd* fds, nfds_t nfds, int timeout_ms) noexcept {
         break;
       case Action::kCorrupt:
         break;  // no bytes to corrupt at a poll
+      case Action::kCrash:
+        crash_now(Site::kPoll);
     }
   return ::poll(fds, nfds, timeout_ms);
 }
@@ -351,6 +377,8 @@ int sys_connect(int fd, const struct sockaddr* addr, socklen_t len) noexcept {
       case Action::kShortIo:
       case Action::kCorrupt:
         break;  // no meaningful short/corrupt at connect
+      case Action::kCrash:
+        crash_now(Site::kConnect);
     }
   return ::connect(fd, addr, len);
 }
@@ -378,6 +406,8 @@ int sys_accept(int fd) noexcept {
         return -1;
       case Action::kCorrupt:
         break;
+      case Action::kCrash:
+        crash_now(Site::kAccept);
     }
   return ::accept(fd, nullptr, nullptr);
 }
@@ -399,8 +429,97 @@ int sys_epoll_wait(int epfd, struct epoll_event* events, int max_events,
       case Action::kDrop:
       case Action::kCorrupt:
         break;  // no single fd to tear down, no bytes to corrupt
+      case Action::kCrash:
+        crash_now(Site::kEpoll);
     }
   return ::epoll_wait(epfd, events, max_events, timeout_ms);
+}
+
+ssize_t sys_write(int fd, const void* buf, std::size_t n) noexcept {
+  Engine* e = g_engine.load(std::memory_order_acquire);
+  if (e == nullptr) return ::write(fd, buf, n);
+  const Decision d = decide(*e, Site::kWrite);
+  if (d.fire) switch (d.action) {
+      case Action::kEintr:
+        errno = EINTR;
+        return -1;
+      case Action::kShortIo:
+        n = n > 0 ? 1 : 0;
+        break;
+      case Action::kDelay:
+        sleep_ms(d.delay_ms);
+        break;
+      case Action::kDrop:
+        errno = EIO;  // the disk said no
+        return -1;
+      case Action::kCorrupt: {
+        if (n == 0) break;
+        std::vector<std::uint8_t> copy(static_cast<const std::uint8_t*>(buf),
+                                       static_cast<const std::uint8_t*>(buf) +
+                                           n);
+        copy[d.draw % n] ^=
+            static_cast<std::uint8_t>(1u << ((d.draw >> 8) % 8));
+        return ::write(fd, copy.data(), n);
+      }
+      case Action::kCrash: {
+        // Torn write: a draw-derived prefix (possibly zero bytes) reaches
+        // the file, then the process dies mid-syscall.
+        const std::size_t torn = n == 0 ? 0 : d.draw % (n + 1);
+        if (torn > 0) {
+          const ssize_t ignored = ::write(fd, buf, torn);
+          (void)ignored;
+        }
+        crash_now(Site::kWrite);
+      }
+    }
+  return ::write(fd, buf, n);
+}
+
+int sys_fsync(int fd) noexcept {
+  Engine* e = g_engine.load(std::memory_order_acquire);
+  if (e == nullptr) return ::fsync(fd);
+  const Decision d = decide(*e, Site::kFsync);
+  if (d.fire) switch (d.action) {
+      case Action::kEintr:
+        errno = EINTR;
+        return -1;
+      case Action::kShortIo:
+        return 0;  // a lying fsync: reports success, synced nothing
+      case Action::kDelay:
+        sleep_ms(d.delay_ms);
+        break;
+      case Action::kDrop:
+        errno = EIO;
+        return -1;
+      case Action::kCorrupt:
+        break;  // no bytes pass through an fsync
+      case Action::kCrash:
+        crash_now(Site::kFsync);
+    }
+  return ::fsync(fd);
+}
+
+int sys_rename(const char* oldpath, const char* newpath) noexcept {
+  Engine* e = g_engine.load(std::memory_order_acquire);
+  if (e == nullptr) return ::rename(oldpath, newpath);
+  const Decision d = decide(*e, Site::kRename);
+  if (d.fire) switch (d.action) {
+      case Action::kEintr:
+        errno = EINTR;
+        return -1;
+      case Action::kDelay:
+        sleep_ms(d.delay_ms);
+        break;
+      case Action::kDrop:
+        errno = EIO;
+        return -1;
+      case Action::kShortIo:
+      case Action::kCorrupt:
+        break;  // no meaningful short/corrupt for a rename
+      case Action::kCrash:
+        crash_now(Site::kRename);
+    }
+  return ::rename(oldpath, newpath);
 }
 
 #else  // !BMF_FAULT_INJECTION

@@ -1,8 +1,11 @@
-// Deterministic fault injection for the socket syscall surface.
+// Deterministic fault injection for the socket and filesystem syscall
+// surface.
 //
-// Every read/send/poll/connect/accept the serving stack performs goes
-// through the sys_* wrappers below instead of the raw syscalls (enforced
-// by scripts/lint.sh). With no plan armed, a wrapper is the raw syscall
+// Every read/send/poll/connect/accept — and, for the durable store and
+// atomic model saves, every write/fsync/rename — the serving stack
+// performs goes through the sys_* wrappers below instead of the raw
+// syscalls (enforced by scripts/lint.sh). With no plan armed, a wrapper
+// is the raw syscall
 // plus one relaxed atomic load; compiled with BMF_FAULT_INJECTION off it
 // is the raw syscall, period — an inline forward with nothing to
 // configure, so production builds can prove the layer costs nothing.
@@ -16,19 +19,29 @@
 // reproducible from (plan, seed) alone.
 //
 // Actions by site:
-//   short    read/send: clamp the byte count to 1 (partial-I/O storm);
-//            poll/epoll: report 0 ready fds (spurious timeout); accept:
-//            fail with errno = EAGAIN (a wakeup with no connection behind
-//            it — the "short accept" an event loop must absorb).
+//   short    read/send/write: clamp the byte count to 1 (partial-I/O
+//            storm); poll/epoll: report 0 ready fds (spurious timeout);
+//            accept: fail with errno = EAGAIN (a wakeup with no
+//            connection behind it — the "short accept" an event loop must
+//            absorb); fsync: return 0 WITHOUT syncing (a lying fsync).
 //   eintr    fail with errno = EINTR before touching the kernel.
 //   delay    sleep delay_ms, then perform the real call (pushes a peer
 //            past its deadline without breaking the stream).
 //   drop     read/send/poll: shutdown(fd, SHUT_RDWR) first, so the real
 //            call observes a mid-frame connection loss; connect: refuse
-//            with ECONNREFUSED; accept: accept, then drop the new fd.
-//   corrupt  read: flip one bit of the bytes actually read; send: send a
-//            copy with one bit flipped (wire corruption without framing
-//            loss).
+//            with ECONNREFUSED; accept: accept, then drop the new fd;
+//            write/fsync/rename: fail with errno = EIO (media error).
+//   corrupt  read: flip one bit of the bytes actually read; send/write: a
+//            copy with one bit flipped goes to the kernel (wire/disk
+//            corruption without framing loss).
+//   crash    kill the process on the spot with _Exit(137) — no atexit, no
+//            buffers flushed, the closest user-space gets to kill -9.
+//            write first puts a draw-derived PREFIX of the buffer on the
+//            fd, so the surviving file ends in a torn record; every other
+//            site dies before its syscall. Combined with '+N' skip this
+//            is the seeded crash-point mode: "write:crash+3" aborts at
+//            the 4th store write, and a recovery test can walk N over
+//            every syscall the store issues.
 #pragma once
 
 #include <poll.h>
@@ -38,6 +51,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -50,8 +64,14 @@ enum class Site : std::uint8_t {
   kConnect = 3,
   kAccept = 4,
   kEpoll = 5,  // epoll_wait: the event loop's own blocking point
+  // Filesystem sites: the durable store (src/store) and atomic model
+  // saves (src/serve/model_codec.cpp) route their persistence syscalls
+  // here so crash/torn-write recovery is testable deterministically.
+  kWrite = 6,
+  kFsync = 7,
+  kRename = 8,
 };
-inline constexpr std::size_t kSiteCount = 6;
+inline constexpr std::size_t kSiteCount = 9;
 
 enum class Action : std::uint8_t {
   kShortIo = 0,
@@ -59,6 +79,7 @@ enum class Action : std::uint8_t {
   kDelay = 2,
   kDrop = 3,
   kCorrupt = 4,
+  kCrash = 5,
 };
 
 /// Stable lowercase tokens ("read", ..., "short", ...), as used by the
@@ -140,6 +161,9 @@ int sys_connect(int fd, const struct sockaddr* addr, socklen_t len) noexcept;
 int sys_accept(int fd) noexcept;
 int sys_epoll_wait(int epfd, struct epoll_event* events, int max_events,
                    int timeout_ms) noexcept;
+ssize_t sys_write(int fd, const void* buf, std::size_t n) noexcept;
+int sys_fsync(int fd) noexcept;
+int sys_rename(const char* oldpath, const char* newpath) noexcept;
 
 #else
 
@@ -163,6 +187,13 @@ inline int sys_accept(int fd) noexcept { return ::accept(fd, nullptr, nullptr); 
 inline int sys_epoll_wait(int epfd, struct epoll_event* events, int max_events,
                           int timeout_ms) noexcept {
   return ::epoll_wait(epfd, events, max_events, timeout_ms);
+}
+inline ssize_t sys_write(int fd, const void* buf, std::size_t n) noexcept {
+  return ::write(fd, buf, n);
+}
+inline int sys_fsync(int fd) noexcept { return ::fsync(fd); }
+inline int sys_rename(const char* oldpath, const char* newpath) noexcept {
+  return ::rename(oldpath, newpath);
 }
 
 #endif  // BMF_FAULT_INJECTION

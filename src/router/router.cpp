@@ -31,6 +31,7 @@ using serve::RouteInfo;
 using serve::ServeError;
 using serve::StatsResponse;
 using serve::Status;
+using serve::StoreInfoResponse;
 using serve::UniqueFd;
 
 /// Epoll timeout cap: the latency bound on noticing request_stop(), and
@@ -140,6 +141,10 @@ class RouterLoop {
     std::uint64_t max_version = 0;   // publish: max assigned version
     std::uint64_t max_removed = 0;   // evict: entries one full owner held
     StatsResponse stats_sum;         // stats: summed counters
+    /// store-info: summed counters, except last_snapshot_seq (max across
+    /// shards — sequence numbers are shard-local, a sum is meaningless).
+    /// enabled sums to the number of durable shards.
+    StoreInfoResponse store_sum;
     std::map<std::string, ModelInfo> merged_models;  // list: union by name
     bool done = false;
 
@@ -623,6 +628,7 @@ bool RouterLoop::route_one(std::uint64_t tag, Conn& c,
     case MessageType::kEvict:
     case MessageType::kList:
     case MessageType::kStats:
+    case MessageType::kStoreInfo:
       start_fan(tag, seq, info, frame, size);
       return false;
   }
@@ -898,6 +904,21 @@ void RouterLoop::apply_fan_leg(FanOut& fan, const std::uint8_t* frame,
         fan.stats_sum.queue_depth += s.queue_depth;
         break;
       }
+      case MessageType::kStoreInfo: {
+        const StoreInfoResponse s =
+            serve::decode_store_info_response(body, body_size);
+        fan.store_sum.enabled += s.enabled;
+        fan.store_sum.wal_bytes += s.wal_bytes;
+        fan.store_sum.wal_records += s.wal_records;
+        fan.store_sum.appends += s.appends;
+        fan.store_sum.syncs += s.syncs;
+        fan.store_sum.snapshots_written += s.snapshots_written;
+        fan.store_sum.last_snapshot_seq =
+            std::max(fan.store_sum.last_snapshot_seq, s.last_snapshot_seq);
+        fan.store_sum.records_replayed += s.records_replayed;
+        fan.store_sum.truncation_events += s.truncation_events;
+        break;
+      }
       case MessageType::kList: {
         // Union by name: replicas hold copies, so counts must not sum.
         // Shard-local version counters may differ — report the highest.
@@ -933,6 +954,9 @@ void RouterLoop::finish_fan(FanOut& fan) {
         break;
       case MessageType::kStats:
         reply = serve::encode_stats_response(router_stats(fan.stats_sum));
+        break;
+      case MessageType::kStoreInfo:
+        reply = serve::encode_store_info_response(fan.store_sum);
         break;
       case MessageType::kList: {
         std::vector<ModelInfo> rows;

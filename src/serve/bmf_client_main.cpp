@@ -6,6 +6,7 @@
 //              [--out <pred.csv>] [--pipeline D] [--chunk-rows N]
 //   bmf_client --socket <path> list
 //   bmf_client --socket <path> stats
+//   bmf_client --socket <path> store-ls
 //   bmf_client --socket <path> evict <name> [--version N]
 //   bmf_client --socket <path> shutdown
 //
@@ -48,6 +49,7 @@ int usage(const std::string& program) {
       "       [--pipeline D] [--chunk-rows N]\n"
       "  list\n"
       "  stats\n"
+      "  store-ls                          (durable-store health counters)\n"
       "  evict <name> [--version N]        (N omitted or 0 = every version)\n"
       "  shutdown\n",
       program.c_str());
@@ -162,6 +164,29 @@ int run_stats(bmf::serve::Client& client) {
   return 0;
 }
 
+int run_store_ls(bmf::serve::Client& client) {
+  const bmf::serve::StoreInfoResponse s = client.store_info();
+  if (s.enabled == 0) {
+    std::printf("enabled=0\n");
+    std::fprintf(stderr, "(daemon runs without --store)\n");
+    return 0;
+  }
+  std::printf(
+      "enabled=%llu wal_bytes=%llu wal_records=%llu appends=%llu"
+      " syncs=%llu snapshots_written=%llu last_snapshot_version=%llu"
+      " records_replayed=%llu truncation_events=%llu\n",
+      static_cast<unsigned long long>(s.enabled),
+      static_cast<unsigned long long>(s.wal_bytes),
+      static_cast<unsigned long long>(s.wal_records),
+      static_cast<unsigned long long>(s.appends),
+      static_cast<unsigned long long>(s.syncs),
+      static_cast<unsigned long long>(s.snapshots_written),
+      static_cast<unsigned long long>(s.last_snapshot_seq),
+      static_cast<unsigned long long>(s.records_replayed),
+      static_cast<unsigned long long>(s.truncation_events));
+  return 0;
+}
+
 int run_evict(bmf::serve::Client& client, const bmf::io::Args& args,
               const std::string& name) {
   const auto version = static_cast<std::uint64_t>(args.get_int("version", 0));
@@ -197,6 +222,8 @@ int main(int argc, char** argv) {
       return run_eval(client, args, positional[1], positional[2]);
     if (command == "list" && positional.size() == 1) return run_list(client);
     if (command == "stats" && positional.size() == 1) return run_stats(client);
+    if (command == "store-ls" && positional.size() == 1)
+      return run_store_ls(client);
     if (command == "evict" && positional.size() == 2)
       return run_evict(client, args, positional[1]);
     if (command == "shutdown" && positional.size() == 1) {

@@ -323,6 +323,13 @@ StatsResponse Client::stats() {
       [&] { return decode_stats_response(body.data(), body.size()); });
 }
 
+StoreInfoResponse Client::store_info() {
+  const std::vector<std::uint8_t> body =
+      round_trip(encode_request(StoreInfoRequest{}), Idempotency::kRetryable);
+  return decode_or_drop(
+      [&] { return decode_store_info_response(body.data(), body.size()); });
+}
+
 std::uint64_t Client::evict(const std::string& name, std::uint64_t version) {
   EvictRequest request;
   request.name = name;

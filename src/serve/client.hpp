@@ -145,6 +145,11 @@ class Client {
   /// health probe. Idempotent, so it retries like ping.
   StatsResponse stats();
 
+  /// Durable-store health (WAL size, snapshot progress, recovery
+  /// counters). enabled is 0 when the daemon runs without --store — the
+  /// other fields are then all zero. Read-only, so it retries like stats.
+  StoreInfoResponse store_info();
+
   /// Drop retained versions of `name` server-side: the exact `version`, or
   /// every version when `version` is 0. Returns the number of entries
   /// removed. Idempotent (evicting what is already gone removes 0), so

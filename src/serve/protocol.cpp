@@ -41,6 +41,8 @@ std::vector<std::uint8_t> encode_request(const Request& request) {
     w.u8(static_cast<std::uint8_t>(MessageType::kList));
   } else if (std::holds_alternative<StatsRequest>(request)) {
     w.u8(static_cast<std::uint8_t>(MessageType::kStats));
+  } else if (std::holds_alternative<StoreInfoRequest>(request)) {
+    w.u8(static_cast<std::uint8_t>(MessageType::kStoreInfo));
   } else if (const auto* evt = std::get_if<EvictRequest>(&request)) {
     w.u8(static_cast<std::uint8_t>(MessageType::kEvict));
     w.str16(evt->name);
@@ -127,6 +129,10 @@ Request decode_request(const std::uint8_t* data, std::size_t size) {
       r.expect_done();
       return StatsRequest{};
     }
+    case static_cast<std::uint8_t>(MessageType::kStoreInfo): {
+      r.expect_done();
+      return StoreInfoRequest{};
+    }
     case static_cast<std::uint8_t>(MessageType::kEvict): {
       EvictRequest evt;
       evt.name = r.str16();
@@ -172,7 +178,7 @@ RouteInfo peek_route(const std::uint8_t* data, std::size_t size) {
   ByteReader r(data, size, Status::kBadRequest, "peek_route");
   RouteInfo info;
   const std::uint8_t type = r.u8();
-  if (type > static_cast<std::uint8_t>(MessageType::kEvict))
+  if (type > static_cast<std::uint8_t>(MessageType::kStoreInfo))
     throw ServeError(Status::kBadRequest, "peek_route",
                      "unknown message type " + std::to_string(type));
   info.type = static_cast<MessageType>(type);
@@ -258,6 +264,22 @@ std::vector<std::uint8_t> encode_evict_response(std::uint64_t removed) {
   ByteWriter w;
   w.u8(static_cast<std::uint8_t>(Status::kOk));
   w.u64(removed);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_store_info_response(
+    const StoreInfoResponse& response) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(Status::kOk));
+  w.u64(response.enabled);
+  w.u64(response.wal_bytes);
+  w.u64(response.wal_records);
+  w.u64(response.appends);
+  w.u64(response.syncs);
+  w.u64(response.snapshots_written);
+  w.u64(response.last_snapshot_seq);
+  w.u64(response.records_replayed);
+  w.u64(response.truncation_events);
   return w.take();
 }
 
@@ -380,6 +402,23 @@ std::uint64_t decode_evict_response(const std::uint8_t* body,
   const std::uint64_t removed = r.u64();
   r.expect_done();
   return removed;
+}
+
+StoreInfoResponse decode_store_info_response(const std::uint8_t* body,
+                                             std::size_t size) {
+  ByteReader r = response_reader(body, size, "decode_store_info_response");
+  StoreInfoResponse response;
+  response.enabled = r.u64();
+  response.wal_bytes = r.u64();
+  response.wal_records = r.u64();
+  response.appends = r.u64();
+  response.syncs = r.u64();
+  response.snapshots_written = r.u64();
+  response.last_snapshot_seq = r.u64();
+  response.records_replayed = r.u64();
+  response.truncation_events = r.u64();
+  r.expect_done();
+  return response;
 }
 
 }  // namespace bmf::serve

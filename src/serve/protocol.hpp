@@ -38,6 +38,17 @@
 //                                                   u64 queue depth
 //   kEvict     ->  str16 name, u64 version      <-  u64 entries removed
 //                  (0 = every version)
+//   kStoreInfo ->  (empty)                      <-  u64 enabled (stores
+//                                                   attached; 0 or 1 per
+//                                                   daemon, summed by the
+//                                                   router), u64 WAL bytes,
+//                                                   u64 WAL records,
+//                                                   u64 appends, u64 syncs,
+//                                                   u64 snapshots written,
+//                                                   u64 last snapshot seq,
+//                                                   u64 records replayed
+//                                                   at boot, u64 recovery
+//                                                   truncation events
 //
 // kStats doubles as the liveness/health probe of the shard router
 // (src/router): a daemon that answers it within the deadline is up, and
@@ -76,6 +87,7 @@ enum class MessageType : std::uint8_t {
   kSolve = 5,
   kStats = 6,
   kEvict = 7,
+  kStoreInfo = 8,
 };
 
 struct PingRequest {};
@@ -91,6 +103,7 @@ struct EvaluateRequest {
 struct ListRequest {};
 struct ShutdownRequest {};
 struct StatsRequest {};
+struct StoreInfoRequest {};
 struct EvictRequest {
   std::string name;
   std::uint64_t version = 0;  // 0 = every retained version of `name`
@@ -105,7 +118,7 @@ struct SolveRequest {
 
 using Request = std::variant<PingRequest, PublishRequest, EvaluateRequest,
                              ListRequest, ShutdownRequest, SolveRequest,
-                             StatsRequest, EvictRequest>;
+                             StatsRequest, EvictRequest, StoreInfoRequest>;
 
 struct EvaluateResponse {
   std::uint64_t version = 0;  // the version actually evaluated
@@ -123,6 +136,22 @@ struct StatsResponse {
   std::uint64_t evals_served = 0;      // kEvaluate requests answered
   std::uint64_t requests_served = 0;   // every request answered, all verbs
   std::uint64_t queue_depth = 0;       // requests handed off, not yet done
+};
+
+/// Durability health (src/store counters). All-zero with enabled == 0
+/// when the daemon runs without --store. Through the router the reply is
+/// a fan-out merge: counters sum across shards (enabled becomes "number
+/// of durable shards"), last_snapshot_seq takes the max.
+struct StoreInfoResponse {
+  std::uint64_t enabled = 0;
+  std::uint64_t wal_bytes = 0;
+  std::uint64_t wal_records = 0;
+  std::uint64_t appends = 0;
+  std::uint64_t syncs = 0;
+  std::uint64_t snapshots_written = 0;
+  std::uint64_t last_snapshot_seq = 0;
+  std::uint64_t records_replayed = 0;
+  std::uint64_t truncation_events = 0;
 };
 
 // ---- Request codecs --------------------------------------------------------
@@ -168,6 +197,8 @@ std::vector<std::uint8_t> encode_list_response(
 std::vector<std::uint8_t> encode_solve_response(const SolveResponse& response);
 std::vector<std::uint8_t> encode_stats_response(const StatsResponse& response);
 std::vector<std::uint8_t> encode_evict_response(std::uint64_t removed);
+std::vector<std::uint8_t> encode_store_info_response(
+    const StoreInfoResponse& response);
 
 /// Error frame: non-kOk status + context + message.
 std::vector<std::uint8_t> encode_error(const ServeError& error);
@@ -191,5 +222,7 @@ StatsResponse decode_stats_response(const std::uint8_t* body,
                                     std::size_t size);
 std::uint64_t decode_evict_response(const std::uint8_t* body,
                                     std::size_t size);
+StoreInfoResponse decode_store_info_response(const std::uint8_t* body,
+                                             std::size_t size);
 
 }  // namespace bmf::serve

@@ -12,6 +12,11 @@ ModelRegistry::ModelRegistry(std::size_t capacity) : capacity_(capacity) {
 
 std::uint64_t ModelRegistry::publish(const std::string& name,
                                      FittedModel model) {
+  return publish_ticketed(name, std::move(model)).version;
+}
+
+PublishTicket ModelRegistry::publish_ticketed(const std::string& name,
+                                              FittedModel model) {
   auto entry = std::make_shared<ModelEntry>();
   entry->name = name;
   entry->model = std::move(model);
@@ -23,7 +28,50 @@ std::uint64_t ModelRegistry::publish(const std::string& name,
       entry->version, entry, clock_.fetch_add(1, std::memory_order_relaxed) + 1);
   ++entries_;
   evict_locked(entry.get());
-  return entry->version;
+  return {entry->version, ++mutation_seq_};
+}
+
+bool ModelRegistry::restore(const std::string& name, std::uint64_t version,
+                            FittedModel model) {
+  auto entry = std::make_shared<ModelEntry>();
+  entry->name = name;
+  entry->version = version;
+  entry->model = std::move(model);
+
+  sync::ExclusiveLock lock(mu_);
+  Record& record = records_[name];
+  if (record.next_version <= version) record.next_version = version + 1;
+  const auto [it, inserted] = record.versions.try_emplace(
+      version, entry, clock_.fetch_add(1, std::memory_order_relaxed) + 1);
+  if (!inserted) return false;
+  ++entries_;
+  evict_locked(entry.get());
+  return true;
+}
+
+void ModelRegistry::set_version_floor(const std::string& name,
+                                      std::uint64_t next_version) {
+  sync::ExclusiveLock lock(mu_);
+  Record& record = records_[name];
+  if (record.next_version < next_version) record.next_version = next_version;
+}
+
+void ModelRegistry::seed_mutation_seq(std::uint64_t seq) {
+  sync::ExclusiveLock lock(mu_);
+  if (mutation_seq_ < seq) mutation_seq_ = seq;
+}
+
+RegistrySnapshot ModelRegistry::snapshot_state() const {
+  sync::SharedLock lock(mu_);
+  RegistrySnapshot snap;
+  snap.last_seq = mutation_seq_;
+  snap.next_versions.reserve(records_.size());
+  for (const auto& [name, record] : records_) {
+    snap.next_versions.emplace_back(name, record.next_version);
+    for (const auto& [version, slot] : record.versions)
+      snap.entries.push_back(slot.entry);
+  }
+  return snap;
 }
 
 std::shared_ptr<const ModelEntry> ModelRegistry::latest(
@@ -52,9 +100,14 @@ std::shared_ptr<const ModelEntry> ModelRegistry::at(
 
 std::size_t ModelRegistry::evict(const std::string& name,
                                  std::uint64_t version) {
+  return evict_ticketed(name, version).removed;
+}
+
+EvictTicket ModelRegistry::evict_ticketed(const std::string& name,
+                                          std::uint64_t version) {
   sync::ExclusiveLock lock(mu_);
   auto it = records_.find(name);
-  if (it == records_.end()) return 0;
+  if (it == records_.end()) return {0, mutation_seq_};
   std::size_t removed = 0;
   if (version == 0) {
     removed = it->second.versions.size();
@@ -64,8 +117,10 @@ std::size_t ModelRegistry::evict(const std::string& name,
   }
   entries_ -= removed;
   // The Record (and its next_version counter) stays, mirroring LRU
-  // eviction: version numbers are never reused.
-  return removed;
+  // eviction: version numbers are never reused. Only an evict that
+  // removed something consumes a mutation seq — a no-op leaves no trace
+  // in the registry, so it must leave none in the WAL ordering either.
+  return {removed, removed > 0 ? ++mutation_seq_ : mutation_seq_};
 }
 
 std::vector<ModelInfo> ModelRegistry::list() const {

@@ -24,6 +24,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "serve/fitted_model.hpp"
@@ -48,6 +49,32 @@ struct ModelInfo {
   std::uint64_t num_terms = 0;       // M of the latest retained version
 };
 
+/// Result of a ticketed mutation: what happened plus the registry's
+/// linearization stamp for it. `seq` is assigned under the exclusive lock,
+/// so sorting WAL records by seq reconstructs the exact order in which the
+/// registry applied concurrent publishes and evicts (src/store replays in
+/// that order, not file order).
+struct PublishTicket {
+  std::uint64_t version = 0;
+  std::uint64_t seq = 0;
+};
+struct EvictTicket {
+  std::size_t removed = 0;
+  std::uint64_t seq = 0;
+};
+
+/// Coherent copy of the durable registry state, taken under one shared
+/// lock — the payload a store compaction snapshots.
+struct RegistrySnapshot {
+  /// Mutation seq the snapshot covers (every mutation with seq <= last_seq
+  /// is reflected in the fields below).
+  std::uint64_t last_seq = 0;
+  /// (name, next_version) for every name ever published, including names
+  /// whose versions are all evicted — the never-reuse invariant.
+  std::vector<std::pair<std::string, std::uint64_t>> next_versions;
+  std::vector<std::shared_ptr<const ModelEntry>> entries;
+};
+
 class ModelRegistry {
  public:
   /// `capacity` >= 1 bounds the total retained entries (all names).
@@ -56,6 +83,32 @@ class ModelRegistry {
   /// Publish a new version of `name`; returns the assigned version.
   /// Evicts the LRU entry (never the new one) while over capacity.
   std::uint64_t publish(const std::string& name, FittedModel model);
+
+  /// publish/evict variants that also hand back the mutation seq, for
+  /// callers that log the mutation to a durable store.
+  PublishTicket publish_ticketed(const std::string& name, FittedModel model);
+  EvictTicket evict_ticketed(const std::string& name,
+                             std::uint64_t version = 0);
+
+  /// Boot-time hydration: install an exact (name, version) recovered from
+  /// the store, raising the name's next_version above it. Returns false
+  /// (and installs nothing) when the version is already present. Counts
+  /// as a use for LRU purposes; over capacity the usual LRU trim runs,
+  /// sparing the entry just restored. Does not advance the mutation seq —
+  /// restores replay history instead of creating it.
+  bool restore(const std::string& name, std::uint64_t version,
+               FittedModel model);
+
+  /// Raise `name`'s next_version to at least `next_version` (no-op when
+  /// already higher). Hydration uses this for names whose versions were
+  /// all evicted before the crash.
+  void set_version_floor(const std::string& name, std::uint64_t next_version);
+
+  /// Raise the mutation seq to at least `seq`, so post-recovery mutations
+  /// sort after every replayed WAL record. Call once after hydration.
+  void seed_mutation_seq(std::uint64_t seq);
+
+  RegistrySnapshot snapshot_state() const;
 
   /// Highest retained version of `name`, or nullptr if the name is unknown
   /// (or every version of it has been evicted).
@@ -106,6 +159,8 @@ class ModelRegistry {
   std::size_t capacity_;
   /// LRU clock. Atomic (not guarded): shared-lock readers advance it.
   mutable std::atomic<std::uint64_t> clock_{0};
+  /// Linearization stamp for durable mutations (see PublishTicket).
+  std::uint64_t mutation_seq_ BMF_GUARDED_BY(mu_) = 0;
   // mutable: latest()/at() are logically const lookups but stamp last_used.
   mutable std::map<std::string, Record> records_ BMF_GUARDED_BY(mu_);
   std::size_t entries_ BMF_GUARDED_BY(mu_) = 0;

@@ -7,6 +7,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <deque>
 #include <exception>
 #include <map>
@@ -637,6 +638,24 @@ Server::Server(ServerOptions options)
     throw ServeError(Status::kInternal, "server",
                      "no transport configured: set socket_path and/or "
                      "tcp_address");
+  if (!options_.store_dir.empty()) {
+    // Hydrate before binding any listener: a daemon that cannot recover
+    // its durable state must not start answering as if it were empty.
+    store::StoreOptions store_options;
+    store_options.sync = options_.store_sync;
+    store_options.snapshot_wal_bytes = options_.store_snapshot_bytes;
+    store_ = std::make_unique<store::ModelStore>(options_.store_dir,
+                                                 store_options);
+    store::ModelStore::Recovery recovery = store_->recover();
+    // Floors first: they cover names whose versions were all evicted, so
+    // the never-reuse invariant survives even with zero live models.
+    for (const auto& [name, floor] : recovery.next_versions)
+      registry_.set_version_floor(name, floor);
+    for (store::ModelStore::RecoveredModel& m : recovery.models)
+      if (registry_.restore(m.name, m.version, deserialize_model(m.blob)))
+        ++models_recovered_;
+    registry_.seed_mutation_seq(recovery.max_seq);
+  }
   if (!options_.socket_path.empty())
     unix_listen_ = listen_unix(options_.socket_path);
   if (!options_.tcp_address.empty()) {
@@ -656,6 +675,14 @@ Server::~Server() {
 void Server::run() {
   EventLoop loop(*this);
   loop.run();
+  if (store_) {
+    try {
+      store_->flush();  // interval/never: push acked tail to disk on drain
+    } catch (const store::StoreError&) {
+      // Shutdown path: the WAL is still scannable; recovery re-derives
+      // whatever the kernel managed to persist.
+    }
+  }
 }
 
 void Server::shed(UniqueFd conn, Status status) noexcept {
@@ -679,6 +706,48 @@ void Server::shed(UniqueFd conn, Status status) noexcept {
   }
 }
 
+StoreInfoResponse Server::store_info() const {
+  StoreInfoResponse info;
+  if (!store_) return info;
+  const store::StoreStats s = store_->stats();
+  info.enabled = 1;
+  info.wal_bytes = s.wal_bytes;
+  info.wal_records = s.wal_records;
+  info.appends = s.appends;
+  info.syncs = s.syncs;
+  info.snapshots_written = s.snapshots_written;
+  info.last_snapshot_seq = s.last_snapshot_seq;
+  info.records_replayed = s.records_replayed;
+  info.truncation_events = s.truncation_events;
+  return info;
+}
+
+void Server::maybe_compact() noexcept {
+  if (!store_ || !store_->wants_compaction()) return;
+  try {
+    // The state callback runs under the store lock with appends blocked,
+    // which makes the snapshot a superset of the WAL it replaces: every
+    // record in the WAL belongs to a registry mutation that completed
+    // (install happens before append), so snapshot_state() sees it.
+    store_->compact([this] {
+      store::Snapshot snap;
+      RegistrySnapshot reg = registry_.snapshot_state();
+      snap.last_seq = reg.last_seq;
+      snap.next_versions = std::move(reg.next_versions);
+      snap.models.reserve(reg.entries.size());
+      for (const std::shared_ptr<const ModelEntry>& entry : reg.entries)
+        snap.models.push_back(
+            {entry->name, entry->version, serialize_model(entry->model)});
+      return snap;
+    });
+  } catch (const std::exception& e) {
+    // Never fail the request that tripped the threshold: its record is
+    // durable in the intact WAL, and the next append retries compaction.
+    std::fprintf(stderr, "bmf_served: store compaction failed: %s\n",
+                 e.what());
+  }
+}
+
 Server::ExecuteResult Server::execute_request(const std::uint8_t* frame,
                                               std::size_t size) {
   ExecuteResult out;
@@ -688,8 +757,27 @@ Server::ExecuteResult Server::execute_request(const std::uint8_t* frame,
       out.reply = encode_ok();
     } else if (const auto* pub = std::get_if<PublishRequest>(&request)) {
       FittedModel model = deserialize_model(pub->blob);
-      const std::uint64_t version =
-          registry_.publish(pub->name, std::move(model));
+      std::uint64_t version = 0;
+      if (store_) {
+        // Install, then append the original wire bytes to the WAL, then
+        // ack — so an acked publish always survives a crash, and a crash
+        // before the append leaves nothing a client was told about.
+        const PublishTicket ticket =
+            registry_.publish_ticketed(pub->name, std::move(model));
+        try {
+          store_->append_publish(ticket.seq, pub->name, ticket.version,
+                                 pub->blob.data(), pub->blob.size());
+        } catch (const store::StoreError& e) {
+          // Not durable => not acked => must not be served: roll the
+          // registry back so memory never outlives the log.
+          registry_.evict(pub->name, ticket.version);
+          throw ServeError(Status::kInternal, "store", e.what());
+        }
+        maybe_compact();
+        version = ticket.version;
+      } else {
+        version = registry_.publish(pub->name, std::move(model));
+      }
       out.reply = encode_publish_response(version);
     } else if (const auto* ev = std::get_if<EvaluateRequest>(&request)) {
       std::shared_ptr<const ModelEntry> entry =
@@ -729,8 +817,27 @@ Server::ExecuteResult Server::execute_request(const std::uint8_t* frame,
       stats.queue_depth = queue_depth_.load(std::memory_order_relaxed);
       out.reply = encode_stats_response(stats);
     } else if (const auto* evt = std::get_if<EvictRequest>(&request)) {
-      out.reply = encode_evict_response(
-          registry_.evict(evt->name, evt->version));
+      if (store_) {
+        const EvictTicket ticket =
+            registry_.evict_ticketed(evt->name, evt->version);
+        if (ticket.removed > 0) {
+          try {
+            store_->append_evict(ticket.seq, evt->name, evt->version);
+          } catch (const store::StoreError& e) {
+            // The registry already dropped the entries; disk disagrees
+            // until the next successful append or restart. The error
+            // reply tells the caller the evict may not be durable.
+            throw ServeError(Status::kInternal, "store", e.what());
+          }
+          maybe_compact();
+        }
+        out.reply = encode_evict_response(ticket.removed);
+      } else {
+        out.reply = encode_evict_response(
+            registry_.evict(evt->name, evt->version));
+      }
+    } else if (std::holds_alternative<StoreInfoRequest>(request)) {
+      out.reply = encode_store_info_response(store_info());
     } else if (const auto* sv = std::get_if<SolveRequest>(&request)) {
       // Explicit validation: the numeric layer's contract checks compile
       // out of Release builds, and a daemon must answer garbage input with

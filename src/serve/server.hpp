@@ -36,13 +36,16 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "serve/batch_evaluator.hpp"
 #include "serve/error.hpp"
+#include "serve/protocol.hpp"
 #include "serve/registry.hpp"
 #include "serve/wire.hpp"
+#include "store/store.hpp"
 
 namespace bmf::serve {
 
@@ -77,6 +80,15 @@ struct ServerOptions {
   /// stops reading from it (pipelining backpressure; the client blocks in
   /// its own send once the kernel buffers fill).
   std::size_t max_pipeline = 128;
+  /// Durable store directory (WAL + compacted snapshots, src/store).
+  /// Empty = in-memory only: a restart forgets every published model.
+  /// When set, the constructor hydrates the registry from the store and
+  /// every publish/evict appends to the WAL before it is acked.
+  std::string store_dir;
+  /// WAL fsync policy when store_dir is set (--store-sync).
+  store::SyncPolicy store_sync = store::SyncPolicy::kAlways;
+  /// WAL size that triggers a compacted snapshot.
+  std::size_t store_snapshot_bytes = std::size_t{4} << 20;
 };
 
 class Server {
@@ -123,6 +135,13 @@ class Server {
   /// drain (kShuttingDown) since construction.
   std::uint64_t connections_shed() const { return connections_shed_.load(); }
 
+  /// Durability health: the kStoreInfo reply body (all-zero, enabled = 0,
+  /// without --store). Thread-safe.
+  StoreInfoResponse store_info() const;
+
+  /// Models hydrated from the store at construction (0 without --store).
+  std::size_t models_recovered() const { return models_recovered_; }
+
  private:
   friend class EventLoop;  // run()'s loop state, defined in server.cpp
 
@@ -144,9 +163,18 @@ class Server {
   /// (kOverloaded / kShuttingDown) and close it.
   void shed(UniqueFd conn, Status status) noexcept;
 
+  /// Compact the store once its WAL outgrows store_snapshot_bytes.
+  /// Failure is logged, never propagated: the publish that tripped the
+  /// threshold is already durable in the (still intact) WAL.
+  void maybe_compact() noexcept;
+
   ServerOptions options_;
   ModelRegistry registry_;
   BatchEvaluator evaluator_;
+  /// Durable WAL + snapshots; null without store_dir. The store's own
+  /// mutex serializes appends from concurrent workers.
+  std::unique_ptr<store::ModelStore> store_;
+  std::size_t models_recovered_ = 0;
   UniqueFd unix_listen_;
   UniqueFd tcp_listen_;
   Endpoint tcp_endpoint_;

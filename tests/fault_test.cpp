@@ -86,6 +86,27 @@ TEST(FaultPlanGrammar, ParsesTheEventLoopSites) {
   EXPECT_STREQ(to_string(Site::kAccept), "accept");
 }
 
+TEST(FaultPlanGrammar, ParsesTheFilesystemSites) {
+  const FaultPlan plan =
+      parse_plan("write:crash+3;fsync:short*2;rename:drop;fsync:crash+1");
+  ASSERT_EQ(plan.rules.size(), 4u);
+  EXPECT_EQ(plan.rules[0].site, Site::kWrite);
+  EXPECT_EQ(plan.rules[0].action, Action::kCrash);
+  EXPECT_EQ(plan.rules[0].skip, 3u);
+  EXPECT_EQ(plan.rules[0].max_triggers, 1u);  // default: one shot
+  EXPECT_EQ(plan.rules[1].site, Site::kFsync);
+  EXPECT_EQ(plan.rules[1].action, Action::kShortIo);
+  EXPECT_EQ(plan.rules[1].max_triggers, 2u);
+  EXPECT_EQ(plan.rules[2].site, Site::kRename);
+  EXPECT_EQ(plan.rules[2].action, Action::kDrop);
+  EXPECT_EQ(plan.rules[3].site, Site::kFsync);
+  EXPECT_EQ(plan.rules[3].action, Action::kCrash);
+  EXPECT_STREQ(to_string(Site::kWrite), "write");
+  EXPECT_STREQ(to_string(Site::kFsync), "fsync");
+  EXPECT_STREQ(to_string(Site::kRename), "rename");
+  EXPECT_STREQ(to_string(Action::kCrash), "crash");
+}
+
 TEST(FaultPlanGrammar, RejectsMalformedSpecs) {
   EXPECT_THROW(parse_plan("read"), std::invalid_argument);          // no action
   EXPECT_THROW(parse_plan("tcp:short"), std::invalid_argument);     // bad site
@@ -237,6 +258,113 @@ TEST(FaultEngine, ShortAcceptReportsNoConnectionBehindTheWakeup) {
   ::close(conn);
   ::close(client);
   ::close(listener);
+}
+
+/// A scratch file opened for read/write (unlinked immediately: the fd is
+/// the only handle, so nothing leaks past the test).
+struct ScratchFile {
+  int fd = -1;
+  ScratchFile() {
+    char path[] = "/tmp/bmf-fault-fs-XXXXXX";
+    fd = ::mkstemp(path);
+    EXPECT_GE(fd, 0);
+    if (fd >= 0) ::unlink(path);
+  }
+  ~ScratchFile() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+TEST(FaultEngine, WriteDropFailsWithEioThenRecovers) {
+  DisarmGuard guard;
+  ScratchFile file;
+  arm(parse_plan("write:drop*1"));
+  const char data[4] = {'a', 'b', 'c', 'd'};
+  errno = 0;
+  EXPECT_EQ(sys_write(file.fd, data, 4), -1);
+  EXPECT_EQ(errno, EIO);
+  EXPECT_EQ(sys_write(file.fd, data, 4), 4);  // budget spent: real write
+  EXPECT_EQ(stats().site[6].triggered, 1u);
+  EXPECT_EQ(stats().site[6].calls, 2u);
+}
+
+TEST(FaultEngine, ShortWriteWritesAPrefixOnly) {
+  DisarmGuard guard;
+  ScratchFile file;
+  arm(parse_plan("write:short*1"));
+  const char data[4] = {'a', 'b', 'c', 'd'};
+  const ssize_t n = sys_write(file.fd, data, 4);
+  ASSERT_GE(n, 1);
+  ASSERT_LT(n, 4);  // a true prefix: the caller's retry loop must finish it
+  EXPECT_EQ(sys_write(file.fd, data + n, 4 - static_cast<std::size_t>(n)),
+            4 - n);
+}
+
+TEST(FaultEngine, LyingFsyncReturnsSuccessWithoutSyncing) {
+  DisarmGuard guard;
+  ScratchFile file;
+  arm(parse_plan("fsync:short*1"));
+  EXPECT_EQ(sys_fsync(file.fd), 0);  // lied: nothing reached the platter
+  EXPECT_EQ(stats().site[7].triggered, 1u);
+  EXPECT_EQ(sys_fsync(file.fd), 0);  // real fsync
+  EXPECT_EQ(stats().site[7].calls, 2u);
+}
+
+TEST(FaultEngine, FsyncDropFailsWithEio) {
+  DisarmGuard guard;
+  ScratchFile file;
+  arm(parse_plan("fsync:drop*1"));
+  errno = 0;
+  EXPECT_EQ(sys_fsync(file.fd), -1);
+  EXPECT_EQ(errno, EIO);
+  EXPECT_EQ(sys_fsync(file.fd), 0);
+}
+
+TEST(FaultEngine, RenameDropFailsWithEioThenSucceeds) {
+  DisarmGuard guard;
+  char src[] = "/tmp/bmf-fault-ren-src-XXXXXX";
+  const int fd = ::mkstemp(src);
+  ASSERT_GE(fd, 0);
+  ::close(fd);
+  const std::string dst = std::string(src) + ".renamed";
+  arm(parse_plan("rename:drop*1"));
+  errno = 0;
+  EXPECT_EQ(sys_rename(src, dst.c_str()), -1);
+  EXPECT_EQ(errno, EIO);
+  EXPECT_EQ(stats().site[8].triggered, 1u);
+  EXPECT_EQ(sys_rename(src, dst.c_str()), 0);
+  EXPECT_EQ(::unlink(dst.c_str()), 0);
+}
+
+TEST(FaultEngine, CrashActionExitsWithKillSignature) {
+  ScratchFile file;
+  const char byte = 'x';
+  // The crash action _Exit(137)s after a torn prefix — run it in a death
+  // test child so the suite survives to observe the exit code.
+  EXPECT_EXIT(
+      {
+        arm(parse_plan("write:crash"));
+        (void)sys_write(file.fd, &byte, 1);
+      },
+      ::testing::ExitedWithCode(137), "bmf_fault: crash injected at write");
+}
+
+TEST(FaultEngine, FilesystemSitesReplayIdenticallyForASeed) {
+  ScratchFile file;
+  auto run = [&](std::uint64_t seed) {
+    DisarmGuard guard;
+    FaultPlan plan = parse_plan("write:drop*0@0.5");
+    plan.seed = seed;
+    arm(plan);
+    std::string pattern;
+    const char byte = 'w';
+    for (int i = 0; i < 16; ++i)
+      pattern += sys_write(file.fd, &byte, 1) == 1 ? '.' : 'X';
+    return pattern;
+  };
+  const std::string first = run(7);
+  EXPECT_EQ(first, run(7));
+  EXPECT_NE(first, run(8));
 }
 
 TEST(FaultEngine, DisarmRestoresRawBehaviorAndStatsReset) {

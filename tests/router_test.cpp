@@ -144,8 +144,10 @@ TEST(HashRing, RejectsEmptyAndDuplicateSpecs) {
 /// scenarios kill a shard (idempotent, also runs at destruction).
 class BackendFixture {
  public:
-  BackendFixture(const std::string& tag, bool tcp) {
+  BackendFixture(const std::string& tag, bool tcp,
+                 const std::string& store_dir = "") {
     serve::ServerOptions options;
+    options.store_dir = store_dir;
     if (tcp) {
       options.tcp_address = "127.0.0.1:0";
     } else {
@@ -184,10 +186,11 @@ class BackendFixture {
 class Cluster {
  public:
   Cluster(const std::string& tag, std::size_t backends, std::size_t replicas,
-          bool tcp = false) {
+          bool tcp = false, std::vector<std::string> store_dirs = {}) {
     for (std::size_t i = 0; i < backends; ++i)
       backends_.push_back(std::make_unique<BackendFixture>(
-          tag + "_" + std::to_string(i), tcp));
+          tag + "_" + std::to_string(i), tcp,
+          i < store_dirs.size() ? store_dirs[i] : std::string()));
     RouterOptions options;
     for (const auto& b : backends_) options.backends.push_back(b->spec());
     options.replicas = replicas;
@@ -413,6 +416,124 @@ TEST(RouterServe, PublishBelowQuorumFailsFast) {
   EXPECT_EQ(still.version, 1u);
 }
 
+// ---- durable shards --------------------------------------------------------
+
+/// mkdtemp-backed store directory, removed with its contents on exit.
+struct StoreDir {
+  std::string path;
+  StoreDir() {
+    char tmpl[] = "/tmp/bmf-router-store-XXXXXX";
+    char* made = ::mkdtemp(tmpl);
+    EXPECT_NE(made, nullptr);
+    if (made != nullptr) path = made;
+  }
+  ~StoreDir() {
+    if (path.empty()) return;
+    std::remove((path + "/wal.log").c_str());
+    std::remove((path + "/snapshot.bmfs").c_str());
+    std::remove((path + "/snapshot.tmp").c_str());
+    ::rmdir(path.c_str());
+  }
+};
+
+TEST(RouterDurable, StoreInfoFansOutAndMergesAcrossShards) {
+  StoreDir dirs[3];
+  Cluster cluster("sinfo", 3, 2, /*tcp=*/false,
+                  {dirs[0].path, dirs[1].path, dirs[2].path});
+  Client client(cluster.endpoint());
+
+  const auto empty = client.store_info();
+  EXPECT_EQ(empty.enabled, 3u);  // every shard reports a durable store
+  EXPECT_EQ(empty.appends, 0u);
+
+  client.publish("m_one", make_model(3, 81));
+  client.publish("m_two", make_model(2, 82));
+
+  const auto info = client.store_info();
+  EXPECT_EQ(info.enabled, 3u);
+  // Each publish appended on exactly its R=2 ring owners.
+  EXPECT_EQ(info.appends, 4u);
+  EXPECT_EQ(info.wal_records, 4u);
+  EXPECT_GT(info.wal_bytes, 0u);
+  EXPECT_EQ(info.truncation_events, 0u);
+}
+
+TEST(RouterDurable, KilledShardRejoinsFromDiskWithoutRepublish) {
+  // Single durable backend on a fixed UNIX path (the supported restart
+  // mode): its death takes the keyspace down, and its revival must
+  // restore the SAME models from disk — the router never re-publishes.
+  StoreDir store;
+  const std::string path = ::testing::TempDir() + "/bmf_rdur_" +
+                           std::to_string(::getpid()) + ".sock";
+  auto make_backend = [&] {
+    serve::ServerOptions options;
+    options.socket_path = path;
+    options.store_dir = store.path;
+    return std::make_unique<serve::Server>(std::move(options));
+  };
+
+  auto backend = make_backend();
+  std::thread backend_thread([&backend] { backend->run(); });
+
+  RouterOptions options;
+  options.backends = {"unix:" + path};
+  options.replicas = 1;
+  options.probe_interval_ms = 50;
+  options.reconnect_base_ms = 10;
+  options.reconnect_cap_ms = 50;
+  const std::string router_path = ::testing::TempDir() + "/bmf_rdur_r_" +
+                                  std::to_string(::getpid()) + ".sock";
+  options.socket_path = router_path;
+  Router router(std::move(options));
+  std::thread router_thread([&router] { router.run(); });
+
+  Client client("unix:" + router_path);
+  const FittedModel model = make_model(3, 91);
+  EXPECT_EQ(client.publish("durable", model), 1u);
+  const auto points = make_points(8, 3, 92);
+  const auto baseline = client.evaluate("durable", points);
+
+  backend->request_stop();
+  backend_thread.join();
+  backend.reset();  // unlinks the socket path before the replacement binds
+
+  backend = make_backend();  // hydrates the registry from the store
+  std::thread revived_thread([&backend] { backend->run(); });
+  EXPECT_EQ(backend->models_recovered(), 1u);
+
+  // Poll evaluate (read-only!) until the router's reconnect lands. No
+  // publish happens anywhere in this window.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  bool rejoined = false;
+  while (!rejoined && std::chrono::steady_clock::now() < deadline) {
+    try {
+      const auto after = client.evaluate("durable", points);
+      EXPECT_EQ(after.version, baseline.version);
+      EXPECT_EQ(after.values, baseline.values);  // bitwise, from disk
+      rejoined = true;
+    } catch (const ServeError&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+  EXPECT_TRUE(rejoined) << "router never re-adopted the revived shard";
+
+  // The rejoin was replay, not re-publish: the revived daemon has served
+  // zero publishes and its WAL gained nothing since boot.
+  const auto info = backend->store_info();
+  EXPECT_EQ(info.records_replayed, 1u);
+  EXPECT_EQ(info.appends, 0u);
+
+  // And the version sequence continues across the crash-restart.
+  EXPECT_EQ(client.publish("durable", model), 2u);
+
+  router.request_stop();
+  router_thread.join();
+  backend->request_stop();
+  revived_thread.join();
+  std::remove(router_path.c_str());
+}
+
 // ---- chaos (seeded, transport-swappable; see ci.sh) ------------------------
 
 TEST(RouterChaos, KillingOneBackendMidPipelineLosesNoAcknowledgedRequest) {
@@ -526,8 +647,9 @@ TEST(RouterChaos, RouterReconnectsWhenABackendComesBack) {
       std::this_thread::sleep_for(std::chrono::milliseconds(20));
     }
   }
-  if (reconnected)
+  if (reconnected) {
     EXPECT_EQ(client.evaluate("cycle", points).values, baseline.values);
+  }
 
   router.request_stop();
   router_thread.join();

@@ -48,6 +48,37 @@ TEST(Protocol, ListAndShutdownRoundTrip) {
       decode_request(encode_request(ShutdownRequest{}))));
 }
 
+TEST(Protocol, StoreInfoRoundTrip) {
+  EXPECT_TRUE(std::holds_alternative<StoreInfoRequest>(
+      decode_request(encode_request(StoreInfoRequest{}))));
+
+  StoreInfoResponse response;
+  response.enabled = 1;
+  response.wal_bytes = 4096;
+  response.wal_records = 12;
+  response.appends = 40;
+  response.syncs = 41;
+  response.snapshots_written = 3;
+  response.last_snapshot_seq = 37;
+  response.records_replayed = 9;
+  response.truncation_events = 2;
+  const auto frame = encode_store_info_response(response);
+  auto [body, size] = expect_ok(frame);
+  const StoreInfoResponse r = decode_store_info_response(body, size);
+  EXPECT_EQ(r.enabled, 1u);
+  EXPECT_EQ(r.wal_bytes, 4096u);
+  EXPECT_EQ(r.wal_records, 12u);
+  EXPECT_EQ(r.appends, 40u);
+  EXPECT_EQ(r.syncs, 41u);
+  EXPECT_EQ(r.snapshots_written, 3u);
+  EXPECT_EQ(r.last_snapshot_seq, 37u);
+  EXPECT_EQ(r.records_replayed, 9u);
+  EXPECT_EQ(r.truncation_events, 2u);
+
+  // A truncated store-info body must be rejected, not zero-filled.
+  EXPECT_THROW(decode_store_info_response(body, size - 1), ServeError);
+}
+
 TEST(Protocol, RejectsMalformedRequests) {
   // Empty frame.
   EXPECT_THROW(decode_request(nullptr, 0), ServeError);

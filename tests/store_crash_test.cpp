@@ -1,0 +1,298 @@
+// Crash-recovery matrix for the durable store: a real bmf_served process
+// (BMF_SERVED_PATH, baked in by CMake) is killed at every injected
+// durability syscall — Nth WAL write, Nth fsync, Nth snapshot rename —
+// via BMF_FAULT_PLAN "<site>:crash+N", plus a plain kill -9. After each
+// death the store directory must recover to a state where
+//
+//   * every acked publish is present, byte-identical to what was sent,
+//     and its BMFB payload still passes the codec CRC;
+//   * everything recovered is something that was actually published
+//     (no invented or cross-wired blobs);
+//   * a restarted daemon serves the survivors and continues assigning
+//     strictly increasing versions (the never-reuse invariant crosses
+//     the crash).
+//
+// The daemon runs --store-sync=always with a 1-byte snapshot threshold,
+// so every publish exercises the full append + compact + rename path and
+// the matrix is dense in a handful of publishes.
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "basis/basis_set.hpp"
+#include "fault/fault.hpp"
+#include "serve/client.hpp"
+#include "serve/model_codec.hpp"
+#include "stats/rng.hpp"
+#include "store/store.hpp"
+
+#ifndef BMF_SERVED_PATH
+#error "store_crash_test requires -DBMF_SERVED_PATH=<path to bmf_served>"
+#endif
+
+namespace bmf {
+namespace {
+
+constexpr std::size_t kPublishesPerRound = 4;
+constexpr int kMatrixCap = 100;  // safety bound, never reached in practice
+
+serve::FittedModel make_model(std::uint64_t seed) {
+  auto b = basis::BasisSet::total_degree(3, 2);
+  stats::Rng rng(seed);
+  linalg::Vector coeffs(b.size());
+  for (double& c : coeffs) c = rng.normal();
+  serve::FittedModel fitted;
+  fitted.model = basis::PerformanceModel(b, coeffs);
+  fitted.tau = 0.5 + static_cast<double>(seed);
+  fitted.num_samples = 32;
+  return fitted;
+}
+
+// Built with += rather than `"m" + std::to_string(i)`: GCC 12's
+// -Wrestrict false-positives on operator+(const char*, std::string&&).
+std::string model_name(std::size_t i) {
+  std::string name = "m";
+  name += std::to_string(i);
+  return name;
+}
+
+/// mkdtemp-backed store directory, removed with its contents on exit.
+struct StoreDir {
+  std::string path;
+  StoreDir() {
+    char tmpl[] = "/tmp/bmf-crash-XXXXXX";
+    char* made = ::mkdtemp(tmpl);
+    EXPECT_NE(made, nullptr);
+    if (made != nullptr) path = made;
+  }
+  ~StoreDir() {
+    if (path.empty()) return;
+    ::unlink((path + "/wal.log").c_str());
+    ::unlink((path + "/snapshot.bmfs").c_str());
+    ::unlink((path + "/snapshot.tmp").c_str());
+    ::rmdir(path.c_str());
+  }
+};
+
+struct Daemon {
+  pid_t pid = -1;
+  std::string socket;
+
+  ~Daemon() {
+    if (pid > 0) {
+      ::kill(pid, SIGKILL);
+      int status = 0;
+      ::waitpid(pid, &status, 0);
+    }
+    if (!socket.empty()) ::unlink(socket.c_str());
+  }
+
+  /// Reaps the child; returns its exit code, or 128+signal when killed.
+  int wait_exit() {
+    int status = 0;
+    EXPECT_EQ(::waitpid(pid, &status, 0), pid);
+    pid = -1;
+    if (WIFEXITED(status)) return WEXITSTATUS(status);
+    if (WIFSIGNALED(status)) return 128 + WTERMSIG(status);
+    return -1;
+  }
+};
+
+Daemon spawn_served(const std::string& store_dir, const std::string& plan) {
+  static int counter = 0;
+  Daemon d;
+  d.socket = ::testing::TempDir() + "/bmf_crash_" +
+             std::to_string(::getpid()) + "_" + std::to_string(counter++) +
+             ".sock";
+  d.pid = ::fork();
+  if (d.pid == 0) {
+    if (plan.empty())
+      ::unsetenv("BMF_FAULT_PLAN");
+    else
+      ::setenv("BMF_FAULT_PLAN", plan.c_str(), 1);
+    ::execl(BMF_SERVED_PATH, BMF_SERVED_PATH, "--socket", d.socket.c_str(),
+            "--store", store_dir.c_str(), "--store-sync", "always",
+            "--store-snapshot-bytes", "1", "--quiet",
+            static_cast<char*>(nullptr));
+    std::_Exit(127);  // exec failed
+  }
+  EXPECT_GT(d.pid, 0);
+  return d;
+}
+
+/// Tight retry policy: a dead daemon should fail a publish in well under a
+/// second instead of burning the default 10 s budget per round.
+serve::RetryPolicy fast_retries() {
+  serve::RetryPolicy policy;
+  policy.max_attempts = 2;
+  policy.budget_ms = 1000;
+  policy.base_backoff_ms = 1;
+  policy.max_backoff_ms = 10;
+  return policy;
+}
+
+struct AckedPublish {
+  std::string name;
+  std::uint64_t version = 0;
+  std::vector<std::uint8_t> blob;
+};
+
+struct RoundResult {
+  int exit_code = -1;
+  std::vector<AckedPublish> acked;
+  std::map<std::string, std::vector<std::uint8_t>> attempted;
+};
+
+/// One matrix round: boot under `plan`, publish up to kPublishesPerRound
+/// models, record which acks came back, and reap the daemon (graceful
+/// shutdown when the plan never fired).
+RoundResult run_round(const std::string& store_dir, const std::string& plan) {
+  RoundResult result;
+  Daemon daemon = spawn_served(store_dir, plan);
+  try {
+    serve::Client client(daemon.socket, /*timeout_ms=*/5000,
+                         serve::kDefaultMaxFrameBytes, fast_retries());
+    for (std::size_t i = 0; i < kPublishesPerRound; ++i) {
+      const std::vector<std::uint8_t> blob =
+          serve::serialize_model(make_model(i));
+      result.attempted[model_name(i)] = blob;
+      try {
+        const std::uint64_t version =
+            client.publish_blob(model_name(i), blob);
+        result.acked.push_back({model_name(i), version, blob});
+      } catch (const serve::ServeError&) {
+        break;  // daemon died mid-publish: the crash point fired
+      }
+    }
+    if (result.acked.size() == kPublishesPerRound) {
+      try {
+        client.shutdown_server();
+      } catch (const serve::ServeError&) {
+        // Crash fired after the last ack (e.g. inside compaction).
+      }
+    }
+  } catch (const serve::ServeError&) {
+    // Could not even connect: the daemon crashed during boot.
+  }
+  result.exit_code = daemon.wait_exit();
+  return result;
+}
+
+/// The durability contract, checked straight against the on-disk state.
+void verify_store(const std::string& store_dir, const RoundResult& round) {
+  store::ModelStore store(store_dir);
+  const store::ModelStore::Recovery rec = store.recover();
+
+  for (const auto& m : rec.models) {
+    const auto it = round.attempted.find(m.name);
+    ASSERT_NE(it, round.attempted.end())
+        << "recovered model '" << m.name << "' was never published";
+    EXPECT_EQ(m.blob, it->second)
+        << "recovered blob for '" << m.name << "' is not byte-identical";
+    // The BMFB payload carries its own CRC: a torn or bit-rotted blob
+    // that somehow passed the WAL CRC must still fail here.
+    EXPECT_NO_THROW(serve::deserialize_model(m.blob));
+  }
+
+  for (const AckedPublish& acked : round.acked) {
+    bool found = false;
+    for (const auto& m : rec.models)
+      if (m.name == acked.name && m.version == acked.version &&
+          m.blob == acked.blob)
+        found = true;
+    EXPECT_TRUE(found) << "acked publish " << acked.name << " v"
+                       << acked.version << " lost after crash";
+    // The version floor guarantees the version is never handed out again.
+    bool floored = false;
+    for (const auto& [name, next_version] : rec.next_versions)
+      if (name == acked.name && next_version > acked.version) floored = true;
+    EXPECT_TRUE(floored) << "version floor for " << acked.name
+                         << " does not cover v" << acked.version;
+  }
+}
+
+/// Boot a clean daemon on the survivors: every acked model is served, and
+/// a fresh publish continues the version sequence past the crash.
+void verify_restart(const std::string& store_dir, const RoundResult& round) {
+  Daemon daemon = spawn_served(store_dir, "");
+  serve::Client client(daemon.socket, /*timeout_ms=*/5000);
+
+  const std::vector<serve::ModelInfo> models = client.list();
+  for (const AckedPublish& acked : round.acked) {
+    bool found = false;
+    for (const auto& m : models)
+      if (m.name == acked.name && m.latest_version >= acked.version)
+        found = true;
+    EXPECT_TRUE(found) << "restarted daemon does not serve " << acked.name;
+  }
+
+  const std::vector<std::uint8_t> blob =
+      serve::serialize_model(make_model(99));
+  const std::uint64_t fresh = client.publish_blob(model_name(0), blob);
+  for (const AckedPublish& acked : round.acked) {
+    if (acked.name == model_name(0)) {
+      EXPECT_GT(fresh, acked.version)
+          << "version sequence restarted from scratch after the crash";
+    }
+  }
+
+  client.shutdown_server();
+  EXPECT_EQ(daemon.wait_exit(), 0);
+}
+
+TEST(StoreCrashMatrix, KillAtEveryDurabilitySyscallThenRecover) {
+  if (!fault::compiled_in())
+    GTEST_SKIP() << "fault injection not compiled in";
+  for (const char* site : {"write", "fsync", "rename"}) {
+    int crashes = 0;
+    int n = 0;
+    for (; n < kMatrixCap; ++n) {
+      StoreDir dir;
+      const std::string plan =
+          std::string(site) + ":crash+" + std::to_string(n);
+      const RoundResult round = run_round(dir.path, plan);
+      ASSERT_TRUE(round.exit_code == 0 || round.exit_code == 137)
+          << site << " crash point " << n << ": unexpected exit "
+          << round.exit_code;
+      verify_store(dir.path, round);
+      if (round.exit_code == 0) break;  // plan never fired: site exhausted
+      ++crashes;
+      verify_restart(dir.path, round);
+    }
+    EXPECT_LT(n, kMatrixCap) << site << " matrix did not terminate";
+    EXPECT_GT(crashes, 0) << site << " crash points never fired — the "
+                             "durability path stopped using fault::sys_*";
+  }
+}
+
+TEST(StoreCrashMatrix, SigkillLosesNoAckedPublish) {
+  StoreDir dir;
+  RoundResult round;
+  {
+    Daemon daemon = spawn_served(dir.path, "");
+    serve::Client client(daemon.socket, /*timeout_ms=*/5000);
+    for (std::size_t i = 0; i < kPublishesPerRound; ++i) {
+      const std::vector<std::uint8_t> blob =
+          serve::serialize_model(make_model(i));
+      round.attempted[model_name(i)] = blob;
+      const std::uint64_t version = client.publish_blob(model_name(i), blob);
+      round.acked.push_back({model_name(i), version, blob});
+    }
+    ASSERT_EQ(::kill(daemon.pid, SIGKILL), 0);
+    round.exit_code = daemon.wait_exit();
+  }
+  EXPECT_EQ(round.exit_code, 128 + SIGKILL);
+  verify_store(dir.path, round);
+  verify_restart(dir.path, round);
+}
+
+}  // namespace
+}  // namespace bmf
